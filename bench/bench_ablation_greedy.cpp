@@ -1,0 +1,85 @@
+// Ablation for §II-D's claim that greedy algorithms are a poor fit for the
+// caching-options knapsack: compare the exact DP against a value-density
+// greedy on (a) adversarial instances (greedy can lose ~50%) and (b) the
+// realistic instances Agar's own option generator produces.
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "client/report.hpp"
+#include "client/runner.hpp"
+#include "core/knapsack.hpp"
+
+using namespace agar;
+using core::CachingOption;
+
+namespace {
+
+CachingOption make_opt(const ObjectKey& key, std::size_t w, double v) {
+  CachingOption o;
+  o.key = key;
+  o.weight = w;
+  o.weight_units = w;
+  o.value = v;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  client::print_experiment_banner(
+      "Ablation", "exact DP vs greedy knapsack (paper §II-D)",
+      "adversarial instances + realistic zipf-shaped option sets");
+
+  // (a) Adversarial: one tiny high-density option crowds out the big one.
+  {
+    std::vector<std::vector<CachingOption>> groups = {
+        {make_opt("small", 1, 10.0)},
+        {make_opt("large", 10, 99.0)},
+    };
+    const auto dp = core::solve_dp(groups, 10);
+    const auto greedy = core::solve_greedy(groups, 10);
+    std::cout << "adversarial 2-key instance: dp=" << dp.total_value
+              << " greedy=" << greedy.total_value << " (greedy at "
+              << client::fmt_pct(greedy.total_value / dp.total_value)
+              << " of optimal)\n";
+  }
+
+  // (b) Realistic: Table-I improvement profile, zipf popularity, weights
+  // {1,3,5,7,9}, sweeping the cache size.
+  const std::vector<double> improvement = {2000, 2800, 3200, 3320, 3345};
+  const std::vector<std::size_t> weights = {1, 3, 5, 7, 9};
+  std::vector<std::vector<CachingOption>> groups;
+  for (int key = 0; key < 300; ++key) {
+    const double popularity =
+        100.0 / std::pow(static_cast<double>(key + 1), 1.1);
+    std::vector<CachingOption> group;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      group.push_back(make_opt("object" + std::to_string(key), weights[i],
+                               popularity * improvement[i]));
+    }
+    groups.push_back(std::move(group));
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t capacity : {9u, 45u, 90u, 180u, 450u, 900u}) {
+    const auto dp = core::solve_dp(groups, capacity);
+    const auto greedy = core::solve_greedy(groups, capacity);
+    rows.push_back(
+        {std::to_string(capacity) + " chunks",
+         std::to_string(static_cast<long long>(dp.total_value)),
+         std::to_string(static_cast<long long>(greedy.total_value)),
+         client::fmt_pct(greedy.total_value / dp.total_value),
+         std::to_string(dp.chosen.size()),
+         std::to_string(greedy.chosen.size())});
+  }
+  std::cout << client::format_table({"capacity", "DP value", "greedy value",
+                                     "greedy/optimal", "DP objects",
+                                     "greedy objects"},
+                                    rows);
+
+  std::cout << "\ntakeaway: greedy tracks the DP on smooth zipf instances "
+               "but collapses on boundary cases; the DP costs O(options x "
+               "capacity) and is exact everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 7: hit ratio (full + partial hits over requests) for the same
+// systems as Fig. 6.
+#include <iostream>
+
+#include "client/report.hpp"
+#include "client/runner.hpp"
+
+using namespace agar;
+using client::StrategySpec;
+
+int main() {
+  client::print_experiment_banner(
+      "Fig. 7", "hit ratio of Agar vs LRU/LFU",
+      "300 x 1 MB, RS(9,3), zipf 1.1, 10 MB cache, 5 runs x 1000 reads; "
+      "hit = all (full) or some (partial) chunks served from cache");
+
+  client::ExperimentConfig config;
+  config.deployment.num_objects = 300;
+  config.deployment.object_size_bytes = 1_MB;
+  config.workload = client::WorkloadSpec::zipfian(1.1);
+  config.ops_per_run = 1000;
+  config.runs = 5;
+  config.reconfig_period_ms = 30'000.0;
+
+  const std::size_t cache = 10_MB;
+  std::vector<StrategySpec> specs = {StrategySpec::agar(cache)};
+  for (const std::size_t c : {1u, 3u, 5u, 7u, 9u}) {
+    specs.push_back(StrategySpec::lru(c, cache));
+  }
+  for (const std::size_t c : {1u, 3u, 5u, 7u, 9u}) {
+    specs.push_back(StrategySpec::lfu(c, cache));
+  }
+
+  const auto topology = sim::aws_six_regions();
+  for (const RegionId region :
+       {sim::region::kFrankfurt, sim::region::kSydney}) {
+    config.client_region = region;
+    std::cout << "(" << (region == sim::region::kFrankfurt ? "a" : "b")
+              << ") clients in " << topology.name(region) << ":\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& spec : specs) {
+      const auto result = run_experiment(config, spec);
+      rows.push_back({spec.label(), client::fmt_pct(result.hit_ratio()),
+                      client::fmt_pct(result.full_hit_ratio()),
+                      client::fmt_ms(result.mean_latency_ms())});
+    }
+    std::cout << client::format_table(
+                     {"system", "hit ratio", "full hits", "avg ms"}, rows)
+              << "\n";
+  }
+
+  std::cout << "expected shape (paper): fewer chunks per object -> higher "
+               "hit ratio (up to ~76%) but worse latency; Agar sits above "
+               "the 7/9-chunk policies on hits while winning on latency.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 8a: average read latency while the cache size varies from 0 MB
+// (backend only) through 5/10/20/50/100 MB, clients in Frankfurt.
+#include <iostream>
+
+#include "client/report.hpp"
+#include "client/runner.hpp"
+
+using namespace agar;
+using client::StrategySpec;
+
+int main() {
+  client::print_experiment_banner(
+      "Fig. 8a", "influence of cache size",
+      "300 x 1 MB, RS(9,3), zipf 1.1, Frankfurt, cache in {0,5,10,20,50,"
+      "100} MB");
+
+  client::ExperimentConfig config;
+  config.deployment.num_objects = 300;
+  config.deployment.object_size_bytes = 1_MB;
+  config.workload = client::WorkloadSpec::zipfian(1.1);
+  config.ops_per_run = 1000;
+  config.runs = 5;
+  config.client_region = sim::region::kFrankfurt;
+
+  // 0 MB = Backend baseline.
+  const auto backend = run_experiment(config, StrategySpec::backend());
+  std::cout << "0 MB (Backend): "
+            << client::fmt_ms(backend.mean_latency_ms()) << " ms\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t mb : {5u, 10u, 20u, 50u, 100u}) {
+    const std::size_t cache = mb * 1_MB;
+    const std::vector<StrategySpec> specs = {
+        StrategySpec::agar(cache), StrategySpec::lru(5, cache),
+        StrategySpec::lru(9, cache), StrategySpec::lfu(5, cache),
+        StrategySpec::lfu(9, cache)};
+    const auto results = run_comparison(config, specs);
+
+    const double agar = results[0].mean_latency_ms();
+    double best_static = results[1].mean_latency_ms();
+    std::string best_label = results[1].spec.label();
+    for (std::size_t i = 2; i < results.size(); ++i) {
+      if (results[i].mean_latency_ms() < best_static) {
+        best_static = results[i].mean_latency_ms();
+        best_label = results[i].spec.label();
+      }
+    }
+    rows.push_back({std::to_string(mb) + " MB", client::fmt_ms(agar),
+                    client::fmt_ms(results[1].mean_latency_ms()),
+                    client::fmt_ms(results[2].mean_latency_ms()),
+                    client::fmt_ms(results[3].mean_latency_ms()),
+                    client::fmt_ms(results[4].mean_latency_ms()),
+                    best_label,
+                    client::fmt_pct(1.0 - agar / best_static)});
+  }
+  std::cout << client::format_table({"cache", "Agar", "LRU-5", "LRU-9",
+                                     "LFU-5", "LFU-9", "best static",
+                                     "Agar lead"},
+                                    rows);
+
+  std::cout << "\nexpected shape (paper): Agar leads by ~6.5% at 5 MB, "
+               "peaks ~15-16% at 10-20 MB, lead shrinks once everything "
+               "popular fits (12% at 50 MB, 1% at 100 MB).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 8b: average read latency while the workload varies: uniform, then
+// Zipfian with skews 0.2 / 0.5 / 0.8 / 0.9 / 1.0 / 1.1 / 1.4. Clients in
+// Frankfurt, 10 MB cache.
+#include <iostream>
+
+#include "client/report.hpp"
+#include "client/runner.hpp"
+
+using namespace agar;
+using client::StrategySpec;
+using client::WorkloadSpec;
+
+int main() {
+  client::print_experiment_banner(
+      "Fig. 8b", "influence of the workload distribution",
+      "300 x 1 MB, RS(9,3), Frankfurt, 10 MB cache, uniform + zipf sweeps");
+
+  client::ExperimentConfig config;
+  config.deployment.num_objects = 300;
+  config.deployment.object_size_bytes = 1_MB;
+  config.ops_per_run = 1000;
+  config.runs = 5;
+  config.client_region = sim::region::kFrankfurt;
+
+  const std::size_t cache = 10_MB;
+  const std::vector<StrategySpec> specs = {
+      StrategySpec::agar(cache), StrategySpec::lru(5, cache),
+      StrategySpec::lru(9, cache), StrategySpec::lfu(5, cache),
+      StrategySpec::lfu(9, cache)};
+
+  std::vector<WorkloadSpec> workloads = {WorkloadSpec::uniform()};
+  for (const double skew : {0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4}) {
+    workloads.push_back(WorkloadSpec::zipfian(skew));
+  }
+
+  // Backend reference (workload-independent).
+  const auto backend = run_experiment(config, StrategySpec::backend());
+  std::cout << "Backend reference: "
+            << client::fmt_ms(backend.mean_latency_ms()) << " ms\n\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& workload : workloads) {
+    config.workload = workload;
+    const auto results = run_comparison(config, specs);
+    const double agar = results[0].mean_latency_ms();
+    double best_static = results[1].mean_latency_ms();
+    for (std::size_t i = 2; i < results.size(); ++i) {
+      best_static = std::min(best_static, results[i].mean_latency_ms());
+    }
+    rows.push_back({workload.label(), client::fmt_ms(agar),
+                    client::fmt_ms(results[1].mean_latency_ms()),
+                    client::fmt_ms(results[2].mean_latency_ms()),
+                    client::fmt_ms(results[3].mean_latency_ms()),
+                    client::fmt_ms(results[4].mean_latency_ms()),
+                    client::fmt_pct(1.0 - agar / best_static)});
+  }
+  std::cout << client::format_table(
+      {"workload", "Agar", "LRU-5", "LRU-9", "LFU-5", "LFU-9", "Agar lead"},
+      rows);
+
+  std::cout << "\nexpected shape (paper): all systems equal under uniform/"
+               "low skew; Agar's lead grows with skew (5.8% at 0.8 up to "
+               "~15% at 1.1) and narrows again at 1.4 when the hot set "
+               "fits any cache.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Cache-engine microbenchmarks: get/put throughput of the LRU, LFU, static
+// and TinyLFU engines under a zipfian key stream.
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+
+#include "cache/lfu_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "cache/static_cache.hpp"
+#include "cache/tinylfu_cache.hpp"
+#include "client/workload.hpp"
+
+namespace {
+
+using namespace agar;
+
+constexpr std::size_t kChunk = 1024;
+constexpr std::size_t kUniverse = 1000;
+
+std::vector<std::string> make_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(kUniverse);
+  for (std::size_t i = 0; i < kUniverse; ++i) {
+    keys.push_back("object" + std::to_string(i) + "#0");
+  }
+  return keys;
+}
+
+template <typename Engine>
+void run_mixed(benchmark::State& state, Engine& engine) {
+  const auto keys = make_keys();
+  client::ZipfianGenerator gen(kUniverse, 1.1);
+  Rng rng(42);
+  for (auto _ : state) {
+    const auto& key = keys[gen.next_index(rng)];
+    auto hit = engine.get(key);
+    if (!hit.has_value()) {
+      engine.put(key, Bytes(kChunk, 0));
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LruMixed(benchmark::State& state) {
+  cache::LruCache engine(static_cast<std::size_t>(state.range(0)) * kChunk);
+  run_mixed(state, engine);
+}
+BENCHMARK(BM_LruMixed)->Arg(100)->Arg(500);
+
+void BM_LfuMixed(benchmark::State& state) {
+  cache::LfuCache engine(static_cast<std::size_t>(state.range(0)) * kChunk);
+  run_mixed(state, engine);
+}
+BENCHMARK(BM_LfuMixed)->Arg(100)->Arg(500);
+
+void BM_TinyLfuMixed(benchmark::State& state) {
+  cache::TinyLfuCache engine(static_cast<std::size_t>(state.range(0)) *
+                             kChunk);
+  run_mixed(state, engine);
+}
+BENCHMARK(BM_TinyLfuMixed)->Arg(100)->Arg(500);
+
+void BM_StaticCacheMixed(benchmark::State& state) {
+  cache::StaticConfigCache engine(
+      static_cast<std::size_t>(state.range(0)) * kChunk);
+  // Configure the hot prefix (what the knapsack would pick).
+  std::unordered_set<std::string> configured;
+  const auto keys = make_keys();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    configured.insert(keys[i]);
+  }
+  engine.install_configuration(std::move(configured));
+  run_mixed(state, engine);
+}
+BENCHMARK(BM_StaticCacheMixed)->Arg(100)->Arg(500);
+
+void BM_StaticCacheReconfigure(benchmark::State& state) {
+  // Cost of installing a new configuration over a populated cache.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  cache::StaticConfigCache engine((n + 1) * kChunk);
+  const auto keys = make_keys();
+  std::unordered_set<std::string> even, odd;
+  for (std::size_t i = 0; i < n && i < keys.size(); ++i) {
+    (i % 2 == 0 ? even : odd).insert(keys[i]);
+  }
+  bool flip = false;
+  for (auto _ : state) {
+    engine.install_configuration(flip ? even : odd);
+    flip = !flip;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StaticCacheReconfigure)->Arg(100)->Arg(900);
+
+}  // namespace
+
+BENCHMARK_MAIN();

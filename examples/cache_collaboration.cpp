@@ -1,0 +1,80 @@
+// Cache collaboration (§VI): Frankfurt and Dublin are 100 ms apart — close
+// enough that each can serve the other's cached chunks cheaper than a
+// trans-continental backend fetch. This example shows the broadcast /
+// overlap machinery and how peer-aware chunk costs change the options
+// Agar's planner sees.
+//
+//   $ ./cache_collaboration
+#include <iostream>
+
+#include "core/collaboration.hpp"
+#include "client/runner.hpp"
+
+using namespace agar;
+
+int main() {
+  std::cout << "Cache collaboration between Frankfurt and Dublin (§VI)\n\n";
+
+  client::DeploymentConfig dep;
+  dep.num_objects = 30;
+  dep.object_size_bytes = 128_KB;
+  dep.seed = 9;
+  dep.store_payloads = false;
+  client::Deployment deployment(dep);
+
+  auto make_node = [&](RegionId region) {
+    core::AgarNodeParams p;
+    p.region = region;
+    p.cache_capacity_bytes = 2_MB;
+    p.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
+    auto node = std::make_unique<core::AgarNode>(&deployment.backend(),
+                                                 &deployment.network(), p);
+    node->warm_up();
+    return node;
+  };
+  auto fra = make_node(sim::region::kFrankfurt);
+  auto dub = make_node(sim::region::kDublin);
+
+  // Both regions hammer the same hot objects (European working set).
+  for (int i = 0; i < 60; ++i) {
+    for (const auto* key : {"object0", "object1", "object2"}) {
+      (void)fra->plan_read(key);
+      (void)dub->plan_read(key);
+    }
+  }
+  fra->reconfigure();
+  dub->reconfigure();
+
+  core::CollaborationGroup group;
+  group.add_node(fra.get());
+  group.add_node(dub.get());
+  group.exchange();
+
+  const auto overlap =
+      group.overlap(sim::region::kFrankfurt, sim::region::kDublin);
+  std::cout << "configured chunks: frankfurt=" << overlap.chunks_a
+            << " dublin=" << overlap.chunks_b << " shared=" << overlap.shared
+            << " (" << static_cast<int>(overlap.shared_fraction() * 100)
+            << "% redundancy)\n\n";
+
+  // Peer-aware costs: Frankfurt's planner re-prices chunks Dublin caches.
+  const auto plain = fra->region_manager().chunk_costs("object0");
+  const auto peered = core::peer_aware_costs(
+      plain, "object0", group.peers_of(sim::region::kFrankfurt),
+      deployment.topology(), sim::region::kFrankfurt);
+  std::cout << "chunk costs for object0 seen from Frankfurt "
+               "(plain -> with Dublin's cache):\n";
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    if (plain[i].latency_ms == peered[i].latency_ms) continue;
+    std::cout << "  chunk " << plain[i].index << " (region "
+              << deployment.topology().name(plain[i].region)
+              << "): " << plain[i].latency_ms << " -> "
+              << peered[i].latency_ms << " ms\n";
+  }
+
+  std::cout << "\nWith peer-aware costs the knapsack would stop caching "
+               "chunks Dublin already holds and spend the space on chunks "
+               "neither cache has -- the 'better use of shared storage' "
+               "the paper sketches.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Writes with cache coherence (§VI future work, implemented): a writer in
+// Sydney updates an object that readers in Frankfurt have cached; Paxos
+// serializes the write and the invalidation reaches every region's cache
+// before the write acknowledges.
+//
+//   $ ./coherent_writes
+#include <iostream>
+
+#include "client/agar_strategy.hpp"
+#include "client/runner.hpp"
+#include "client/writer.hpp"
+
+using namespace agar;
+
+int main() {
+  std::cout << "Coherent writes through Paxos (quorum 4 of 6 regions)\n\n";
+
+  client::DeploymentConfig dep;
+  dep.num_objects = 10;
+  dep.object_size_bytes = 90_KB;
+  dep.seed = 5;
+  client::Deployment deployment(dep);
+  paxos::CoherenceCoordinator coherence(6, &deployment.network());
+
+  // Reader in Frankfurt with an Agar cache.
+  client::ClientContext rctx;
+  rctx.backend = &deployment.backend();
+  rctx.network = &deployment.network();
+  rctx.region = sim::region::kFrankfurt;
+  rctx.verify_data = true;
+  core::AgarNodeParams node_params;
+  node_params.region = sim::region::kFrankfurt;
+  node_params.cache_capacity_bytes = 5_MB;
+  node_params.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
+  client::AgarStrategy reader(rctx, node_params);
+  reader.warm_up();
+  coherence.attach_cache(sim::region::kFrankfurt, &reader.node().cache(), 12);
+
+  // Warm the cache on object0.
+  for (int i = 0; i < 30; ++i) (void)reader.read("object0");
+  reader.reconfigure();
+  const auto warm = reader.read("object0");
+  std::cout << "reader, cached       : " << warm.latency_ms << " ms ("
+            << warm.cache_chunks << "/9 chunks from cache)\n";
+
+  // Writer in Sydney rewrites object0.
+  client::WriterContext wctx;
+  wctx.backend = &deployment.backend();
+  wctx.network = &deployment.network();
+  wctx.region = sim::region::kSydney;
+  client::WriterClient writer(wctx, &coherence);
+  const Bytes fresh = deterministic_payload("new-object0", 90_KB);
+  const auto w = writer.write("object0", BytesView(fresh));
+  std::cout << "writer (Sydney)      : " << w.latency_ms
+            << " ms total, of which consensus " << w.consensus_ms
+            << " ms; version " << w.version << "\n";
+
+  // The reader's stale chunks are gone; the next read refetches and the
+  // repopulated cache serves the NEW bytes.
+  const auto miss = reader.read("object0");
+  std::cout << "reader, post-write   : " << miss.latency_ms << " ms ("
+            << miss.cache_chunks << "/9 from cache -- invalidated)\n";
+  const auto rehit = reader.read("object0");
+  const store::ObjectInfo info = deployment.backend().object_info("object0");
+  std::cout << "reader, repopulated  : " << rehit.latency_ms << " ms ("
+            << rehit.cache_chunks << "/9 from cache, object size "
+            << info.object_size << ")\n";
+
+  std::cout << "\nNo reader anywhere can observe the old value after the "
+               "write acknowledged: the invalidation is ordered through "
+               "the same Paxos log on every cache.\n";
+  return 0;
+}

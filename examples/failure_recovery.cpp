@@ -1,0 +1,74 @@
+// Failure injection demo: erasure coding's whole point. Regions go down,
+// clients transparently fall back to parity chunks, and (with verify mode
+// on) every read still decodes byte-for-byte.
+//
+//   $ ./failure_recovery
+#include <iostream>
+
+#include "client/backend_strategy.hpp"
+#include "client/runner.hpp"
+
+using namespace agar;
+
+int main() {
+  std::cout << "Reading through region failures (RS(9,3): any 9 of 12 "
+               "chunks decode)\n\n";
+
+  client::DeploymentConfig dep;
+  dep.num_objects = 5;
+  dep.object_size_bytes = 45_KB;
+  dep.seed = 21;
+  client::Deployment deployment(dep);
+
+  client::ClientContext ctx;
+  ctx.backend = &deployment.backend();
+  ctx.network = &deployment.network();
+  ctx.region = sim::region::kFrankfurt;
+  ctx.verify_data = true;
+
+  client::BackendStrategy reader(ctx);
+
+  auto read_all = [&](const std::string& label) {
+    std::size_t ok = 0;
+    double worst = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      const auto r = reader.read("object" + std::to_string(i));
+      ok += r.verified ? 1 : 0;
+      worst = std::max(worst, r.latency_ms);
+    }
+    std::cout << label << ": " << ok << "/5 objects decoded, worst latency "
+              << worst << " ms\n";
+  };
+
+  read_all("all regions up           ");
+
+  deployment.network().fail_region(sim::region::kTokyo);
+  read_all("tokyo down               ");
+
+  deployment.network().fail_region(sim::region::kVirginia);
+  // Two regions down = 4 of 12 chunks gone; only 8 remain, but a region
+  // holds 2 chunks and we only lose 2+2: 8 < 9 means decode would fail...
+  // except Frankfurt clients never needed the Sydney chunks: restore one.
+  std::cout << "virginia down too: only 8 chunks remain -> reads must "
+               "fail\n";
+  bool any_failed = false;
+  try {
+    for (int i = 0; i < 5; ++i) {
+      const auto r = reader.read("object" + std::to_string(i));
+      if (!r.verified) any_failed = true;
+    }
+  } catch (const std::exception& e) {
+    any_failed = true;
+    std::cout << "  (decode threw: " << e.what() << ")\n";
+  }
+  std::cout << "  reads failed as expected: " << (any_failed ? "yes" : "no")
+            << "\n";
+
+  deployment.network().restore_region(sim::region::kTokyo);
+  read_all("tokyo restored           ");
+
+  std::cout << "\nWith one region down the client silently pulls parity "
+               "chunks from further away: availability is preserved at a "
+               "latency cost.\n";
+  return 0;
+}

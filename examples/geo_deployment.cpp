@@ -1,0 +1,50 @@
+// Geo-distributed comparison: run the paper's §V-B experiment shape from
+// two vantage points (Frankfurt and Sydney) and print a side-by-side table
+// of Agar vs LRU/LFU vs Backend.
+//
+//   $ ./geo_deployment
+#include <iostream>
+
+#include "client/report.hpp"
+#include "client/runner.hpp"
+
+using namespace agar;
+using client::StrategySpec;
+
+int main() {
+  client::ExperimentConfig config;
+  config.deployment.num_objects = 100;
+  config.deployment.object_size_bytes = 256_KB;
+  config.deployment.seed = 11;
+  config.workload = client::WorkloadSpec::zipfian(1.1);
+  config.ops_per_run = 600;
+  config.runs = 2;
+  config.reconfig_period_ms = 15'000.0;
+
+  // Cache sized at ~10% of the working set.
+  const std::size_t cache = 100 * 256_KB / 10;
+
+  const std::vector<StrategySpec> specs = {
+      StrategySpec::agar(cache),     StrategySpec::lru(5, cache),
+      StrategySpec::lru(9, cache),   StrategySpec::lfu(5, cache),
+      StrategySpec::lfu(9, cache),   StrategySpec::backend(),
+  };
+
+  for (const RegionId region :
+       {sim::region::kFrankfurt, sim::region::kSydney}) {
+    config.client_region = region;
+    const auto topology = sim::aws_six_regions();
+    std::cout << "\n--- clients in " << topology.name(region) << " ---\n";
+    const auto results = client::run_comparison(config, specs);
+    client::print_results_table(results);
+
+    // Who won?
+    const client::ExperimentResult* best = &results[0];
+    for (const auto& r : results) {
+      if (r.mean_latency_ms() < best->mean_latency_ms()) best = &r;
+    }
+    std::cout << "fastest: " << best->spec.label() << " at "
+              << client::fmt_ms(best->mean_latency_ms()) << " ms\n";
+  }
+  return 0;
+}

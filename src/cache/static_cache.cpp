@@ -1,0 +1,93 @@
+#include "cache/static_cache.hpp"
+
+namespace agar::cache {
+
+StaticConfigCache::StaticConfigCache(std::size_t capacity_bytes)
+    : CacheEngine(capacity_bytes) {}
+
+std::optional<BytesView> StaticConfigCache::get(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return BytesView(it->second);
+}
+
+bool StaticConfigCache::put(const std::string& key, Bytes value) {
+  ++stats_.puts;
+  if (!configured_.contains(key)) {
+    ++stats_.rejections;
+    return false;
+  }
+  if (value.size() > capacity_bytes_) {
+    ++stats_.rejections;
+    return false;
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    used_bytes_ -= it->second.size();
+    used_bytes_ += value.size();
+    it->second = std::move(value);
+    ++stats_.admissions;
+    return true;
+  }
+  if (used_bytes_ + value.size() > capacity_bytes_) {
+    // The solver sized the configuration to fit; if chunk sizes drifted
+    // (e.g. configuration from a stale size estimate) decline rather than
+    // evict a configured sibling.
+    ++stats_.rejections;
+    return false;
+  }
+  used_bytes_ += value.size();
+  entries_.emplace(key, std::move(value));
+  ++stats_.admissions;
+  return true;
+}
+
+bool StaticConfigCache::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+bool StaticConfigCache::erase(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  used_bytes_ -= it->second.size();
+  entries_.erase(it);
+  return true;
+}
+
+void StaticConfigCache::clear() {
+  stats_.evictions += entries_.size();
+  entries_.clear();
+  used_bytes_ = 0;
+}
+
+std::vector<std::string> StaticConfigCache::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, value] : entries_) out.push_back(key);
+  return out;
+}
+
+void StaticConfigCache::install_configuration(
+    std::unordered_set<std::string> configured) {
+  configured_ = std::move(configured);
+  ++reconfigurations_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!configured_.contains(it->first)) {
+      used_bytes_ -= it->second.size();
+      it = entries_.erase(it);
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool StaticConfigCache::is_configured(const std::string& key) const {
+  return configured_.contains(key);
+}
+
+}  // namespace agar::cache

@@ -1,0 +1,66 @@
+#include "cache/tinylfu_cache.hpp"
+
+namespace agar::cache {
+
+TinyLfuCache::TinyLfuCache(std::size_t capacity_bytes, TinyLfuParams params)
+    : CacheEngine(capacity_bytes),
+      inner_(capacity_bytes),
+      sketch_(params.sketch_width, params.sketch_depth, params.aging_window) {}
+
+std::optional<BytesView> TinyLfuCache::get(const std::string& key) {
+  sketch_.add(key);
+  auto result = inner_.get(key);
+  if (result.has_value()) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  used_bytes_ = inner_.used_bytes();
+  return result;
+}
+
+bool TinyLfuCache::put(const std::string& key, Bytes value) {
+  ++stats_.puts;
+  if (value.size() > capacity_bytes_) {
+    ++stats_.rejections;
+    return false;
+  }
+  // Frequency duel: if inserting would evict, the candidate must be at
+  // least as popular as the LRU victim. Resident keys always update.
+  if (!inner_.contains(key) &&
+      inner_.used_bytes() + value.size() > capacity_bytes_) {
+    const auto victim = inner_.eviction_candidate();
+    if (victim.has_value() &&
+        sketch_.estimate(key) < sketch_.estimate(*victim)) {
+      ++stats_.rejections;
+      return false;
+    }
+  }
+  const bool ok = inner_.put(key, std::move(value));
+  used_bytes_ = inner_.used_bytes();
+  if (ok) {
+    ++stats_.admissions;
+  } else {
+    ++stats_.rejections;
+  }
+  return ok;
+}
+
+bool TinyLfuCache::contains(const std::string& key) const {
+  return inner_.contains(key);
+}
+
+bool TinyLfuCache::erase(const std::string& key) {
+  const bool ok = inner_.erase(key);
+  used_bytes_ = inner_.used_bytes();
+  return ok;
+}
+
+void TinyLfuCache::clear() {
+  inner_.clear();
+  used_bytes_ = 0;
+}
+
+std::vector<std::string> TinyLfuCache::keys() const { return inner_.keys(); }
+
+}  // namespace agar::cache

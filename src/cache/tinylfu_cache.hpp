@@ -1,0 +1,42 @@
+// TinyLFU-gated LRU cache — the scalability extension the paper points to
+// (§III-b, §VII): a count-min sketch approximates access frequencies and a
+// frequency duel decides whether a new key may displace the LRU victim.
+//
+// This is W-TinyLFU without the window cache: admission compares the
+// candidate's sketch estimate against the eviction candidate's; the
+// candidate is admitted only if it is at least as popular. A doorkeeper
+// Bloom-style trick is approximated by the sketch's aging window.
+#pragma once
+
+#include "cache/cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "stats/count_min.hpp"
+
+namespace agar::cache {
+
+struct TinyLfuParams {
+  std::size_t sketch_width = 4096;
+  std::size_t sketch_depth = 4;
+  /// Halve counters after this many recorded accesses (0 = never).
+  std::uint64_t aging_window = 10'000;
+};
+
+class TinyLfuCache final : public CacheEngine {
+ public:
+  TinyLfuCache(std::size_t capacity_bytes, TinyLfuParams params = {});
+
+  [[nodiscard]] std::optional<BytesView> get(const std::string& key) override;
+  bool put(const std::string& key, Bytes value) override;
+  [[nodiscard]] bool contains(const std::string& key) const override;
+  bool erase(const std::string& key) override;
+  void clear() override;
+  [[nodiscard]] std::vector<std::string> keys() const override;
+
+  [[nodiscard]] const stats::CountMinSketch& sketch() const { return sketch_; }
+
+ private:
+  LruCache inner_;
+  stats::CountMinSketch sketch_;
+};
+
+}  // namespace agar::cache

@@ -1,0 +1,33 @@
+#include "client/agar_strategy.hpp"
+
+namespace agar::client {
+
+AgarStrategy::AgarStrategy(ClientContext ctx, core::AgarNodeParams node_params)
+    : ReadStrategy(ctx),
+      node_(std::make_unique<core::AgarNode>(ctx.backend, ctx.network,
+                                             node_params)) {}
+
+void AgarStrategy::warm_up() { node_->warm_up(); }
+
+void AgarStrategy::reconfigure() {
+  node_->reconfigure();
+  for (const auto& [key, option] :
+       node_->cache_manager().current().entries) {
+    for (const ChunkIndex idx : option.chunks) {
+      (void)prefetch_chunk(key, idx, node_->cache());
+    }
+  }
+}
+
+void AgarStrategy::attach_to_loop(sim::EventLoop& loop) {
+  loop.schedule_periodic(node_->params().reconfig_period_ms, [this] {
+    reconfigure();
+    return true;
+  });
+}
+
+ReadResult AgarStrategy::read(const ObjectKey& key) {
+  return execute_plan(key, node_->plan_read(key), node_->cache());
+}
+
+}  // namespace agar::client

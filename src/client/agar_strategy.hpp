@@ -1,0 +1,36 @@
+// Agar strategy (paper §V-A "Agar"): reads go through an AgarNode — the
+// request monitor supplies hints, resident configured chunks come from the
+// Agar cache, the rest from the backend; after the read the client
+// populates the cache with the chunks the current configuration wants
+// (asynchronously, off the latency path).
+#pragma once
+
+#include <memory>
+
+#include "client/strategy.hpp"
+#include "core/agar_node.hpp"
+
+namespace agar::client {
+
+class AgarStrategy final : public ReadStrategy {
+ public:
+  AgarStrategy(ClientContext ctx, core::AgarNodeParams node_params);
+
+  [[nodiscard]] ReadResult read(const ObjectKey& key) override;
+  [[nodiscard]] std::string name() const override { return "Agar"; }
+
+  void warm_up() override;
+  void attach_to_loop(sim::EventLoop& loop) override;
+
+  /// One reconfiguration plus the a-priori population downloads for every
+  /// configured-but-missing chunk (paper §IV-A; performed by the
+  /// population thread pool, off the read path).
+  void reconfigure();
+
+  [[nodiscard]] core::AgarNode& node() { return *node_; }
+
+ private:
+  std::unique_ptr<core::AgarNode> node_;
+};
+
+}  // namespace agar::client

@@ -1,0 +1,65 @@
+#include "client/backend_strategy.hpp"
+
+#include <algorithm>
+
+namespace agar::client {
+
+std::vector<std::pair<ChunkIndex, RegionId>> chunks_by_expected_latency(
+    const ClientContext& ctx, const ObjectKey& key) {
+  const store::ObjectInfo info = ctx.backend->object_info(key);
+  struct Entry {
+    ChunkIndex index;
+    RegionId region;
+    double expected_ms;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(info.locations.size());
+  for (const auto& loc : info.locations) {
+    entries.push_back(Entry{
+        loc.index, loc.region,
+        ctx.network->model().expected_backend_fetch_ms(
+            ctx.region, loc.region, info.chunk_size)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.expected_ms != b.expected_ms) return a.expected_ms < b.expected_ms;
+    if (a.region != b.region) return a.region < b.region;
+    return a.index < b.index;
+  });
+  std::vector<std::pair<ChunkIndex, RegionId>> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.emplace_back(e.index, e.region);
+  return out;
+}
+
+ReadResult BackendStrategy::read(const ObjectKey& key) {
+  const store::ObjectInfo info = ctx_.backend->object_info(key);
+  const std::size_t k = ctx_.backend->codec().k();
+
+  const auto candidates = chunks_by_expected_latency(ctx_, key);
+  const std::vector<std::pair<ChunkIndex, RegionId>> on_path(
+      candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(k));
+  const std::vector<std::pair<ChunkIndex, RegionId>> fallbacks(
+      candidates.begin() + static_cast<std::ptrdiff_t>(k), candidates.end());
+
+  const FetchOutcome outcome =
+      fetch_parallel(on_path, fallbacks, k, info.chunk_size);
+
+  ReadResult result;
+  result.backend_chunks = outcome.fetched.size();
+  result.latency_ms = outcome.batch_ms + decode_ms(info.object_size);
+
+  if (ctx_.verify_data) {
+    std::vector<ec::Chunk> chunks;
+    chunks.reserve(outcome.fetched.size());
+    for (const ChunkIndex idx : outcome.fetched) {
+      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+      if (bytes.has_value()) {
+        chunks.push_back(ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+      }
+    }
+    result.verified = verify_payload(key, chunks);
+  }
+  return result;
+}
+
+}  // namespace agar::client

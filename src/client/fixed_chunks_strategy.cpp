@@ -1,0 +1,128 @@
+#include "client/fixed_chunks_strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cache/lfu_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "cache/tinylfu_cache.hpp"
+#include "client/backend_strategy.hpp"
+
+namespace agar::client {
+
+namespace {
+
+std::unique_ptr<cache::CacheEngine> make_engine(const FixedChunksParams& p) {
+  switch (p.policy) {
+    case Policy::kLru:
+      return std::make_unique<cache::LruCache>(p.cache_capacity_bytes);
+    case Policy::kLfu:
+      return std::make_unique<cache::LfuCache>(p.cache_capacity_bytes);
+    case Policy::kTinyLfu:
+      return std::make_unique<cache::TinyLfuCache>(p.cache_capacity_bytes);
+  }
+  throw std::invalid_argument("FixedChunksStrategy: unknown policy");
+}
+
+}  // namespace
+
+FixedChunksStrategy::FixedChunksStrategy(ClientContext ctx,
+                                         FixedChunksParams params)
+    : ReadStrategy(ctx), params_(params), cache_(make_engine(params)) {
+  if (params_.chunks_per_object == 0) {
+    throw std::invalid_argument(
+        "FixedChunksStrategy: chunks_per_object must be >= 1");
+  }
+}
+
+std::string FixedChunksStrategy::name() const {
+  std::string base;
+  switch (params_.policy) {
+    case Policy::kLru: base = "LRU"; break;
+    // "ev" = eviction-driven; the paper's LFU baseline (periodic static
+    // configuration) lives in LfuConfigStrategy and owns the "LFU-" name.
+    case Policy::kLfu: base = "LFUev"; break;
+    case Policy::kTinyLfu: base = "TinyLFU"; break;
+  }
+  return base + "-" + std::to_string(params_.chunks_per_object);
+}
+
+ReadResult FixedChunksStrategy::read(const ObjectKey& key) {
+  const store::ObjectInfo info = ctx_.backend->object_info(key);
+  const std::size_t k = ctx_.backend->codec().k();
+  const std::size_t c = std::min(params_.chunks_per_object, k);
+
+  // Candidates cheapest-first; the k cheapest are the needed set, of which
+  // the c most distant (the tail) are the designated cache-resident chunks.
+  const auto candidates = chunks_by_expected_latency(ctx_, key);
+  std::vector<std::pair<ChunkIndex, RegionId>> needed(
+      candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(k));
+  const std::vector<std::pair<ChunkIndex, RegionId>> fallbacks(
+      candidates.begin() + static_cast<std::ptrdiff_t>(k), candidates.end());
+  // designated = last c of `needed` (most distant of the needed chunks).
+  const std::size_t designated_begin = k - c;
+
+  ReadResult result;
+  std::vector<SimTimeMs> cache_latencies;
+  std::vector<std::pair<ChunkIndex, RegionId>> on_path;
+  std::vector<ec::Chunk> collected;  // verify mode
+
+  for (std::size_t i = 0; i < needed.size(); ++i) {
+    const auto& [idx, region] = needed[i];
+    const bool designated = i >= designated_begin;
+    if (designated) {
+      const std::string ck = ChunkId{key, idx}.cache_key();
+      const auto hit = cache_->get(ck);
+      if (hit.has_value()) {
+        cache_latencies.push_back(ctx_.network->cache_fetch(info.chunk_size));
+        ++result.cache_chunks;
+        if (ctx_.verify_data) {
+          collected.push_back(ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
+        }
+        continue;
+      }
+    }
+    on_path.emplace_back(idx, region);
+  }
+
+  const FetchOutcome outcome = fetch_parallel(
+      on_path, fallbacks, k - result.cache_chunks, info.chunk_size);
+  result.backend_chunks = outcome.fetched.size();
+
+  result.latency_ms =
+      std::max(sim::Network::parallel_batch_ms(cache_latencies),
+               outcome.batch_ms) +
+      decode_ms(info.object_size) + params_.proxy_overhead_ms;
+  result.full_hit = result.cache_chunks == k;
+  result.partial_hit = result.cache_chunks > 0;
+
+  // Populate: (re-)insert the designated chunks. Writes happen on a
+  // separate thread pool in the paper's client — no latency charged.
+  for (std::size_t i = designated_begin; i < needed.size(); ++i) {
+    const ChunkIndex idx = needed[i].first;
+    const std::string ck = ChunkId{key, idx}.cache_key();
+    if (cache_->contains(ck)) continue;  // hit earlier; recency refreshed
+    Bytes payload;
+    if (ctx_.verify_data) {
+      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+      if (!bytes.has_value()) continue;
+      payload.assign(bytes->begin(), bytes->end());
+    } else {
+      payload.assign(info.chunk_size, 0);
+    }
+    cache_->put(ck, std::move(payload));
+  }
+
+  if (ctx_.verify_data) {
+    for (const ChunkIndex idx : outcome.fetched) {
+      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+      if (bytes.has_value()) {
+        collected.push_back(ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+      }
+    }
+    result.verified = verify_payload(key, collected);
+  }
+  return result;
+}
+
+}  // namespace agar::client

@@ -1,0 +1,43 @@
+// LRU-c / LFU-c strategies (paper §V-A): a cache that "stores a predefined
+// number of erasure-coded chunks for each data record" under a classical
+// replacement policy. The client always designates the c most distant of
+// the k needed chunks (the motivating experiment of §II-C caches most
+// distant first); on a read it serves designated chunks from the cache when
+// resident, fetches the rest from the backend, and (re-)inserts the
+// designated chunks afterwards, letting the policy evict.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache.hpp"
+#include "client/strategy.hpp"
+
+namespace agar::client {
+
+enum class Policy { kLru, kLfu, kTinyLfu };
+
+struct FixedChunksParams {
+  Policy policy = Policy::kLru;
+  std::size_t chunks_per_object = 9;  ///< the "c" in LRU-c / LFU-c
+  std::size_t cache_capacity_bytes = 10_MB;
+  /// The paper's LFU client adds a frequency-tracking proxy on the request
+  /// path; charge its processing like the Agar request monitor's 0.5 ms.
+  double proxy_overhead_ms = 0.0;
+};
+
+class FixedChunksStrategy final : public ReadStrategy {
+ public:
+  FixedChunksStrategy(ClientContext ctx, FixedChunksParams params);
+
+  [[nodiscard]] ReadResult read(const ObjectKey& key) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] cache::CacheEngine& engine() { return *cache_; }
+  [[nodiscard]] const FixedChunksParams& params() const { return params_; }
+
+ private:
+  FixedChunksParams params_;
+  std::unique_ptr<cache::CacheEngine> cache_;
+};
+
+}  // namespace agar::client

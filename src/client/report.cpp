@@ -1,0 +1,82 @@
+#include "client/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace agar::client {
+
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    widths[i] = headers[i].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : "";
+      out << "| " << cell << std::string(widths[i] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  auto emit_rule = [&] {
+    for (const std::size_t w : widths) {
+      out << "+" << std::string(w + 2, '-');
+    }
+    out << "+\n";
+  };
+
+  emit_rule();
+  emit_row(headers);
+  emit_rule();
+  for (const auto& row : rows) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+void print_experiment_banner(const std::string& id, const std::string& what,
+                             const std::string& setup) {
+  std::cout << "\n=== " << id << ": " << what << " ===\n"
+            << "setup: " << setup << "\n\n";
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+void print_results_table(const std::vector<ExperimentResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(results.size());
+  for (const auto& r : results) {
+    rows.push_back({
+        r.spec.label(),
+        fmt_ms(r.mean_latency_ms()),
+        fmt_ms(r.stddev_of_means()),
+        fmt_ms(r.percentile_ms(50)),
+        fmt_ms(r.percentile_ms(95)),
+        fmt_pct(r.hit_ratio()),
+        fmt_pct(r.full_hit_ratio()),
+    });
+  }
+  std::cout << format_table({"system", "avg latency (ms)", "stddev", "p50",
+                             "p95", "hit ratio", "full hits"},
+                            rows);
+}
+
+}  // namespace agar::client

@@ -1,0 +1,278 @@
+#include "client/runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "client/agar_strategy.hpp"
+#include "client/backend_strategy.hpp"
+#include "client/fixed_chunks_strategy.hpp"
+#include "client/lfu_config_strategy.hpp"
+#include "common/logging.hpp"
+#include "sim/event_loop.hpp"
+
+namespace agar::client {
+
+Deployment::Deployment(const DeploymentConfig& config) : config_(config) {
+  topology_ = std::make_unique<sim::Topology>(sim::aws_six_regions());
+  network_ = std::make_unique<sim::Network>(
+      sim::LatencyModel(topology_.get(), config.latency, config.seed));
+  backend_ = std::make_unique<store::BackendCluster>(
+      topology_->num_regions(), config.codec,
+      std::make_shared<ec::RoundRobinPlacement>(
+          config.per_key_placement_offset));
+  if (config.store_payloads) {
+    store::populate_working_set(*backend_, config.num_objects,
+                                config.object_size_bytes);
+  } else {
+    for (std::size_t i = 0; i < config.num_objects; ++i) {
+      backend_->register_object("object" + std::to_string(i),
+                                config.object_size_bytes);
+    }
+  }
+}
+
+StrategySpec StrategySpec::backend() {
+  return StrategySpec{Kind::kBackend, 0, 0};
+}
+StrategySpec StrategySpec::lru(std::size_t chunks, std::size_t cache_bytes) {
+  return StrategySpec{Kind::kLru, chunks, cache_bytes};
+}
+StrategySpec StrategySpec::lfu(std::size_t chunks, std::size_t cache_bytes) {
+  return StrategySpec{Kind::kLfu, chunks, cache_bytes};
+}
+StrategySpec StrategySpec::lfu_eviction(std::size_t chunks,
+                                        std::size_t cache_bytes) {
+  return StrategySpec{Kind::kLfuEviction, chunks, cache_bytes};
+}
+StrategySpec StrategySpec::tinylfu(std::size_t chunks,
+                                   std::size_t cache_bytes) {
+  return StrategySpec{Kind::kTinyLfu, chunks, cache_bytes};
+}
+StrategySpec StrategySpec::agar(std::size_t cache_bytes) {
+  return StrategySpec{Kind::kAgar, 0, cache_bytes};
+}
+
+std::string StrategySpec::label() const {
+  switch (kind) {
+    case Kind::kBackend: return "Backend";
+    case Kind::kLru: return "LRU-" + std::to_string(chunks);
+    case Kind::kLfu: return "LFU-" + std::to_string(chunks);
+    case Kind::kLfuEviction: return "LFUev-" + std::to_string(chunks);
+    case Kind::kTinyLfu: return "TinyLFU-" + std::to_string(chunks);
+    case Kind::kAgar: return "Agar";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
+                                            const StrategySpec& spec,
+                                            Deployment& deployment) {
+  ClientContext ctx;
+  ctx.backend = &deployment.backend();
+  ctx.network = &deployment.network();
+  ctx.region = config.client_region;
+  ctx.decode_ms_per_mb = config.decode_ms_per_mb;
+  ctx.verify_data = config.verify_data;
+
+  switch (spec.kind) {
+    case StrategySpec::Kind::kBackend:
+      return std::make_unique<BackendStrategy>(ctx);
+    case StrategySpec::Kind::kLru: {
+      FixedChunksParams p;
+      p.policy = Policy::kLru;
+      p.chunks_per_object = spec.chunks;
+      p.cache_capacity_bytes = spec.cache_bytes;
+      return std::make_unique<FixedChunksStrategy>(ctx, p);
+    }
+    case StrategySpec::Kind::kLfu: {
+      LfuConfigParams p;
+      p.chunks_per_object = spec.chunks;
+      p.cache_capacity_bytes = spec.cache_bytes;
+      p.reconfig_period_ms = config.reconfig_period_ms;
+      return std::make_unique<LfuConfigStrategy>(ctx, p);
+    }
+    case StrategySpec::Kind::kLfuEviction: {
+      FixedChunksParams p;
+      p.policy = Policy::kLfu;
+      p.chunks_per_object = spec.chunks;
+      p.cache_capacity_bytes = spec.cache_bytes;
+      p.proxy_overhead_ms = 0.5;  // frequency-tracking proxy (paper §V-A)
+      return std::make_unique<FixedChunksStrategy>(ctx, p);
+    }
+    case StrategySpec::Kind::kTinyLfu: {
+      FixedChunksParams p;
+      p.policy = Policy::kTinyLfu;
+      p.chunks_per_object = spec.chunks;
+      p.cache_capacity_bytes = spec.cache_bytes;
+      p.proxy_overhead_ms = 0.5;
+      return std::make_unique<FixedChunksStrategy>(ctx, p);
+    }
+    case StrategySpec::Kind::kAgar: {
+      core::AgarNodeParams p;
+      p.region = config.client_region;
+      p.cache_capacity_bytes = spec.cache_bytes;
+      p.reconfig_period_ms = config.reconfig_period_ms;
+      p.cache_manager.candidate_weights = config.agar_candidate_weights;
+      p.cache_manager.cache_latency_ms =
+          deployment.network().model().params().cache_base_ms;
+      return std::make_unique<AgarStrategy>(ctx, p);
+    }
+  }
+  throw std::invalid_argument("make_strategy: unknown kind");
+}
+
+namespace {
+
+RunResult run_once(const ExperimentConfig& config, const StrategySpec& spec,
+                   std::uint64_t run_seed) {
+  DeploymentConfig dep_config = config.deployment;
+  dep_config.seed = run_seed;
+  // Latency-only experiments skip payload materialization entirely.
+  dep_config.store_payloads = config.verify_data;
+  Deployment deployment(dep_config);
+
+  auto strategy = make_strategy(config, spec, deployment);
+  strategy->warm_up();
+
+  sim::EventLoop loop;
+  strategy->attach_to_loop(loop);
+
+  RunResult result;
+  // Closed-loop clients: each issues its next read when the previous one
+  // completes (the paper's YCSB clients are closed-loop).
+  const std::size_t clients = std::max<std::size_t>(1, config.num_clients);
+  const std::size_t ops_total = config.ops_per_run;
+  std::size_t issued = 0;
+  std::size_t completed = 0;
+
+  struct ClientState {
+    Workload workload;
+  };
+  std::vector<ClientState> client_states;
+  client_states.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    client_states.push_back(ClientState{
+        Workload(config.workload, config.deployment.num_objects,
+                 run_seed * 1315423911ULL + c)});
+  }
+
+  // One lambda per client, rescheduling itself until the op budget is gone.
+  std::function<void(std::size_t)> issue = [&](std::size_t c) {
+    if (issued >= ops_total) return;
+    ++issued;
+    const ObjectKey key = client_states[c].workload.next_key();
+    const ReadResult r = strategy->read(key);
+    result.latencies.add(r.latency_ms);
+    ++result.ops;
+    if (r.full_hit) ++result.full_hits;
+    if (r.partial_hit && !r.full_hit) ++result.partial_hits;
+    if (r.verified) ++result.verified;
+    ++completed;
+    loop.schedule_in(r.latency_ms, [&, c] { issue(c); });
+  };
+  for (std::size_t c = 0; c < clients; ++c) {
+    loop.schedule_in(0.0, [&, c] { issue(c); });
+  }
+
+  // The periodic reconfiguration re-arms forever; cut it off once every
+  // client is done by draining with a horizon just past the last read.
+  while (!loop.empty() && completed < ops_total) {
+    loop.run_until(loop.now() + 1000.0);
+  }
+
+  // Final snapshots.
+  if (auto* agar = dynamic_cast<AgarStrategy*>(strategy.get())) {
+    result.cache_stats = agar->node().cache().stats();
+    result.cache_used_bytes = agar->node().cache().used_bytes();
+    result.weight_histogram =
+        agar->node().cache_manager().current().weight_histogram();
+  } else if (auto* fixed =
+                 dynamic_cast<FixedChunksStrategy*>(strategy.get())) {
+    result.cache_stats = fixed->engine().stats();
+    result.cache_used_bytes = fixed->engine().used_bytes();
+  } else if (auto* lfu = dynamic_cast<LfuConfigStrategy*>(strategy.get())) {
+    result.cache_stats = lfu->cache().stats();
+    result.cache_used_bytes = lfu->cache().used_bytes();
+  }
+  return result;
+}
+
+}  // namespace
+
+double ExperimentResult::mean_latency_ms() const {
+  if (runs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& r : runs) acc += r.mean_latency_ms();
+  return acc / static_cast<double>(runs.size());
+}
+
+double ExperimentResult::stddev_of_means() const {
+  if (runs.size() < 2) return 0.0;
+  const double m = mean_latency_ms();
+  double acc = 0.0;
+  for (const auto& r : runs) {
+    const double d = r.mean_latency_ms() - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(runs.size() - 1));
+}
+
+double ExperimentResult::hit_ratio() const {
+  std::uint64_t hits = 0, ops = 0;
+  for (const auto& r : runs) {
+    hits += r.full_hits + r.partial_hits;
+    ops += r.ops;
+  }
+  return ops == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(ops);
+}
+
+double ExperimentResult::full_hit_ratio() const {
+  std::uint64_t hits = 0, ops = 0;
+  for (const auto& r : runs) {
+    hits += r.full_hits;
+    ops += r.ops;
+  }
+  return ops == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(ops);
+}
+
+double ExperimentResult::percentile_ms(double q) const {
+  stats::Histogram merged;
+  for (const auto& r : runs) merged.merge(r.latencies);
+  return merged.percentile(q);
+}
+
+std::uint64_t ExperimentResult::total_ops() const {
+  std::uint64_t ops = 0;
+  for (const auto& r : runs) ops += r.ops;
+  return ops;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const StrategySpec& spec) {
+  ExperimentResult result;
+  result.spec = spec;
+  result.runs.reserve(config.runs);
+  for (std::size_t r = 0; r < config.runs; ++r) {
+    const std::uint64_t run_seed =
+        config.deployment.seed + r * 1000003ULL;
+    result.runs.push_back(run_once(config, spec, run_seed));
+  }
+  log_info("runner") << spec.label() << ": mean "
+                     << result.mean_latency_ms() << " ms, hit ratio "
+                     << result.hit_ratio();
+  return result;
+}
+
+std::vector<ExperimentResult> run_comparison(
+    const ExperimentConfig& config, const std::vector<StrategySpec>& specs) {
+  std::vector<ExperimentResult> out;
+  out.reserve(specs.size());
+  for (const auto& spec : specs) {
+    out.push_back(run_experiment(config, spec));
+  }
+  return out;
+}
+
+}  // namespace agar::client

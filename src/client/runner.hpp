@@ -1,0 +1,140 @@
+// Experiment runner: wires a full deployment (topology, network, backend,
+// working set) to a read strategy and replays the paper's evaluation
+// methodology — N runs x M reads issued by closed-loop clients on the
+// discrete-event simulator, with Agar/periodic reconfiguration running on
+// the same virtual timeline (paper §V-A: 5 runs, 1,000 reads per run, 2
+// YCSB clients per instance, 30 s reconfiguration period).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "client/strategy.hpp"
+#include "client/workload.hpp"
+#include "ec/reed_solomon.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+#include "stats/histogram.hpp"
+#include "store/backend.hpp"
+
+namespace agar::client {
+
+/// Everything needed to stand up the simulated storage system.
+struct DeploymentConfig {
+  std::size_t num_objects = 300;       ///< paper: 300 objects
+  std::size_t object_size_bytes = 1_MB;///< paper: 1 MB each
+  ec::CodecParams codec{};             ///< paper: RS(9, 3)
+  sim::LatencyModelParams latency{};
+  bool per_key_placement_offset = false;
+  std::uint64_t seed = 42;
+  bool store_payloads = true;  ///< false skips payload bytes (bench speed)
+};
+
+/// An instantiated deployment. Address-stable (members referenced across
+/// components), hence non-copyable and heap-held parts.
+class Deployment {
+ public:
+  explicit Deployment(const DeploymentConfig& config);
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  [[nodiscard]] const sim::Topology& topology() const { return *topology_; }
+  [[nodiscard]] sim::Network& network() { return *network_; }
+  [[nodiscard]] store::BackendCluster& backend() { return *backend_; }
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+
+ private:
+  DeploymentConfig config_;
+  std::unique_ptr<sim::Topology> topology_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<store::BackendCluster> backend_;
+};
+
+/// Which client/caching system to evaluate.
+struct StrategySpec {
+  /// kLfu is the paper's LFU baseline (frequency proxy + periodic static
+  /// configuration); kLfuEviction is a strictly stronger instant-adaptation
+  /// LFU cache engine kept for the baseline-strength ablation.
+  enum class Kind { kBackend, kLru, kLfu, kLfuEviction, kTinyLfu, kAgar };
+  Kind kind = Kind::kBackend;
+  std::size_t chunks = 9;              ///< c for LRU-c / LFU-c
+  std::size_t cache_bytes = 10_MB;     ///< cache capacity
+
+  [[nodiscard]] static StrategySpec backend();
+  [[nodiscard]] static StrategySpec lru(std::size_t chunks,
+                                        std::size_t cache_bytes);
+  [[nodiscard]] static StrategySpec lfu(std::size_t chunks,
+                                        std::size_t cache_bytes);
+  [[nodiscard]] static StrategySpec lfu_eviction(std::size_t chunks,
+                                                 std::size_t cache_bytes);
+  [[nodiscard]] static StrategySpec tinylfu(std::size_t chunks,
+                                            std::size_t cache_bytes);
+  [[nodiscard]] static StrategySpec agar(std::size_t cache_bytes);
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct ExperimentConfig {
+  DeploymentConfig deployment{};
+  WorkloadSpec workload = WorkloadSpec::zipfian(1.1);
+  RegionId client_region = sim::region::kFrankfurt;
+  std::size_t ops_per_run = 1000;  ///< paper: 1,000 reads
+  std::size_t runs = 5;            ///< paper: averages of 5 runs
+  std::size_t num_clients = 2;     ///< paper: 2 clients per YCSB instance
+  SimTimeMs reconfig_period_ms = 30'000.0;
+  double decode_ms_per_mb = 10.0;
+  bool verify_data = false;
+  /// Candidate option weights for Agar; the paper enumerates {1,3,5,7,9}.
+  std::vector<std::size_t> agar_candidate_weights = {1, 3, 5, 7, 9};
+};
+
+/// Outcome of one run.
+struct RunResult {
+  stats::Histogram latencies;
+  std::uint64_t ops = 0;
+  std::uint64_t full_hits = 0;
+  std::uint64_t partial_hits = 0;  ///< at least one chunk from cache
+  std::uint64_t verified = 0;
+  cache::CacheStats cache_stats;
+  std::size_t cache_used_bytes = 0;
+  /// Agar only: configured objects per option weight (Fig. 10 data).
+  std::unordered_map<std::size_t, std::size_t> weight_histogram;
+
+  [[nodiscard]] double mean_latency_ms() const { return latencies.mean(); }
+  [[nodiscard]] double hit_ratio() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(full_hits + partial_hits) /
+                          static_cast<double>(ops);
+  }
+};
+
+/// Aggregate over runs.
+struct ExperimentResult {
+  StrategySpec spec;
+  std::vector<RunResult> runs;
+
+  [[nodiscard]] double mean_latency_ms() const;
+  [[nodiscard]] double stddev_of_means() const;
+  [[nodiscard]] double hit_ratio() const;       ///< full + partial
+  [[nodiscard]] double full_hit_ratio() const;
+  [[nodiscard]] double percentile_ms(double q) const;  ///< merged runs
+  [[nodiscard]] std::uint64_t total_ops() const;
+};
+
+/// Build a strategy instance for a spec against a deployment.
+[[nodiscard]] std::unique_ptr<ReadStrategy> make_strategy(
+    const ExperimentConfig& config, const StrategySpec& spec,
+    Deployment& deployment);
+
+/// Run the full experiment (all runs) for one strategy spec.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
+                                              const StrategySpec& spec);
+
+/// Run several specs under identical conditions (same seeds per run).
+[[nodiscard]] std::vector<ExperimentResult> run_comparison(
+    const ExperimentConfig& config, const std::vector<StrategySpec>& specs);
+
+}  // namespace agar::client

@@ -1,0 +1,160 @@
+#include "client/strategy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "client/backend_strategy.hpp"
+
+namespace agar::client {
+
+ReadStrategy::ReadStrategy(ClientContext ctx) : ctx_(ctx) {
+  if (ctx_.backend == nullptr || ctx_.network == nullptr) {
+    throw std::invalid_argument("ReadStrategy: null backend/network");
+  }
+}
+
+ReadStrategy::FetchOutcome ReadStrategy::fetch_parallel(
+    const std::vector<std::pair<ChunkIndex, RegionId>>& on_path,
+    const std::vector<std::pair<ChunkIndex, RegionId>>& fallbacks,
+    std::size_t want_total, std::size_t chunk_bytes) {
+  FetchOutcome out;
+  std::vector<SimTimeMs> latencies;
+  latencies.reserve(want_total);
+
+  auto try_fetch = [&](const std::pair<ChunkIndex, RegionId>& target) {
+    if (out.fetched.size() >= want_total) return;
+    const auto latency =
+        ctx_.network->backend_fetch(ctx_.region, target.second, chunk_bytes);
+    if (!latency.has_value()) return;  // region down; fallback covers it
+    latencies.push_back(*latency);
+    out.fetched.push_back(target.first);
+  };
+
+  for (const auto& t : on_path) try_fetch(t);
+  // Failure fallback: pull replacement chunks (typically parity from the
+  // regions the planner discarded) until the batch is complete.
+  for (const auto& t : fallbacks) {
+    if (out.fetched.size() >= want_total) break;
+    try_fetch(t);
+  }
+
+  out.batch_ms = sim::Network::parallel_batch_ms(latencies);
+  return out;
+}
+
+double ReadStrategy::decode_ms(std::size_t object_bytes) const {
+  return ctx_.decode_ms_per_mb * static_cast<double>(object_bytes) /
+         static_cast<double>(1_MB);
+}
+
+ReadResult ReadStrategy::execute_plan(const ObjectKey& key,
+                                      const core::ReadPlan& plan,
+                                      cache::StaticConfigCache& cache) {
+  const store::ObjectInfo info = ctx_.backend->object_info(key);
+  const std::size_t k = ctx_.backend->codec().k();
+
+  ReadResult result;
+  std::vector<SimTimeMs> cache_latencies;
+  std::vector<ec::Chunk> collected;  // verify mode
+
+  // Cache-resident chunks, fetched in parallel with the backend batch.
+  for (const ChunkIndex idx : plan.from_cache) {
+    const std::string ck = ChunkId{key, idx}.cache_key();
+    const auto hit = cache.get(ck);
+    if (!hit.has_value()) continue;  // raced with a reconfiguration
+    cache_latencies.push_back(ctx_.network->cache_fetch(info.chunk_size));
+    ++result.cache_chunks;
+    if (ctx_.verify_data) {
+      collected.push_back(ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
+    }
+  }
+
+  // Backend chunks; every other chunk (cheapest-first) is a fallback in
+  // case a region is down or a cache entry vanished.
+  std::vector<std::pair<ChunkIndex, RegionId>> fallbacks;
+  for (const auto& cand : chunks_by_expected_latency(ctx_, key)) {
+    const bool planned =
+        std::any_of(plan.from_backend.begin(), plan.from_backend.end(),
+                    [&](const auto& p) { return p.first == cand.first; }) ||
+        std::any_of(plan.from_cache.begin(), plan.from_cache.end(),
+                    [&](ChunkIndex i) { return i == cand.first; });
+    if (!planned) fallbacks.push_back(cand);
+  }
+  const FetchOutcome outcome = fetch_parallel(
+      plan.from_backend, fallbacks, k - result.cache_chunks, info.chunk_size);
+  result.backend_chunks = outcome.fetched.size();
+
+  result.latency_ms =
+      std::max(sim::Network::parallel_batch_ms(cache_latencies),
+               outcome.batch_ms) +
+      decode_ms(info.object_size) + plan.monitor_overhead_ms;
+  result.full_hit = result.cache_chunks == k;
+  result.partial_hit = result.cache_chunks > 0;
+
+  // Populate the cache per plan (asynchronous in the prototype: a separate
+  // thread pool performs the writes, so no latency is charged).
+  auto chunk_payload = [&](ChunkIndex idx) {
+    Bytes payload;
+    if (ctx_.verify_data) {
+      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+      if (bytes.has_value()) payload.assign(bytes->begin(), bytes->end());
+    } else {
+      payload.assign(info.chunk_size, 0);
+    }
+    return payload;
+  };
+  for (const ChunkIndex idx : plan.populate_after_read) {
+    cache.put(ChunkId{key, idx}.cache_key(), chunk_payload(idx));
+  }
+  for (const auto& [idx, region] : plan.async_populate) {
+    // The population fetch still crosses the network (traffic counted by
+    // the region's bucket); its latency is off the read path.
+    (void)ctx_.network->backend_fetch(ctx_.region, region, info.chunk_size);
+    cache.put(ChunkId{key, idx}.cache_key(), chunk_payload(idx));
+  }
+
+  if (ctx_.verify_data) {
+    for (const ChunkIndex idx : outcome.fetched) {
+      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+      if (bytes.has_value()) {
+        collected.push_back(
+            ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+      }
+    }
+    result.verified = verify_payload(key, collected);
+  }
+  return result;
+}
+
+bool ReadStrategy::prefetch_chunk(const ObjectKey& key, ChunkIndex index,
+                                  cache::StaticConfigCache& cache) {
+  const std::string ck = ChunkId{key, index}.cache_key();
+  if (cache.contains(ck)) return true;
+  const store::ObjectInfo info = ctx_.backend->object_info(key);
+  const RegionId region = ctx_.backend->placement().region_of(
+      key, index, ctx_.backend->num_regions());
+  // The fetch crosses the WAN (traffic is real) but happens on the
+  // population pool, so no read pays for it.
+  const auto latency =
+      ctx_.network->backend_fetch(ctx_.region, region, info.chunk_size);
+  if (!latency.has_value()) return false;  // region down; retry next period
+  Bytes payload;
+  if (ctx_.verify_data) {
+    const auto bytes = ctx_.backend->get_chunk(ChunkId{key, index});
+    if (!bytes.has_value()) return false;
+    payload.assign(bytes->begin(), bytes->end());
+  } else {
+    payload.assign(info.chunk_size, 0);
+  }
+  return cache.put(ck, std::move(payload));
+}
+
+bool ReadStrategy::verify_payload(const ObjectKey& key,
+                                  const std::vector<ec::Chunk>& chunks) const {
+  const store::ObjectInfo info = ctx_.backend->object_info(key);
+  const Bytes decoded = ctx_.backend->codec().decode(info.object_size, chunks);
+  const Bytes expected = deterministic_payload(key, info.object_size);
+  return decoded == expected;
+}
+
+}  // namespace agar::client

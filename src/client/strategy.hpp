@@ -1,0 +1,103 @@
+// Read strategies — the four client variants of the paper's evaluation
+// (§V-A): Backend (no cache), LRU-c, LFU-c (fixed chunks per object with a
+// classic eviction policy), and Agar.
+//
+// A strategy turns `read(key)` into a simulated latency plus bookkeeping:
+// which chunks came from the cache, whether the read was a full or partial
+// hit, and (in verify mode) the actual Reed-Solomon decode of real bytes so
+// tests can check end-to-end integrity.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/static_cache.hpp"
+#include "common/types.hpp"
+#include "core/read_planner.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "store/backend.hpp"
+
+namespace agar::client {
+
+struct ReadResult {
+  SimTimeMs latency_ms = 0.0;
+  std::size_t cache_chunks = 0;    ///< chunks served by the local cache
+  std::size_t backend_chunks = 0;  ///< chunks fetched from backend regions
+  bool full_hit = false;           ///< every chunk came from the cache
+  bool partial_hit = false;        ///< at least one chunk came from the cache
+  bool verified = false;           ///< payload decoded and checked (verify mode)
+};
+
+/// Shared context every strategy needs.
+struct ClientContext {
+  const store::BackendCluster* backend = nullptr;
+  sim::Network* network = nullptr;
+  RegionId region = 0;
+  /// Simulated decode cost: ms per MB of object decoded (CPU time of the
+  /// Reed-Solomon decode on the client, paper's clients decode after k
+  /// chunks arrive).
+  double decode_ms_per_mb = 10.0;
+  /// When true, reads move real bytes and RS-decode them; tests use this.
+  /// Benches leave it off: latency math is identical, wall-clock far lower.
+  bool verify_data = false;
+};
+
+class ReadStrategy {
+ public:
+  explicit ReadStrategy(ClientContext ctx);
+  virtual ~ReadStrategy() = default;
+
+  [[nodiscard]] virtual ReadResult read(const ObjectKey& key) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Hook for periodic work (Agar reconfigurations) on the sim loop.
+  virtual void attach_to_loop(sim::EventLoop& loop) { (void)loop; }
+
+  /// Warm-up before measurement starts (latency probes etc.).
+  virtual void warm_up() {}
+
+ protected:
+  /// Latency of fetching `count` chunks of `chunk_bytes` from the given
+  /// regions in parallel. Skips down regions by substituting the next
+  /// cheapest live region holding an unused chunk — callers pass the full
+  /// candidate list sorted cheapest-first.
+  struct FetchOutcome {
+    SimTimeMs batch_ms = 0.0;
+    std::vector<ChunkIndex> fetched;
+  };
+  [[nodiscard]] FetchOutcome fetch_parallel(
+      const std::vector<std::pair<ChunkIndex, RegionId>>& on_path,
+      const std::vector<std::pair<ChunkIndex, RegionId>>& fallbacks,
+      std::size_t want_total, std::size_t chunk_bytes);
+
+  /// Decode-cost model.
+  [[nodiscard]] double decode_ms(std::size_t object_bytes) const;
+
+  /// Execute a planned read against a configured cache: fetch the cached
+  /// chunks and the backend batch in parallel, charge the monitor/proxy
+  /// overhead, then perform the plan's population writes off-path. Shared
+  /// by the Agar strategy and the paper's periodic-LFU baseline so the two
+  /// differ only in their configuration policy.
+  [[nodiscard]] ReadResult execute_plan(const ObjectKey& key,
+                                        const core::ReadPlan& plan,
+                                        cache::StaticConfigCache& cache);
+
+  /// Population prefetch ("caching items implies downloading them a
+  /// priori", paper §IV-A): download one configured chunk from its backend
+  /// region and install it in the cache. Off the latency path — the
+  /// prototype's population thread pool does this after reconfigurations.
+  /// Returns true if the chunk is resident afterwards.
+  bool prefetch_chunk(const ObjectKey& key, ChunkIndex index,
+                      cache::StaticConfigCache& cache);
+
+  /// Verify-mode helper: fetch the given chunks' real bytes from the
+  /// backend/caches is handled by subclasses; this decodes and checks.
+  [[nodiscard]] bool verify_payload(const ObjectKey& key,
+                                    const std::vector<ec::Chunk>& chunks) const;
+
+  ClientContext ctx_;
+};
+
+}  // namespace agar::client

@@ -1,0 +1,82 @@
+#include "client/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agar::client {
+
+UniformGenerator::UniformGenerator(std::size_t universe)
+    : universe_(universe) {
+  if (universe == 0) {
+    throw std::invalid_argument("UniformGenerator: empty universe");
+  }
+}
+
+std::size_t UniformGenerator::next_index(Rng& rng) {
+  return static_cast<std::size_t>(rng.next_below(universe_));
+}
+
+ZipfianGenerator::ZipfianGenerator(std::size_t universe, double skew)
+    : skew_(skew) {
+  if (universe == 0) {
+    throw std::invalid_argument("ZipfianGenerator: empty universe");
+  }
+  if (skew < 0.0) {
+    throw std::invalid_argument("ZipfianGenerator: negative skew");
+  }
+  cumulative_.resize(universe);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < universe; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cumulative_[i] = acc;
+  }
+  // Normalize to a proper CDF.
+  for (auto& c : cumulative_) c /= acc;
+  cumulative_.back() = 1.0;
+}
+
+std::size_t ZipfianGenerator::next_index(Rng& rng) {
+  const double u = rng.next_double();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double ZipfianGenerator::cdf(std::size_t i) const {
+  if (i >= cumulative_.size()) return 1.0;
+  return cumulative_[i];
+}
+
+double ZipfianGenerator::pmf(std::size_t i) const {
+  if (i >= cumulative_.size()) return 0.0;
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+std::string WorkloadSpec::label() const {
+  if (kind == Kind::kUniform) return "uniform";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "zipf-%.1f", zipf_skew);
+  return buf;
+}
+
+std::unique_ptr<KeyGenerator> make_generator(const WorkloadSpec& spec,
+                                             std::size_t universe) {
+  if (spec.kind == WorkloadSpec::Kind::kUniform) {
+    return std::make_unique<UniformGenerator>(universe);
+  }
+  return std::make_unique<ZipfianGenerator>(universe, spec.zipf_skew);
+}
+
+Workload::Workload(WorkloadSpec spec, std::size_t universe,
+                   std::uint64_t seed, std::string prefix)
+    : spec_(spec),
+      generator_(make_generator(spec, universe)),
+      rng_(seed),
+      prefix_(std::move(prefix)) {}
+
+ObjectKey Workload::next_key() {
+  return prefix_ + std::to_string(generator_->next_index(rng_));
+}
+
+}  // namespace agar::client

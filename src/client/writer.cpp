@@ -1,0 +1,64 @@
+#include "client/writer.hpp"
+
+#include <stdexcept>
+
+namespace agar::client {
+
+WriterClient::WriterClient(WriterContext ctx,
+                           paxos::CoherenceCoordinator* coherence)
+    : ctx_(ctx), coherence_(coherence) {
+  if (ctx_.backend == nullptr || ctx_.network == nullptr) {
+    throw std::invalid_argument("WriterClient: null backend/network");
+  }
+}
+
+WriteResult WriterClient::write(const ObjectKey& key, BytesView data) {
+  ++writes_;
+  WriteResult result;
+  store::BackendCluster& backend = *ctx_.backend;
+
+  // Encode cost: same CPU model as decode (symmetric GF math).
+  result.latency_ms += ctx_.encode_ms_per_mb *
+                       static_cast<double>(data.size()) /
+                       static_cast<double>(1_MB);
+
+  // Data path: upload all k+m chunks in parallel; completion when the
+  // slowest upload lands.
+  const std::size_t chunk_bytes = backend.codec().chunk_size(data.size());
+  const std::size_t total = backend.codec().rs().total();
+  const std::size_t regions = backend.num_regions();
+  std::vector<SimTimeMs> uploads;
+  uploads.reserve(total);
+  for (ChunkIndex i = 0; i < total; ++i) {
+    const RegionId region = backend.placement().region_of(key, i, regions);
+    const auto latency =
+        ctx_.network->backend_fetch(ctx_.region, region, chunk_bytes);
+    if (!latency.has_value()) {
+      // A region is down: the stripe cannot be fully placed. Real systems
+      // would re-place or queue repair; we fail the write.
+      return result;
+    }
+    uploads.push_back(*latency);
+  }
+  result.latency_ms += sim::Network::parallel_batch_ms(uploads);
+
+  // Durably store the bytes, or just refresh metadata in latency-only mode.
+  if (ctx_.store_payloads) {
+    backend.put_object(key, data);
+  } else {
+    backend.register_object(key, data.size());
+  }
+
+  // Coordination: serialize the write and invalidate stale cache entries.
+  if (coherence_ != nullptr) {
+    const auto commit = coherence_->commit_write(ctx_.region, key);
+    if (!commit.has_value()) return result;  // no quorum
+    result.consensus_ms = *commit;
+    result.latency_ms += *commit;
+    result.version = coherence_->version(key);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace agar::client

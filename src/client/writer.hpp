@@ -1,0 +1,53 @@
+// Write-capable client — the §VI extension path. A write:
+//   1. erasure-codes the new object value (CPU cost modelled like decode);
+//   2. uploads the k+m chunks to their regions in parallel (data path;
+//      latency = slowest upload);
+//   3. commits an invalidation record through the Paxos-backed coherence
+//      coordinator, which serializes concurrent writers and erases stale
+//      chunks from every region's cache.
+// The acknowledged write latency is data path + consensus commit.
+#pragma once
+
+#include "common/types.hpp"
+#include "paxos/coherence.hpp"
+#include "sim/network.hpp"
+#include "store/backend.hpp"
+
+namespace agar::client {
+
+struct WriteResult {
+  bool ok = false;
+  SimTimeMs latency_ms = 0.0;
+  SimTimeMs consensus_ms = 0.0;  ///< portion spent in Paxos
+  std::uint64_t version = 0;
+};
+
+struct WriterContext {
+  store::BackendCluster* backend = nullptr;  ///< mutable: writes store chunks
+  sim::Network* network = nullptr;
+  RegionId region = 0;
+  double encode_ms_per_mb = 10.0;  ///< CPU cost of the RS encode
+  /// When true, writes move real bytes into the buckets; otherwise only
+  /// metadata is refreshed (latency-only experiments).
+  bool store_payloads = true;
+};
+
+class WriterClient {
+ public:
+  /// `coherence` may be null: then writes skip the coordination step
+  /// (paper-era behaviour: read-only caches, writes go straight to the
+  /// backend and caches serve stale data until evicted).
+  WriterClient(WriterContext ctx, paxos::CoherenceCoordinator* coherence);
+
+  /// Write a full object value.
+  [[nodiscard]] WriteResult write(const ObjectKey& key, BytesView data);
+
+  [[nodiscard]] std::uint64_t writes_issued() const { return writes_; }
+
+ private:
+  WriterContext ctx_;
+  paxos::CoherenceCoordinator* coherence_;  // non-owning, may be null
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace agar::client

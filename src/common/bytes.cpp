@@ -1,0 +1,45 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace agar {
+
+Bytes deterministic_payload(const std::string& key, std::size_t size) {
+  Bytes out(size);
+  Rng rng(fnv1a(key) ^ 0xa5a5a5a55a5a5a5aULL);
+  rng.fill_bytes(out.data(), out.size());
+  return out;
+}
+
+std::uint64_t fnv1a(BytesView data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  return fnv1a(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()),
+                         s.size()));
+}
+
+std::string format_bytes(std::size_t n) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  double v = static_cast<double>(n);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace agar

@@ -1,0 +1,32 @@
+// Byte-buffer helpers used by the erasure codec and the object store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace agar {
+
+/// Owning byte buffer. Chunks, objects and cache entries are Bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning views.
+using BytesView = std::span<const std::uint8_t>;
+using BytesSpan = std::span<std::uint8_t>;
+
+/// Deterministic payload generator: produces the same bytes for the same
+/// (key, size). Used to populate the simulated backend so tests can verify
+/// end-to-end reads byte-for-byte without storing golden files.
+Bytes deterministic_payload(const std::string& key, std::size_t size);
+
+/// FNV-1a 64-bit hash over a byte range; used for payload fingerprints in
+/// tests and for stable key->int mapping.
+std::uint64_t fnv1a(BytesView data);
+std::uint64_t fnv1a(const std::string& s);
+
+/// Render a byte count human-readably ("10.0 MB"); used by reports.
+std::string format_bytes(std::size_t n);
+
+}  // namespace agar

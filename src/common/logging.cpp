@@ -1,0 +1,40 @@
+#include "common/logging.hpp"
+
+namespace agar {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, std::string_view tag)
+    : enabled_(level >= g_level && g_level != LogLevel::kOff) {
+  if (enabled_) {
+    stream_ << "[" << level_name(level) << "][" << tag << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace agar

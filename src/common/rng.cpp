@@ -1,0 +1,56 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace agar {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire reduction: map a 64-bit draw into [0, bound) without modulo.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(next_u64()) *
+      static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+double Rng::next_double() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; draw until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+void Rng::fill_bytes(void* data, std::size_t len) {
+  auto* out = static_cast<unsigned char*>(data);
+  while (len >= 8) {
+    const std::uint64_t v = next_u64();
+    std::memcpy(out, &v, 8);
+    out += 8;
+    len -= 8;
+  }
+  if (len > 0) {
+    const std::uint64_t v = next_u64();
+    std::memcpy(out, &v, len);
+  }
+}
+
+}  // namespace agar

@@ -1,0 +1,66 @@
+// Core vocabulary types shared across the Agar reproduction.
+//
+// These are deliberately small value types: region identifiers, object keys,
+// chunk identifiers and simulated-time aliases. Everything that moves between
+// subsystems (simulator, store, cache, core algorithm, client) speaks in
+// these types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace agar {
+
+/// Identifier of a geographic region (index into a Topology).
+using RegionId = std::uint32_t;
+
+/// Sentinel for "no region".
+inline constexpr RegionId kInvalidRegion = static_cast<RegionId>(-1);
+
+/// Key identifying a stored object (YCSB-style, e.g. "user4953").
+using ObjectKey = std::string;
+
+/// Simulated time in milliseconds. The discrete-event simulator and every
+/// latency figure in the reproduction use this unit (the paper reports
+/// latencies in ms).
+using SimTimeMs = double;
+
+/// Index of a chunk within an erasure-coded stripe: data chunks occupy
+/// [0, k), parity chunks occupy [k, k+m).
+using ChunkIndex = std::uint32_t;
+
+/// Identifies one chunk of one object.
+struct ChunkId {
+  ObjectKey key;
+  ChunkIndex index = 0;
+
+  bool operator==(const ChunkId&) const = default;
+
+  /// Canonical string form used as a cache key, e.g. "user42#3".
+  /// Mirrors how the paper's prototype addressed chunks in memcached.
+  [[nodiscard]] std::string cache_key() const {
+    return key + "#" + std::to_string(index);
+  }
+};
+
+/// Bytes helper literals.
+inline constexpr std::size_t operator""_KB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024;
+}
+inline constexpr std::size_t operator""_MB(unsigned long long v) {
+  return static_cast<std::size_t>(v) * 1024 * 1024;
+}
+
+}  // namespace agar
+
+template <>
+struct std::hash<agar::ChunkId> {
+  std::size_t operator()(const agar::ChunkId& c) const noexcept {
+    const std::size_t h1 = std::hash<std::string>{}(c.key);
+    const std::size_t h2 = std::hash<std::uint32_t>{}(c.index);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,53 @@
+#include "core/agar_node.hpp"
+
+namespace agar::core {
+
+namespace {
+
+RegionManagerParams make_region_manager_params(const AgarNodeParams& p) {
+  RegionManagerParams out;
+  out.local_region = p.region;
+  out.probes_per_region = p.probes_per_region;
+  return out;
+}
+
+}  // namespace
+
+AgarNode::AgarNode(const store::BackendCluster* backend, sim::Network* network,
+                   AgarNodeParams params)
+    : backend_(backend),
+      params_(params),
+      cache_(params.cache_capacity_bytes),
+      region_manager_(backend, network, make_region_manager_params(params)),
+      request_monitor_(params.monitor),
+      cache_manager_(backend, &region_manager_, &request_monitor_, &cache_,
+                     params.cache_manager) {}
+
+void AgarNode::warm_up() { region_manager_.probe(); }
+
+void AgarNode::reconfigure() {
+  region_manager_.probe();
+  cache_manager_.reconfigure();
+}
+
+void AgarNode::attach_to_loop(sim::EventLoop& loop) {
+  loop.schedule_periodic(params_.reconfig_period_ms, [this]() {
+    reconfigure();
+    return true;
+  });
+}
+
+ReadPlan AgarNode::plan_read(const ObjectKey& key) {
+  const double overhead = request_monitor_.record_access(key);
+  const auto& config = cache_manager_.current();
+  ReadPlan plan = plan_chunk_sources(
+      *backend_, region_manager_, cache_,
+      [&config](const ObjectKey& k, ChunkIndex idx) {
+        return config.contains_chunk(k, idx);
+      },
+      key);
+  plan.monitor_overhead_ms = overhead;
+  return plan;
+}
+
+}  // namespace agar::core

@@ -1,0 +1,128 @@
+#include "core/cache_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/logging.hpp"
+
+namespace agar::core {
+
+bool CacheConfiguration::contains_chunk(const ObjectKey& key,
+                                        ChunkIndex index) const {
+  const auto it = entries.find(key);
+  if (it == entries.end()) return false;
+  const auto& chunks = it->second.chunks;
+  return std::find(chunks.begin(), chunks.end(), index) != chunks.end();
+}
+
+std::unordered_map<std::size_t, std::size_t>
+CacheConfiguration::weight_histogram() const {
+  std::unordered_map<std::size_t, std::size_t> hist;
+  for (const auto& [key, opt] : entries) ++hist[opt.weight];
+  return hist;
+}
+
+CacheManager::CacheManager(const store::BackendCluster* backend,
+                           RegionManager* region_manager,
+                           RequestMonitor* request_monitor,
+                           cache::StaticConfigCache* cache,
+                           CacheManagerParams params)
+    : backend_(backend),
+      region_manager_(region_manager),
+      request_monitor_(request_monitor),
+      cache_(cache),
+      params_(std::move(params)) {
+  if (backend_ == nullptr || region_manager_ == nullptr ||
+      request_monitor_ == nullptr || cache_ == nullptr) {
+    throw std::invalid_argument("CacheManager: null dependency");
+  }
+}
+
+std::size_t CacheManager::weight_quantum_bytes() const {
+  // Quantum: the smallest chunk size among tracked objects, so every
+  // option's byte footprint maps to an integer number of units. With the
+  // paper's uniform 1 MB objects this is exactly one chunk.
+  std::size_t quantum = std::numeric_limits<std::size_t>::max();
+  for (const auto& [key, pop] : request_monitor_->snapshot()) {
+    if (!backend_->has_object(key)) continue;
+    quantum = std::min(quantum, backend_->object_info(key).chunk_size);
+  }
+  if (quantum == std::numeric_limits<std::size_t>::max()) quantum = 1;
+  return std::max<std::size_t>(quantum, 1);
+}
+
+std::vector<std::vector<CachingOption>> CacheManager::generate_options()
+    const {
+  OptionGeneratorParams gen_params;
+  gen_params.k = backend_->codec().k();
+  gen_params.m = backend_->codec().m();
+  gen_params.cache_latency_ms = params_.cache_latency_ms;
+  gen_params.candidate_weights = params_.candidate_weights;
+  const OptionGenerator generator(gen_params);
+
+  const std::size_t quantum = weight_quantum_bytes();
+
+  // Sort the snapshot for determinism (hash-map order is arbitrary).
+  auto snapshot = request_monitor_->snapshot();
+  std::sort(snapshot.begin(), snapshot.end());
+
+  std::vector<std::vector<CachingOption>> groups;
+  groups.reserve(snapshot.size());
+  for (const auto& [key, popularity] : snapshot) {
+    if (popularity <= 0.0) continue;
+    if (!backend_->has_object(key)) continue;
+    auto options = generator.generate(
+        key, region_manager_->chunk_costs(key), popularity);
+    const std::size_t chunk_bytes = backend_->object_info(key).chunk_size;
+    for (auto& opt : options) {
+      const double bytes =
+          static_cast<double>(opt.weight) * static_cast<double>(chunk_bytes);
+      opt.weight_units = static_cast<std::size_t>(
+          std::ceil(bytes / static_cast<double>(quantum)));
+    }
+    groups.push_back(std::move(options));
+  }
+  return groups;
+}
+
+const CacheConfiguration& CacheManager::reconfigure() {
+  ++reconfigs_;
+  // Close the popularity period first so the snapshot reflects the EWMA
+  // including the period that just ended (paper: the algorithm runs on the
+  // statistics gathered over the last interval).
+  request_monitor_->roll_period();
+
+  const std::size_t quantum = weight_quantum_bytes();
+  const std::size_t capacity_units = cache_->capacity_bytes() / quantum;
+
+  const auto groups = generate_options();
+  KnapsackResult result = solve_dp(groups, capacity_units);
+
+  CacheConfiguration next;
+  std::unordered_set<std::string> configured_keys;
+  for (auto& opt : result.chosen) {
+    const std::size_t chunk_bytes =
+        backend_->object_info(opt.key).chunk_size;
+    next.total_chunks += opt.weight;
+    next.total_bytes += opt.weight * chunk_bytes;
+    for (const ChunkIndex idx : opt.chunks) {
+      configured_keys.insert(ChunkId{opt.key, idx}.cache_key());
+    }
+    next.entries.emplace(opt.key, std::move(opt));
+  }
+  next.total_value = result.total_value;
+
+  config_ = std::move(next);
+  cache_->install_configuration(std::move(configured_keys));
+
+  log_info("cache-manager") << "reconfiguration #" << reconfigs_ << ": "
+                            << config_.entries.size() << " objects, "
+                            << config_.total_chunks << " chunks, value "
+                            << config_.total_value;
+  return config_;
+}
+
+}  // namespace agar::core

@@ -1,0 +1,76 @@
+// Cache manager (paper §III-c): periodically computes the ideal cache
+// configuration from the request monitor's popularity statistics and the
+// region manager's latency estimates, then installs it into the Agar cache.
+//
+// One reconfiguration = one run of the knapsack DP (§IV-B) over the caching
+// options of every tracked object (§IV-A).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/static_cache.hpp"
+#include "core/knapsack.hpp"
+#include "core/option_generator.hpp"
+#include "core/region_manager.hpp"
+#include "core/request_monitor.hpp"
+
+namespace agar::core {
+
+struct CacheManagerParams {
+  /// Candidate option weights; empty = every weight in [1, k].
+  /// The paper's experiments enumerate {1, 3, 5, 7, 9}.
+  std::vector<std::size_t> candidate_weights;
+  /// Expected local-cache fetch latency used in option values.
+  double cache_latency_ms = 55.0;
+};
+
+/// The installed configuration, per object, for inspection (Fig. 10).
+struct CacheConfiguration {
+  /// Chosen option per key.
+  std::unordered_map<ObjectKey, CachingOption> entries;
+  double total_value = 0.0;
+  std::size_t total_chunks = 0;
+  std::size_t total_bytes = 0;
+
+  [[nodiscard]] bool contains_chunk(const ObjectKey& key,
+                                    ChunkIndex index) const;
+
+  /// Histogram of "objects cached with w chunks" -> count (Fig. 10 data).
+  [[nodiscard]] std::unordered_map<std::size_t, std::size_t>
+  weight_histogram() const;
+};
+
+class CacheManager {
+ public:
+  CacheManager(const store::BackendCluster* backend,
+               RegionManager* region_manager, RequestMonitor* request_monitor,
+               cache::StaticConfigCache* cache, CacheManagerParams params);
+
+  /// Run the full reconfiguration: roll the monitor period, regenerate
+  /// caching options, solve the knapsack, install the new configuration.
+  /// Returns the installed configuration (also kept internally).
+  const CacheConfiguration& reconfigure();
+
+  [[nodiscard]] const CacheConfiguration& current() const { return config_; }
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+
+  /// Generate options for every tracked key (exposed for tests/benches).
+  [[nodiscard]] std::vector<std::vector<CachingOption>> generate_options()
+      const;
+
+  /// Capacity in quantized units and the quantum, given current tracking.
+  [[nodiscard]] std::size_t weight_quantum_bytes() const;
+
+ private:
+  const store::BackendCluster* backend_;  // non-owning
+  RegionManager* region_manager_;         // non-owning
+  RequestMonitor* request_monitor_;       // non-owning
+  cache::StaticConfigCache* cache_;       // non-owning
+  CacheManagerParams params_;
+  CacheConfiguration config_;
+  std::uint64_t reconfigs_ = 0;
+};
+
+}  // namespace agar::core

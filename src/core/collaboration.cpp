@@ -1,0 +1,80 @@
+#include "core/collaboration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agar::core {
+
+PeerInfo broadcast_info(AgarNode& node) {
+  PeerInfo info;
+  info.region = node.region();
+  for (const auto& [key, opt] : node.cache_manager().current().entries) {
+    for (const ChunkIndex idx : opt.chunks) {
+      info.configured_chunks.insert(ChunkId{opt.key, idx}.cache_key());
+    }
+  }
+  info.popularity = node.request_monitor().snapshot();
+  return info;
+}
+
+std::vector<ChunkCost> peer_aware_costs(std::vector<ChunkCost> costs,
+                                        const ObjectKey& key,
+                                        const std::vector<PeerInfo>& peers,
+                                        const sim::Topology& topology,
+                                        RegionId client_region,
+                                        double peer_cache_factor,
+                                        double max_peer_ms) {
+  for (auto& cost : costs) {
+    const std::string ck = ChunkId{key, cost.index}.cache_key();
+    for (const auto& peer : peers) {
+      if (peer.region == client_region) continue;
+      if (!peer.configured_chunks.contains(ck)) continue;
+      const double base = topology.base_latency_ms(client_region, peer.region);
+      if (base > max_peer_ms) continue;
+      cost.latency_ms = std::min(cost.latency_ms, base * peer_cache_factor);
+    }
+  }
+  return costs;
+}
+
+void CollaborationGroup::add_node(AgarNode* node) {
+  if (node == nullptr) {
+    throw std::invalid_argument("CollaborationGroup: null node");
+  }
+  nodes_.push_back(node);
+}
+
+void CollaborationGroup::exchange() {
+  peers_.clear();
+  peers_.reserve(nodes_.size());
+  for (AgarNode* node : nodes_) peers_.push_back(broadcast_info(*node));
+}
+
+std::vector<PeerInfo> CollaborationGroup::peers_of(RegionId region) const {
+  std::vector<PeerInfo> out;
+  for (const auto& p : peers_) {
+    if (p.region != region) out.push_back(p);
+  }
+  return out;
+}
+
+OverlapReport CollaborationGroup::overlap(RegionId a, RegionId b) const {
+  const PeerInfo* pa = nullptr;
+  const PeerInfo* pb = nullptr;
+  for (const auto& p : peers_) {
+    if (p.region == a) pa = &p;
+    if (p.region == b) pb = &p;
+  }
+  if (pa == nullptr || pb == nullptr) {
+    throw std::invalid_argument("CollaborationGroup: region not a member");
+  }
+  OverlapReport report;
+  report.chunks_a = pa->configured_chunks.size();
+  report.chunks_b = pb->configured_chunks.size();
+  for (const auto& ck : pa->configured_chunks) {
+    if (pb->configured_chunks.contains(ck)) ++report.shared;
+  }
+  return report;
+}
+
+}  // namespace agar::core

@@ -1,0 +1,78 @@
+// Cache collaboration between nearby Agar nodes — a prototype of the
+// paper's §VI discussion: "Agar nodes could broadcast their contents and
+// workload statistics periodically, in order to let nearby caches update
+// the values of each cache option accordingly."
+//
+// Each node periodically broadcasts (a) the chunk keys it has configured
+// and (b) its popularity snapshot. A peer that can fetch a chunk from a
+// nearby cache cheaper than from the chunk's home region can fold that into
+// its chunk costs via peer_aware_costs(), and a CollaborationGroup can
+// report configuration overlap — the redundancy two nearby caches waste by
+// caching the same chunks (Frankfurt/Dublin in the paper's example).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/agar_node.hpp"
+#include "sim/topology.hpp"
+
+namespace agar::core {
+
+/// What one node broadcasts.
+struct PeerInfo {
+  RegionId region = kInvalidRegion;
+  std::unordered_set<std::string> configured_chunks;  // chunk cache keys
+  std::vector<std::pair<ObjectKey, double>> popularity;
+};
+
+/// Snapshot a node's broadcastable state.
+[[nodiscard]] PeerInfo broadcast_info(AgarNode& node);
+
+/// Adjust chunk costs with peer caches: if a peer within `max_peer_ms` of
+/// the client region has a chunk configured, the chunk's expected latency
+/// becomes min(original, peer cache latency), where the peer cache latency
+/// is the inter-region base latency scaled by `peer_cache_factor`
+/// (< 1: a memcached hit is cheaper than an S3 GET over the same distance).
+[[nodiscard]] std::vector<ChunkCost> peer_aware_costs(
+    std::vector<ChunkCost> costs, const ObjectKey& key,
+    const std::vector<PeerInfo>& peers, const sim::Topology& topology,
+    RegionId client_region, double peer_cache_factor = 0.75,
+    double max_peer_ms = 400.0);
+
+/// Overlap report between two nodes' configurations.
+struct OverlapReport {
+  std::size_t chunks_a = 0;
+  std::size_t chunks_b = 0;
+  std::size_t shared = 0;  ///< chunk keys configured by both
+
+  [[nodiscard]] double shared_fraction() const {
+    const std::size_t total = chunks_a + chunks_b;
+    return total == 0 ? 0.0
+                      : 2.0 * static_cast<double>(shared) /
+                            static_cast<double>(total);
+  }
+};
+
+class CollaborationGroup {
+ public:
+  void add_node(AgarNode* node);
+
+  /// Re-broadcast everyone's state (call after reconfigurations).
+  void exchange();
+
+  [[nodiscard]] const std::vector<PeerInfo>& peers() const { return peers_; }
+
+  /// Peers visible to `region` (everyone but the region itself).
+  [[nodiscard]] std::vector<PeerInfo> peers_of(RegionId region) const;
+
+  /// Pairwise overlap between two member regions' configurations.
+  [[nodiscard]] OverlapReport overlap(RegionId a, RegionId b) const;
+
+ private:
+  std::vector<AgarNode*> nodes_;  // non-owning
+  std::vector<PeerInfo> peers_;
+};
+
+}  // namespace agar::core

@@ -1,0 +1,53 @@
+// The cache-configuration solver (paper §IV-B, Figs. 4 and 5).
+//
+// Choosing at most one caching option per object to maximize total value
+// within the cache capacity is the Multiple-Choice Knapsack Problem (MCKP).
+// The paper solves it with a dynamic program over intermediate cache
+// configurations (POPULATE) improved by RELAX steps; we implement the same
+// program as an exact DP over capacities with per-key option groups, which
+// is the textbook-equivalent formulation (see DESIGN.md for the mapping and
+// the note on the paper's marginal-value example).
+//
+// A greedy value-density solver is included as a baseline: §II-D argues
+// greedy can err badly on 0/1-style knapsacks, and `bench_ablation_greedy`
+// quantifies that on both adversarial and realistic instances.
+#pragma once
+
+#include <vector>
+
+#include "core/caching_option.hpp"
+
+namespace agar::core {
+
+/// A solved cache configuration.
+struct KnapsackResult {
+  /// Chosen options, at most one per key, in input key order.
+  std::vector<CachingOption> chosen;
+  double total_value = 0.0;
+  std::size_t total_weight_units = 0;
+};
+
+/// Exact MCKP dynamic program (the paper's POPULATE/RELAX algorithm).
+///
+/// `options_per_key[i]` holds the candidate options for one key; options
+/// with value <= 0 or weight_units == 0 or weight_units > capacity_units
+/// are ignored. Runtime O(total_options x capacity_units), i.e. the O(C^2)
+/// the paper reports once the option count is proportional to capacity.
+[[nodiscard]] KnapsackResult solve_dp(
+    const std::vector<std::vector<CachingOption>>& options_per_key,
+    std::size_t capacity_units);
+
+/// Greedy baseline: consider options by decreasing value density
+/// (value / weight_units); take an option if its key is still unused and it
+/// fits. Not optimal — kept for the §II-D ablation.
+[[nodiscard]] KnapsackResult solve_greedy(
+    const std::vector<std::vector<CachingOption>>& options_per_key,
+    std::size_t capacity_units);
+
+/// Exhaustive search over all per-key choices; exponential, test-only
+/// oracle for small instances.
+[[nodiscard]] KnapsackResult solve_brute_force(
+    const std::vector<std::vector<CachingOption>>& options_per_key,
+    std::size_t capacity_units);
+
+}  // namespace agar::core

@@ -1,0 +1,59 @@
+// Generates the caching options for one object (paper §IV-A).
+//
+// Procedure (quoting the paper's steps):
+//   1. take all k+m chunks with their storage regions and the estimated
+//      latency of fetching each from the client's region;
+//   2. discard the m chunks furthest away — in the common (failure-free)
+//      case the client never fetches them, and not caching them minimizes
+//      the a-priori download cost of populating the cache;
+//   3. for each candidate weight w, cache the w most distant remaining
+//      chunks;
+//   4. value(w) = popularity x (latency of the furthest region contacted
+//      with nothing cached - latency of the furthest region still
+//      contacted once the w chunks are cached). For w == k the remaining
+//      "region" is the local cache itself.
+#pragma once
+
+#include <vector>
+
+#include "core/caching_option.hpp"
+
+namespace agar::core {
+
+/// One chunk as seen by the planner: where it lives and what fetching it
+/// is expected to cost.
+struct ChunkCost {
+  ChunkIndex index = 0;
+  RegionId region = kInvalidRegion;
+  double latency_ms = 0.0;
+};
+
+struct OptionGeneratorParams {
+  std::size_t k = 9;
+  std::size_t m = 3;
+  /// Expected latency of a region-local cache fetch (the "region" the
+  /// client contacts when everything needed is cached).
+  double cache_latency_ms = 55.0;
+  /// Candidate weights; empty means every weight in [1, k].
+  std::vector<std::size_t> candidate_weights;
+};
+
+class OptionGenerator {
+ public:
+  explicit OptionGenerator(OptionGeneratorParams params);
+
+  /// Options for one object. `chunk_costs` must list all k+m chunks.
+  /// `popularity` is the request monitor's EWMA for this key.
+  /// Options with non-positive improvement are still produced (value 0) so
+  /// the solver can reason uniformly; the solver skips zero-value options.
+  [[nodiscard]] std::vector<CachingOption> generate(
+      const ObjectKey& key, std::vector<ChunkCost> chunk_costs,
+      double popularity) const;
+
+  [[nodiscard]] const OptionGeneratorParams& params() const { return params_; }
+
+ private:
+  OptionGeneratorParams params_;
+};
+
+}  // namespace agar::core

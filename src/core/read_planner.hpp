@@ -1,0 +1,50 @@
+// Shared read planning: resolve every chunk of one read to a source.
+//
+// Used by AgarNode and by the paper's periodic-LFU baseline (which shares
+// Agar's machinery — request proxy, latency estimates, static configured
+// cache — but fixes the chunks-per-object count instead of running the
+// knapsack). Keeping the planner in one place guarantees the systems being
+// compared differ ONLY in their configuration policy.
+#pragma once
+
+#include <functional>
+
+#include "cache/static_cache.hpp"
+#include "core/region_manager.hpp"
+#include "store/backend.hpp"
+
+namespace agar::core {
+
+/// Where each chunk of a read comes from. All `from_cache` and
+/// `from_backend` fetches happen in parallel on the latency path;
+/// `async_populate` fetches and the `populate_after_read` write-backs are
+/// off-path (the prototype's client performs them on a thread pool).
+struct ReadPlan {
+  std::vector<ChunkIndex> from_cache;
+  std::vector<std::pair<ChunkIndex, RegionId>> from_backend;
+  std::vector<std::pair<ChunkIndex, RegionId>> async_populate;
+  std::vector<ChunkIndex> populate_after_read;
+  double monitor_overhead_ms = 0.0;
+
+  [[nodiscard]] std::size_t chunks_on_path() const {
+    return from_cache.size() + from_backend.size();
+  }
+};
+
+/// Predicate: is chunk `index` of `key` part of the current configuration?
+using ConfiguredChunkFn = std::function<bool(const ObjectKey&, ChunkIndex)>;
+
+/// Build the plan for one read:
+///   * resident chunks come from the cache (up to k);
+///   * the remainder fills with the cheapest backend regions per the
+///     region manager's live latency estimates;
+///   * configured chunks that were fetched on-path are written back after
+///     the read; configured chunks neither resident nor fetched are
+///     downloaded asynchronously by the population pool.
+[[nodiscard]] ReadPlan plan_chunk_sources(const store::BackendCluster& backend,
+                                          const RegionManager& region_manager,
+                                          const cache::StaticConfigCache& cache,
+                                          const ConfiguredChunkFn& configured,
+                                          const ObjectKey& key);
+
+}  // namespace agar::core

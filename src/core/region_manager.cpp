@@ -1,0 +1,55 @@
+#include "core/region_manager.hpp"
+
+#include <stdexcept>
+
+namespace agar::core {
+
+RegionManager::RegionManager(const store::BackendCluster* backend,
+                             sim::Network* network,
+                             RegionManagerParams params)
+    : backend_(backend),
+      network_(network),
+      params_(params),
+      estimator_(network ? network->topology().num_regions() : 0,
+                 params.estimator_alpha) {
+  if (backend_ == nullptr || network_ == nullptr) {
+    throw std::invalid_argument("RegionManager: null backend/network");
+  }
+  if (params_.local_region >= network_->topology().num_regions()) {
+    throw std::invalid_argument("RegionManager: local region out of range");
+  }
+}
+
+void RegionManager::probe() {
+  ++probe_rounds_;
+  const std::size_t regions = network_->topology().num_regions();
+  for (RegionId r = 0; r < regions; ++r) {
+    for (std::size_t i = 0; i < params_.probes_per_region; ++i) {
+      const auto latency = network_->backend_fetch(
+          params_.local_region, r, params_.probe_chunk_bytes);
+      if (latency.has_value()) estimator_.record(r, *latency);
+    }
+  }
+}
+
+double RegionManager::estimate_ms(RegionId region) const {
+  return estimator_.estimate_ms(region);
+}
+
+RegionId RegionManager::region_of(const ObjectKey& key,
+                                  ChunkIndex index) const {
+  return backend_->placement().region_of(key, index, backend_->num_regions());
+}
+
+std::vector<ChunkCost> RegionManager::chunk_costs(const ObjectKey& key) const {
+  const store::ObjectInfo info = backend_->object_info(key);
+  std::vector<ChunkCost> out;
+  out.reserve(info.locations.size());
+  for (const auto& loc : info.locations) {
+    out.push_back(
+        ChunkCost{loc.index, loc.region, estimate_ms(loc.region)});
+  }
+  return out;
+}
+
+}  // namespace agar::core

@@ -1,0 +1,66 @@
+// Region manager (paper §III-a): knows the storage system's topology and
+// placement policy, periodically probes per-region chunk-read latency, and
+// answers "what will fetching each chunk of this object cost?".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/option_generator.hpp"
+#include "sim/network.hpp"
+#include "stats/latency_estimator.hpp"
+#include "store/backend.hpp"
+
+namespace agar::core {
+
+struct RegionManagerParams {
+  RegionId local_region = 0;
+  /// Probes per region in each probe round (the paper retrieves "several
+  /// data blocks from each region in a warm-up phase"). Several samples
+  /// with heavy smoothing keep the estimates stable under jitter: unstable
+  /// estimates reorder the distance ranking of near-equidistant regions,
+  /// which churns every option's chunk set at the next reconfiguration and
+  /// needlessly evicts populated cache entries.
+  std::size_t probes_per_region = 6;
+  /// Representative chunk size used for probe transfers.
+  std::size_t probe_chunk_bytes = 114_KB;
+  /// EWMA weight for folding new probe samples into the estimate.
+  double estimator_alpha = 0.2;
+};
+
+class RegionManager {
+ public:
+  RegionManager(const store::BackendCluster* backend, sim::Network* network,
+                RegionManagerParams params);
+
+  /// Measure chunk-read latency to every region and fold the samples into
+  /// the estimator. Down regions are skipped (their estimate goes stale,
+  /// which is what a real prober would observe as timeouts).
+  void probe();
+
+  /// Estimated chunk-fetch latency from the local region to `region`.
+  [[nodiscard]] double estimate_ms(RegionId region) const;
+
+  /// Chunk costs for every chunk of `key` — input to the option generator.
+  [[nodiscard]] std::vector<ChunkCost> chunk_costs(const ObjectKey& key) const;
+
+  /// Region of one specific chunk under the placement policy.
+  [[nodiscard]] RegionId region_of(const ObjectKey& key,
+                                   ChunkIndex index) const;
+
+  [[nodiscard]] RegionId local_region() const { return params_.local_region; }
+  [[nodiscard]] const stats::LatencyEstimator& estimator() const {
+    return estimator_;
+  }
+  [[nodiscard]] std::uint64_t probe_rounds() const { return probe_rounds_; }
+
+ private:
+  const store::BackendCluster* backend_;  // non-owning
+  sim::Network* network_;                 // non-owning
+  RegionManagerParams params_;
+  stats::LatencyEstimator estimator_;
+  std::uint64_t probe_rounds_ = 0;
+};
+
+}  // namespace agar::core

@@ -1,0 +1,75 @@
+#include "ec/object_codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agar::ec {
+
+std::size_t ObjectCodec::chunk_size(std::size_t object_size) const {
+  const std::size_t k = rs_.k();
+  // ceil-divide; empty objects still get 1-byte chunks so stripe layout and
+  // placement stay uniform.
+  return std::max<std::size_t>(1, (object_size + k - 1) / k);
+}
+
+EncodedObject ObjectCodec::encode(BytesView object) const {
+  const std::size_t cs = chunk_size(object.size());
+  const std::size_t k = rs_.k();
+
+  EncodedObject out;
+  out.object_size = object.size();
+  out.chunks.reserve(rs_.total());
+
+  // Data chunks: copy + zero-pad the tail.
+  std::vector<BytesView> views;
+  views.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Chunk c;
+    c.index = static_cast<ChunkIndex>(i);
+    c.data.assign(cs, 0);
+    const std::size_t begin = i * cs;
+    if (begin < object.size()) {
+      const std::size_t len = std::min(cs, object.size() - begin);
+      std::copy_n(object.begin() + static_cast<std::ptrdiff_t>(begin), len,
+                  c.data.begin());
+    }
+    out.chunks.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < k; ++i) views.emplace_back(out.chunks[i].data);
+
+  // Parity chunks.
+  std::vector<Bytes> parity = rs_.encode(views);
+  for (std::size_t p = 0; p < parity.size(); ++p) {
+    Chunk c;
+    c.index = static_cast<ChunkIndex>(k + p);
+    c.data = std::move(parity[p]);
+    out.chunks.push_back(std::move(c));
+  }
+  return out;
+}
+
+Bytes ObjectCodec::decode(std::size_t object_size,
+                          const std::vector<Chunk>& chunks) const {
+  std::vector<std::pair<std::uint32_t, BytesView>> available;
+  available.reserve(chunks.size());
+  for (const auto& c : chunks) {
+    available.emplace_back(c.index, BytesView(c.data));
+  }
+  const std::vector<Bytes> data = rs_.reconstruct_data(available);
+
+  Bytes object;
+  object.reserve(object_size);
+  for (const auto& d : data) {
+    const std::size_t want = object_size - object.size();
+    if (want == 0) break;
+    const std::size_t len = std::min(want, d.size());
+    object.insert(object.end(), d.begin(),
+                  d.begin() + static_cast<std::ptrdiff_t>(len));
+  }
+  if (object.size() != object_size) {
+    throw std::invalid_argument("ObjectCodec::decode: chunks too small");
+  }
+  return object;
+}
+
+}  // namespace agar::ec

@@ -1,0 +1,30 @@
+#include "ec/placement.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace agar::ec {
+
+std::vector<ChunkIndex> Placement::chunks_in_region(
+    const ObjectKey& key, std::size_t total_chunks, RegionId region,
+    std::size_t num_regions) const {
+  std::vector<ChunkIndex> out;
+  for (std::size_t i = 0; i < total_chunks; ++i) {
+    const auto idx = static_cast<ChunkIndex>(i);
+    if (region_of(key, idx, num_regions) == region) out.push_back(idx);
+  }
+  return out;
+}
+
+RegionId RoundRobinPlacement::region_of(const ObjectKey& key, ChunkIndex index,
+                                        std::size_t num_regions) const {
+  if (num_regions == 0) {
+    throw std::invalid_argument("RoundRobinPlacement: no regions");
+  }
+  std::size_t offset = 0;
+  if (per_key_offset_) offset = fnv1a(key) % num_regions;
+  return static_cast<RegionId>((index + offset) % num_regions);
+}
+
+}  // namespace agar::ec

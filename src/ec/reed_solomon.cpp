@@ -1,0 +1,147 @@
+#include "ec/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "gf/gf256.hpp"
+
+namespace agar::ec {
+
+namespace {
+
+void check_uniform_size(const std::vector<BytesView>& chunks) {
+  if (chunks.empty()) return;
+  const std::size_t size = chunks.front().size();
+  for (const auto& c : chunks) {
+    if (c.size() != size) {
+      throw std::invalid_argument("ReedSolomon: ragged chunk sizes");
+    }
+  }
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(CodecParams params) : params_(params) {
+  if (params_.k == 0) {
+    throw std::invalid_argument("ReedSolomon: k must be positive");
+  }
+  if (params_.total() > gf::kFieldSize) {
+    throw std::invalid_argument("ReedSolomon: k + m must be <= 256");
+  }
+  encode_ = params_.kind == MatrixKind::kCauchy
+                ? systematic_cauchy(params_.k, params_.m)
+                : systematic_vandermonde(params_.k, params_.m);
+}
+
+void ReedSolomon::apply_row(const Matrix& matrix, std::size_t row,
+                            const std::vector<BytesView>& inputs,
+                            BytesSpan out) const {
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    gf::mul_add_slice(matrix.at(row, j), inputs[j], out);
+  }
+}
+
+std::vector<Bytes> ReedSolomon::encode(
+    const std::vector<BytesView>& data_chunks) const {
+  if (data_chunks.size() != params_.k) {
+    throw std::invalid_argument("ReedSolomon::encode: need exactly k chunks");
+  }
+  check_uniform_size(data_chunks);
+  const std::size_t chunk_size = data_chunks.front().size();
+
+  std::vector<Bytes> parity(params_.m, Bytes(chunk_size));
+  for (std::size_t p = 0; p < params_.m; ++p) {
+    apply_row(encode_, params_.k + p, data_chunks, BytesSpan(parity[p]));
+  }
+  return parity;
+}
+
+std::vector<Bytes> ReedSolomon::reconstruct_data(
+    const std::vector<std::pair<std::uint32_t, BytesView>>& available) const {
+  if (available.size() < params_.k) {
+    throw std::invalid_argument(
+        "ReedSolomon::reconstruct_data: fewer than k chunks available");
+  }
+
+  // Take the first k distinct chunks, preferring data chunks (identity rows)
+  // so the common no-failure path is a cheap copy.
+  std::vector<std::pair<std::uint32_t, BytesView>> picked;
+  picked.reserve(params_.k);
+  std::unordered_set<std::uint32_t> seen;
+  auto take = [&](bool data_only) {
+    for (const auto& [idx, bytes] : available) {
+      if (picked.size() == params_.k) break;
+      if (idx >= params_.total()) {
+        throw std::invalid_argument(
+            "ReedSolomon::reconstruct_data: chunk index out of range");
+      }
+      const bool is_data = idx < params_.k;
+      if (data_only != is_data) continue;
+      if (!seen.insert(idx).second) continue;
+      picked.emplace_back(idx, bytes);
+    }
+  };
+  take(/*data_only=*/true);
+  take(/*data_only=*/false);
+  if (picked.size() < params_.k) {
+    throw std::invalid_argument(
+        "ReedSolomon::reconstruct_data: fewer than k distinct chunks");
+  }
+
+  std::vector<BytesView> views;
+  views.reserve(params_.k);
+  for (const auto& [idx, bytes] : picked) views.push_back(bytes);
+  check_uniform_size(views);
+  const std::size_t chunk_size = views.front().size();
+
+  // Fast path: all k data chunks present.
+  const bool all_data =
+      std::all_of(picked.begin(), picked.end(),
+                  [&](const auto& p) { return p.first < params_.k; });
+  std::vector<Bytes> out(params_.k, Bytes(chunk_size));
+  if (all_data) {
+    for (const auto& [idx, bytes] : picked) {
+      out[idx].assign(bytes.begin(), bytes.end());
+    }
+    return out;
+  }
+
+  // General path: rows of the encoding matrix for the picked chunks form an
+  // invertible k x k matrix (MDS); its inverse maps picked chunks back to
+  // the original data chunks.
+  std::vector<std::size_t> rows;
+  rows.reserve(params_.k);
+  for (const auto& [idx, bytes] : picked) rows.push_back(idx);
+  const Matrix decode = encode_.select_rows(rows).inverted();
+
+  for (std::size_t d = 0; d < params_.k; ++d) {
+    apply_row(decode, d, views, BytesSpan(out[d]));
+  }
+  return out;
+}
+
+Bytes ReedSolomon::reconstruct_chunk(
+    std::uint32_t target,
+    const std::vector<std::pair<std::uint32_t, BytesView>>& available) const {
+  if (target >= params_.total()) {
+    throw std::invalid_argument(
+        "ReedSolomon::reconstruct_chunk: target out of range");
+  }
+  // If the chunk is already available, return it directly.
+  for (const auto& [idx, bytes] : available) {
+    if (idx == target) return Bytes(bytes.begin(), bytes.end());
+  }
+  const std::vector<Bytes> data = reconstruct_data(available);
+  if (target < params_.k) return data[target];
+
+  std::vector<BytesView> views;
+  views.reserve(params_.k);
+  for (const auto& d : data) views.emplace_back(d);
+  Bytes out(views.front().size());
+  apply_row(encode_, target, views, BytesSpan(out));
+  return out;
+}
+
+}  // namespace agar::ec

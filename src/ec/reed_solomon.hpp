@@ -1,0 +1,69 @@
+// Systematic Reed-Solomon erasure codec over GF(2^8).
+//
+// RS(k, m) splits a stripe into k equally sized data chunks and computes m
+// parity chunks; ANY k of the k+m chunks reconstruct the stripe (the MDS
+// property). This is the same contract as Longhair, the Cauchy Reed-Solomon
+// library the paper's prototype used.
+//
+// The codec is stateless apart from the precomputed encoding matrix, so one
+// instance can be shared by every region of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ec/matrix.hpp"
+
+namespace agar::ec {
+
+/// Which matrix construction backs the code. Both are MDS; Cauchy matrices
+/// are invertible-by-construction, Vandermonde mirrors classic RS papers.
+enum class MatrixKind { kVandermonde, kCauchy };
+
+struct CodecParams {
+  std::size_t k = 9;  ///< data chunks (paper default)
+  std::size_t m = 3;  ///< parity chunks (paper default)
+  MatrixKind kind = MatrixKind::kCauchy;
+
+  [[nodiscard]] std::size_t total() const { return k + m; }
+};
+
+class ReedSolomon {
+ public:
+  explicit ReedSolomon(CodecParams params);
+
+  [[nodiscard]] std::size_t k() const { return params_.k; }
+  [[nodiscard]] std::size_t m() const { return params_.m; }
+  [[nodiscard]] std::size_t total() const { return params_.total(); }
+  [[nodiscard]] const Matrix& encoding_matrix() const { return encode_; }
+
+  /// Encode k data chunks (all the same size) into m parity chunks.
+  /// Throws std::invalid_argument on wrong count or ragged sizes.
+  [[nodiscard]] std::vector<Bytes> encode(
+      const std::vector<BytesView>& data_chunks) const;
+
+  /// Reconstruct the k original data chunks from any k (or more) available
+  /// chunks. `available[i]` pairs a chunk index in [0, k+m) with its bytes.
+  /// Throws std::invalid_argument if fewer than k chunks are supplied,
+  /// indices repeat, or sizes are ragged.
+  [[nodiscard]] std::vector<Bytes> reconstruct_data(
+      const std::vector<std::pair<std::uint32_t, BytesView>>& available) const;
+
+  /// Reconstruct one specific chunk (data or parity) from any k available
+  /// chunks. Used by repair paths and tests.
+  [[nodiscard]] Bytes reconstruct_chunk(
+      std::uint32_t target,
+      const std::vector<std::pair<std::uint32_t, BytesView>>& available) const;
+
+ private:
+  /// Rows of the encoding matrix for `index` applied to data columns.
+  void apply_row(const Matrix& matrix, std::size_t row,
+                 const std::vector<BytesView>& inputs, BytesSpan out) const;
+
+  CodecParams params_;
+  Matrix encode_;  // (k+m) x k, top square == identity.
+};
+
+}  // namespace agar::ec

@@ -1,0 +1,123 @@
+#include "gf/gf256.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace agar::gf {
+namespace {
+
+struct Tables {
+  // exp_ has 512 entries so mul can index log[a]+log[b] without a mod.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+  // 256x256 full multiplication table: 64 KiB, fits in L2 and makes the
+  // bulk slice loops branch-free.
+  std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+
+  Tables() {
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      exp_[static_cast<std::size_t>(i) + 255] = static_cast<std::uint8_t>(x);
+      log_[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPolynomial;
+    }
+    exp_[510] = exp_[0];
+    exp_[511] = exp_[1];
+    log_[0] = 0;  // never consulted for 0; guarded by callers.
+
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        if (a == 0 || b == 0) {
+          mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 0;
+        } else {
+          mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+              exp_[static_cast<std::size_t>(log_[static_cast<std::size_t>(a)]) +
+                   static_cast<std::size_t>(log_[static_cast<std::size_t>(b)])];
+        }
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return tables().mul_[a][b];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (b == 0) throw std::domain_error("gf256: division by zero");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const int diff = static_cast<int>(t.log_[a]) - static_cast<int>(t.log_[b]);
+  return t.exp_[static_cast<std::size_t>(diff < 0 ? diff + 255 : diff)];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("gf256: inverse of zero");
+  const auto& t = tables();
+  return t.exp_[static_cast<std::size_t>(255 - t.log_[a])];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned e = (static_cast<unsigned>(t.log_[a]) * n) % 255u;
+  return t.exp_[e];
+}
+
+std::uint8_t exp(unsigned n) { return tables().exp_[n % 255u]; }
+
+std::uint8_t log(std::uint8_t a) {
+  if (a == 0) throw std::domain_error("gf256: log of zero");
+  return tables().log_[a];
+}
+
+void mul_slice(std::uint8_t c, std::span<const std::uint8_t> src,
+               std::span<std::uint8_t> dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("gf256: mul_slice size mismatch");
+  }
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    return;
+  }
+  if (c == 1) {
+    std::copy(src.begin(), src.end(), dst.begin());
+    return;
+  }
+  const auto& row = tables().mul_[c];
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice(std::uint8_t c, std::span<const std::uint8_t> src,
+                   std::span<std::uint8_t> dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("gf256: mul_add_slice size mismatch");
+  }
+  if (c == 0) return;
+  if (c == 1) {
+    add_slice(src, dst);
+    return;
+  }
+  const auto& row = tables().mul_[c];
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void add_slice(std::span<const std::uint8_t> src,
+               std::span<std::uint8_t> dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("gf256: add_slice size mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+}
+
+}  // namespace agar::gf

@@ -1,0 +1,64 @@
+// Arithmetic over GF(2^8), the Galois field with 256 elements.
+//
+// The field is constructed as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1),
+// i.e. the reducing polynomial 0x11D used by standard Reed-Solomon codes
+// (the same field as ISA-L, Jerasure and Longhair's default tables).
+//
+// Addition is XOR. Multiplication/division/inversion use log/antilog tables
+// generated once at static-initialization time from the generator element 2.
+// Bulk operations (mul_slice, mul_add_slice) are the hot path of the erasure
+// codec: dst[i] (^)= c * src[i] over whole chunk buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace agar::gf {
+
+/// The reducing polynomial, sans the x^8 term: x^8 = x^4 + x^3 + x^2 + 1.
+inline constexpr std::uint16_t kPolynomial = 0x11D;
+
+/// Number of field elements.
+inline constexpr int kFieldSize = 256;
+
+/// Addition and subtraction coincide in characteristic 2.
+[[nodiscard]] constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+[[nodiscard]] constexpr std::uint8_t sub(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+/// Multiply two field elements.
+[[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Divide a by b. Precondition: b != 0 (checked; throws std::domain_error).
+[[nodiscard]] std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse. Precondition: a != 0 (checked).
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);
+
+/// a raised to the integer power n (n may be 0; 0^0 == 1 by convention).
+[[nodiscard]] std::uint8_t pow(std::uint8_t a, unsigned n);
+
+/// The generator element (2) raised to the n-th power; n is reduced mod 255.
+[[nodiscard]] std::uint8_t exp(unsigned n);
+
+/// Discrete log base 2 of a nonzero element.
+[[nodiscard]] std::uint8_t log(std::uint8_t a);
+
+/// dst[i] = c * src[i] for every i. dst and src must have equal sizes and
+/// must not partially overlap (identical or disjoint is fine).
+void mul_slice(std::uint8_t c, std::span<const std::uint8_t> src,
+               std::span<std::uint8_t> dst);
+
+/// dst[i] ^= c * src[i] for every i — the fused multiply-accumulate the
+/// encoder/decoder inner loops are built from.
+void mul_add_slice(std::uint8_t c, std::span<const std::uint8_t> src,
+                   std::span<std::uint8_t> dst);
+
+/// dst[i] ^= src[i] (c == 1 fast path).
+void add_slice(std::span<const std::uint8_t> src, std::span<std::uint8_t> dst);
+
+}  // namespace agar::gf

@@ -1,0 +1,35 @@
+#include "paxos/acceptor.hpp"
+
+namespace agar::paxos {
+
+Promise Acceptor::handle_prepare(Ballot ballot) {
+  Promise p;
+  if (ballot <= promised_) {
+    p.ok = false;
+    p.promised = promised_;
+    return p;
+  }
+  promised_ = ballot;
+  p.ok = true;
+  p.promised = promised_;
+  p.accepted_ballot = accepted_ballot_;
+  p.accepted_value = accepted_value_;
+  return p;
+}
+
+Accepted Acceptor::handle_accept(Ballot ballot, const std::string& value) {
+  Accepted a;
+  if (ballot < promised_) {
+    a.ok = false;
+    a.promised = promised_;
+    return a;
+  }
+  promised_ = ballot;
+  accepted_ballot_ = ballot;
+  accepted_value_ = value;
+  a.ok = true;
+  a.promised = promised_;
+  return a;
+}
+
+}  // namespace agar::paxos

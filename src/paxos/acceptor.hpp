@@ -1,0 +1,69 @@
+// Single-decree Paxos acceptor (Lamport, "Paxos Made Simple" — the paper's
+// §VI points at Paxos as the synchronization primitive a write-capable Agar
+// would need for cache coherence).
+//
+// The acceptor is a pure state machine: callers (the simulated network /
+// proposer) deliver prepare and accept requests and route the responses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace agar::paxos {
+
+/// Ballot numbers must be totally ordered and proposer-unique: the high
+/// bits carry a round counter, the low bits the proposer id.
+using Ballot = std::uint64_t;
+
+[[nodiscard]] constexpr Ballot make_ballot(std::uint32_t round,
+                                           std::uint32_t proposer) {
+  return (static_cast<Ballot>(round) << 32) | proposer;
+}
+[[nodiscard]] constexpr std::uint32_t ballot_round(Ballot b) {
+  return static_cast<std::uint32_t>(b >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t ballot_proposer(Ballot b) {
+  return static_cast<std::uint32_t>(b & 0xffffffffu);
+}
+
+struct Promise {
+  bool ok = false;           ///< false: ballot too old (nack)
+  Ballot promised = 0;       ///< acceptor's current promise
+  /// Highest-ballot value the acceptor already accepted, if any; the
+  /// proposer MUST adopt the value of the highest such ballot.
+  std::optional<Ballot> accepted_ballot;
+  std::optional<std::string> accepted_value;
+};
+
+struct Accepted {
+  bool ok = false;      ///< false: a higher prepare intervened
+  Ballot promised = 0;  ///< acceptor's current promise (for backoff)
+};
+
+class Acceptor {
+ public:
+  /// Phase 1: promise not to accept ballots below `ballot`.
+  [[nodiscard]] Promise handle_prepare(Ballot ballot);
+
+  /// Phase 2: accept `value` at `ballot` unless a higher promise exists.
+  [[nodiscard]] Accepted handle_accept(Ballot ballot,
+                                       const std::string& value);
+
+  [[nodiscard]] Ballot promised() const { return promised_; }
+  [[nodiscard]] const std::optional<std::string>& accepted_value() const {
+    return accepted_value_;
+  }
+  [[nodiscard]] std::optional<Ballot> accepted_ballot() const {
+    return accepted_ballot_;
+  }
+
+ private:
+  Ballot promised_ = 0;
+  std::optional<Ballot> accepted_ballot_;
+  std::optional<std::string> accepted_value_;
+};
+
+}  // namespace agar::paxos

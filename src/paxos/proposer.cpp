@@ -1,0 +1,101 @@
+#include "paxos/proposer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace agar::paxos {
+
+Proposer::Proposer(std::vector<Acceptor*> acceptors, sim::Network* network,
+                   ProposerParams params)
+    : acceptors_(std::move(acceptors)), network_(network), params_(params) {
+  if (network_ == nullptr) {
+    throw std::invalid_argument("Proposer: null network");
+  }
+  std::size_t live = 0;
+  for (const auto* a : acceptors_) live += (a != nullptr);
+  if (live == 0) throw std::invalid_argument("Proposer: no acceptors");
+}
+
+std::optional<SimTimeMs> Proposer::rtt(RegionId region) {
+  // Small control message: scale the chunk-fetch latency down; zero bytes
+  // so the bandwidth term vanishes.
+  const auto fetch = network_->backend_fetch(params_.region, region, 0);
+  if (!fetch.has_value()) return std::nullopt;
+  return *fetch * params_.message_rtt_factor;
+}
+
+ProposeOutcome Proposer::propose(const std::string& value) {
+  ProposeOutcome outcome;
+
+  for (std::uint32_t attempt = 0; attempt < params_.max_rounds; ++attempt) {
+    ++outcome.rounds;
+    const Ballot ballot = make_ballot(next_round_++, params_.proposer_id);
+
+    // Phase 1: prepare. Collect promises with their arrival times.
+    std::vector<SimTimeMs> promise_rtts;
+    Ballot highest_accepted = 0;
+    std::optional<std::string> adopted;
+    std::size_t promises = 0;
+    for (RegionId r = 0; r < acceptors_.size(); ++r) {
+      Acceptor* acceptor = acceptors_[r];
+      if (acceptor == nullptr) continue;
+      const auto roundtrip = rtt(r);
+      if (!roundtrip.has_value()) continue;  // region down
+      const Promise p = acceptor->handle_prepare(ballot);
+      promise_rtts.push_back(*roundtrip);
+      if (!p.ok) continue;
+      ++promises;
+      if (p.accepted_ballot.has_value() &&
+          *p.accepted_ballot >= highest_accepted) {
+        highest_accepted = *p.accepted_ballot;
+        adopted = p.accepted_value;
+      }
+    }
+    // The phase costs the quorum-th fastest round-trip even on failure.
+    if (promise_rtts.size() >= quorum()) {
+      std::nth_element(promise_rtts.begin(),
+                       promise_rtts.begin() +
+                           static_cast<std::ptrdiff_t>(quorum()) - 1,
+                       promise_rtts.end());
+      outcome.latency_ms += promise_rtts[quorum() - 1];
+    } else if (!promise_rtts.empty()) {
+      outcome.latency_ms +=
+          *std::max_element(promise_rtts.begin(), promise_rtts.end());
+    }
+    if (promises < quorum()) continue;  // retry with a higher ballot
+
+    // Paxos safety: adopt the highest already-accepted value if any.
+    const std::string proposal = adopted.value_or(value);
+
+    // Phase 2: accept.
+    std::vector<SimTimeMs> accept_rtts;
+    std::size_t accepts = 0;
+    for (RegionId r = 0; r < acceptors_.size(); ++r) {
+      Acceptor* acceptor = acceptors_[r];
+      if (acceptor == nullptr) continue;
+      const auto roundtrip = rtt(r);
+      if (!roundtrip.has_value()) continue;
+      const Accepted a = acceptor->handle_accept(ballot, proposal);
+      accept_rtts.push_back(*roundtrip);
+      if (a.ok) ++accepts;
+    }
+    if (accept_rtts.size() >= quorum()) {
+      std::nth_element(accept_rtts.begin(),
+                       accept_rtts.begin() +
+                           static_cast<std::ptrdiff_t>(quorum()) - 1,
+                       accept_rtts.end());
+      outcome.latency_ms += accept_rtts[quorum() - 1];
+    } else if (!accept_rtts.empty()) {
+      outcome.latency_ms +=
+          *std::max_element(accept_rtts.begin(), accept_rtts.end());
+    }
+    if (accepts >= quorum()) {
+      outcome.chosen = true;
+      outcome.value = proposal;
+      return outcome;
+    }
+  }
+  return outcome;  // not chosen within max_rounds
+}
+
+}  // namespace agar::paxos

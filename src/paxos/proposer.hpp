@@ -1,0 +1,62 @@
+// Single-decree Paxos proposer running against a quorum of simulated
+// acceptors.
+//
+// The proposer is synchronous over the simulation: it "sends" prepare and
+// accept messages to every acceptor, collects the responses that arrive
+// (down regions never answer), and reports both the consensus outcome and
+// the wall-clock (simulated) latency of the two phases. Message latency is
+// modelled as a fraction of the inter-region chunk-fetch base latency
+// (consensus messages are tiny compared to ~114 KB chunks); a phase
+// completes when the quorum-forming response arrives, i.e. its latency is
+// the quorum-th smallest round-trip.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "paxos/acceptor.hpp"
+#include "sim/network.hpp"
+
+namespace agar::paxos {
+
+struct ProposerParams {
+  RegionId region = 0;         ///< where the proposer runs
+  std::uint32_t proposer_id = 0;
+  /// Consensus message RTT = base chunk latency x this factor.
+  double message_rtt_factor = 0.3;
+  /// Give up after this many ballot rounds (contention backoff).
+  std::uint32_t max_rounds = 16;
+};
+
+struct ProposeOutcome {
+  bool chosen = false;
+  std::string value;      ///< the value actually chosen (may differ!)
+  SimTimeMs latency_ms = 0.0;
+  std::uint32_t rounds = 0;
+};
+
+class Proposer {
+ public:
+  /// `acceptors[i]` lives in region i; a null entry means the region hosts
+  /// no acceptor.
+  Proposer(std::vector<Acceptor*> acceptors, sim::Network* network,
+           ProposerParams params);
+
+  /// Try to get `value` chosen. Per Paxos, if a previous proposal was
+  /// already (partially) accepted, the proposer adopts and drives THAT
+  /// value to completion — the outcome reports the chosen value.
+  [[nodiscard]] ProposeOutcome propose(const std::string& value);
+
+  [[nodiscard]] std::size_t quorum() const { return acceptors_.size() / 2 + 1; }
+
+ private:
+  /// Round-trip latency to the acceptor in `region`, or nullopt if down.
+  [[nodiscard]] std::optional<SimTimeMs> rtt(RegionId region);
+
+  std::vector<Acceptor*> acceptors_;  // non-owning
+  sim::Network* network_;             // non-owning
+  ProposerParams params_;
+  std::uint32_t next_round_ = 1;
+};
+
+}  // namespace agar::paxos

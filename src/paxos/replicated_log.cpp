@@ -1,0 +1,79 @@
+#include "paxos/replicated_log.hpp"
+
+#include <stdexcept>
+
+namespace agar::paxos {
+
+ReplicatedLog::ReplicatedLog(std::size_t num_regions, sim::Network* network,
+                             double message_rtt_factor)
+    : num_regions_(num_regions),
+      network_(network),
+      message_rtt_factor_(message_rtt_factor) {
+  if (num_regions_ == 0) {
+    throw std::invalid_argument("ReplicatedLog: no regions");
+  }
+  if (network_ == nullptr) {
+    throw std::invalid_argument("ReplicatedLog: null network");
+  }
+}
+
+ReplicatedLog::Slot& ReplicatedLog::slot_at(std::size_t index) {
+  while (slots_.size() <= index) {
+    Slot s;
+    s.acceptors.resize(num_regions_);
+    slots_.push_back(std::move(s));
+  }
+  return slots_[index];
+}
+
+AppendOutcome ReplicatedLog::append(RegionId region,
+                                    const std::string& record) {
+  AppendOutcome out;
+  // Start at the first slot not known (locally) to be decided.
+  std::size_t slot_index = decided_prefix();
+
+  // Bounded walk: each iteration either decides this slot with our record,
+  // or learns someone else's record occupied it and moves on.
+  for (int guard = 0; guard < 1024; ++guard) {
+    Slot& slot = slot_at(slot_index);
+    ++out.slots_tried;
+
+    std::vector<Acceptor*> acceptors;
+    acceptors.reserve(num_regions_);
+    for (auto& a : slot.acceptors) acceptors.push_back(&a);
+
+    ProposerParams params;
+    params.region = region;
+    params.proposer_id = next_proposer_id_++;
+    params.message_rtt_factor = message_rtt_factor_;
+    Proposer proposer(acceptors, network_, params);
+
+    const ProposeOutcome result = proposer.propose(record);
+    out.latency_ms += result.latency_ms;
+    if (!result.chosen) return out;  // quorum unavailable
+
+    slot.chosen = result.value;
+    if (result.value == record) {
+      out.ok = true;
+      out.slot = slot_index;
+      return out;
+    }
+    // Someone else's record was already bound to this slot; ours goes in a
+    // later one.
+    ++slot_index;
+  }
+  return out;
+}
+
+std::optional<std::string> ReplicatedLog::learned(std::size_t slot) const {
+  if (slot >= slots_.size()) return std::nullopt;
+  return slots_[slot].chosen;
+}
+
+std::size_t ReplicatedLog::decided_prefix() const {
+  std::size_t n = 0;
+  while (n < slots_.size() && slots_[n].chosen.has_value()) ++n;
+  return n;
+}
+
+}  // namespace agar::paxos

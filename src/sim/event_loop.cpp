@@ -1,0 +1,42 @@
+#include "sim/event_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace agar::sim {
+
+void EventLoop::schedule_at(SimTimeMs when, Callback fn) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+}
+
+void EventLoop::schedule_in(SimTimeMs delay, Callback fn) {
+  schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+void EventLoop::schedule_periodic(SimTimeMs period, std::function<bool()> fn) {
+  // Each firing re-arms itself; capturing `this` is safe because callbacks
+  // never outlive the loop.
+  schedule_in(period, [this, period, fn = std::move(fn)]() mutable {
+    if (fn()) schedule_periodic(period, std::move(fn));
+  });
+}
+
+void EventLoop::pop_and_run() {
+  // Copy out before pop so the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+}
+
+void EventLoop::run() {
+  while (!queue_.empty()) pop_and_run();
+}
+
+void EventLoop::run_until(SimTimeMs horizon) {
+  while (!queue_.empty() && queue_.top().when <= horizon) pop_and_run();
+  now_ = std::max(now_, horizon);
+}
+
+}  // namespace agar::sim

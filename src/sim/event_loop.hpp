@@ -1,0 +1,65 @@
+// Discrete-event simulation core.
+//
+// The reproduction replaces the paper's AWS deployment with a deterministic
+// discrete-event simulation: clients, periodic reconfigurations and latency
+// probes are all events on one virtual timeline. Events fire in timestamp
+// order; ties break by insertion order so runs are fully reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace agar::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time (ms). Starts at 0.
+  [[nodiscard]] SimTimeMs now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now, clamped).
+  void schedule_at(SimTimeMs when, Callback fn);
+
+  /// Schedule `fn` to run `delay` ms from now.
+  void schedule_in(SimTimeMs delay, Callback fn);
+
+  /// Schedule `fn` every `period` ms, first firing at now + period.
+  /// The callback returns true to keep the timer armed, false to cancel.
+  void schedule_periodic(SimTimeMs period, std::function<bool()> fn);
+
+  /// Run until the queue is empty or until the optional time horizon.
+  void run();
+  void run_until(SimTimeMs horizon);
+
+  /// Number of events executed so far (observability for tests).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTimeMs when;
+    std::uint64_t seq;  // insertion order; tie-break for determinism
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  SimTimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace agar::sim

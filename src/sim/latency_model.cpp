@@ -1,0 +1,50 @@
+#include "sim/latency_model.hpp"
+
+#include <stdexcept>
+
+namespace agar::sim {
+
+LatencyModel::LatencyModel(const Topology* topology, LatencyModelParams params,
+                           std::uint64_t seed)
+    : topology_(topology), params_(params), rng_(seed) {
+  if (topology_ == nullptr) {
+    throw std::invalid_argument("LatencyModel: null topology");
+  }
+  if (params_.jitter_fraction < 0 || params_.jitter_fraction >= 1) {
+    throw std::invalid_argument("LatencyModel: jitter must be in [0, 1)");
+  }
+}
+
+double LatencyModel::jitter() {
+  const double j = params_.jitter_fraction;
+  return rng_.uniform(1.0 - j, 1.0 + j);
+}
+
+double LatencyModel::transfer_ms(std::size_t bytes, double mbps) {
+  // mbps is megabits/s; bytes * 8 bits / (mbps * 1e6 bits/s) * 1e3 ms.
+  return static_cast<double>(bytes) * 8.0 / (mbps * 1000.0);
+}
+
+SimTimeMs LatencyModel::backend_fetch_ms(RegionId from, RegionId to,
+                                         std::size_t bytes) {
+  return topology_->base_latency_ms(from, to) * jitter() +
+         transfer_ms(bytes, params_.wan_bandwidth_mbps);
+}
+
+SimTimeMs LatencyModel::expected_backend_fetch_ms(RegionId from, RegionId to,
+                                                  std::size_t bytes) const {
+  return topology_->base_latency_ms(from, to) +
+         transfer_ms(bytes, params_.wan_bandwidth_mbps);
+}
+
+SimTimeMs LatencyModel::cache_fetch_ms(std::size_t bytes) {
+  return params_.cache_base_ms * jitter() +
+         transfer_ms(bytes, params_.cache_bandwidth_mbps);
+}
+
+SimTimeMs LatencyModel::expected_cache_fetch_ms(std::size_t bytes) const {
+  return params_.cache_base_ms +
+         transfer_ms(bytes, params_.cache_bandwidth_mbps);
+}
+
+}  // namespace agar::sim

@@ -1,0 +1,61 @@
+// Latency model: turns a (from, to, bytes) fetch into milliseconds.
+//
+// latency = base(from, to) * jitter + bytes / bandwidth
+//
+// * base comes from the Topology matrix and already includes the request
+//   service overhead of an S3-like store;
+// * jitter is multiplicative, uniform in [1-j, 1+j] (default ±10%), drawn
+//   from a seeded RNG so runs are reproducible;
+// * the bandwidth term makes larger transfers slower; chunk sizes in the
+//   paper are ~114 KB so this term is small but non-zero.
+//
+// Cache fetches use a separate, much smaller constant (memcached on a LAN)
+// with the same jitter treatment.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/topology.hpp"
+
+namespace agar::sim {
+
+struct LatencyModelParams {
+  double jitter_fraction = 0.10;        ///< ±10% multiplicative jitter
+  double wan_bandwidth_mbps = 100.0;    ///< region-to-region throughput
+  double cache_base_ms = 55.0;          ///< local memcached round-trip base
+  double cache_bandwidth_mbps = 1000.0; ///< LAN throughput
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(const Topology* topology, LatencyModelParams params,
+               std::uint64_t seed);
+
+  /// Latency of fetching `bytes` from `to` as seen by a client in `from`.
+  [[nodiscard]] SimTimeMs backend_fetch_ms(RegionId from, RegionId to,
+                                           std::size_t bytes);
+
+  /// Same, but without jitter — used by planners that need expectations.
+  [[nodiscard]] SimTimeMs expected_backend_fetch_ms(RegionId from, RegionId to,
+                                                    std::size_t bytes) const;
+
+  /// Latency of fetching `bytes` from the region-local cache.
+  [[nodiscard]] SimTimeMs cache_fetch_ms(std::size_t bytes);
+
+  [[nodiscard]] SimTimeMs expected_cache_fetch_ms(std::size_t bytes) const;
+
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] const LatencyModelParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] double jitter();
+  [[nodiscard]] static double transfer_ms(std::size_t bytes, double mbps);
+
+  const Topology* topology_;  // non-owning; outlives the model
+  LatencyModelParams params_;
+  Rng rng_;
+};
+
+}  // namespace agar::sim

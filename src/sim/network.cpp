@@ -1,0 +1,22 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace agar::sim {
+
+std::optional<SimTimeMs> Network::backend_fetch(RegionId from, RegionId to,
+                                                std::size_t bytes) {
+  if (is_down(to)) return std::nullopt;
+  return model_.backend_fetch_ms(from, to, bytes);
+}
+
+SimTimeMs Network::cache_fetch(std::size_t bytes) {
+  return model_.cache_fetch_ms(bytes);
+}
+
+SimTimeMs Network::parallel_batch_ms(const std::vector<SimTimeMs>& latencies) {
+  if (latencies.empty()) return 0.0;
+  return *std::max_element(latencies.begin(), latencies.end());
+}
+
+}  // namespace agar::sim

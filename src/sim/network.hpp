@@ -1,0 +1,49 @@
+// Simulated wide-area network with failure injection.
+//
+// The network wraps the latency model and tracks region liveness. Clients
+// issue chunk fetches in parallel (the paper's YCSB client uses a thread
+// pool), so the completion time of a batch is the maximum of its per-fetch
+// latencies; `parallel_batch_ms` encodes exactly that.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/latency_model.hpp"
+
+namespace agar::sim {
+
+class Network {
+ public:
+  explicit Network(LatencyModel model) : model_(std::move(model)) {}
+
+  [[nodiscard]] const Topology& topology() const { return model_.topology(); }
+  [[nodiscard]] LatencyModel& model() { return model_; }
+
+  /// Failure injection: a down region refuses fetches until restored.
+  void fail_region(RegionId r) { down_.insert(r); }
+  void restore_region(RegionId r) { down_.erase(r); }
+  [[nodiscard]] bool is_down(RegionId r) const { return down_.contains(r); }
+  [[nodiscard]] std::size_t down_count() const { return down_.size(); }
+
+  /// Latency for one backend chunk fetch, or nullopt if `to` is down.
+  [[nodiscard]] std::optional<SimTimeMs> backend_fetch(RegionId from,
+                                                       RegionId to,
+                                                       std::size_t bytes);
+
+  /// Latency of one region-local cache fetch (the cache co-resides with the
+  /// client's region, so it never fails in this model).
+  [[nodiscard]] SimTimeMs cache_fetch(std::size_t bytes);
+
+  /// Completion time of a parallel batch: max of the elements, 0 if empty.
+  [[nodiscard]] static SimTimeMs parallel_batch_ms(
+      const std::vector<SimTimeMs>& latencies);
+
+ private:
+  LatencyModel model_;
+  std::unordered_set<RegionId> down_;
+};
+
+}  // namespace agar::sim

@@ -1,0 +1,63 @@
+// Geographic topology: named regions plus a base latency matrix.
+//
+// aws_six_regions() reproduces the paper's Fig. 1 deployment: Frankfurt,
+// Dublin, N. Virginia, Sao Paulo, Tokyo, Sydney. The base latencies are a
+// synthetic symmetric matrix calibrated so that (a) the ordering seen from
+// Frankfurt matches the paper's Table I (FRA < DUB < NVA < SAO < TYO < SYD)
+// and (b) the latency-vs-cached-chunks curves have the paper's Fig. 2 shape
+// for both Frankfurt (little gain until ~3 chunks are cached... large drop
+// after) and Sydney (large gain already at 3 chunks). Absolute values are
+// not the paper's measurements — see DESIGN.md §2 (substitutions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace agar::sim {
+
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Build from names and a square base-latency matrix (ms per chunk fetch,
+  /// including service overhead). Throws std::invalid_argument on shape
+  /// mismatch or asymmetry.
+  Topology(std::vector<std::string> names,
+           std::vector<std::vector<double>> base_latency_ms);
+
+  [[nodiscard]] std::size_t num_regions() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(RegionId r) const {
+    return names_.at(r);
+  }
+  [[nodiscard]] RegionId id_of(const std::string& name) const;
+
+  /// Base chunk-fetch latency between two regions in ms.
+  [[nodiscard]] double base_latency_ms(RegionId from, RegionId to) const {
+    return latency_.at(from).at(to);
+  }
+
+  /// Region ids sorted by base latency from `from`, nearest first.
+  [[nodiscard]] std::vector<RegionId> regions_by_distance(RegionId from) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> latency_;
+};
+
+/// The paper's six-region deployment (Fig. 1).
+[[nodiscard]] Topology aws_six_regions();
+
+/// Region indices of aws_six_regions(), for readable test/bench code.
+namespace region {
+inline constexpr RegionId kFrankfurt = 0;
+inline constexpr RegionId kDublin = 1;
+inline constexpr RegionId kVirginia = 2;
+inline constexpr RegionId kSaoPaulo = 3;
+inline constexpr RegionId kTokyo = 4;
+inline constexpr RegionId kSydney = 5;
+}  // namespace region
+
+}  // namespace agar::sim

@@ -1,0 +1,35 @@
+// Exponentially weighted moving average — the paper's popularity estimator:
+//
+//   popularity_i = alpha * freq_i + (1 - alpha) * popularity_{i-1}
+//
+// with alpha = 0.8 in the paper's experiments (§IV-A).
+#pragma once
+
+#include <stdexcept>
+
+namespace agar::stats {
+
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.8, double initial = 0.0)
+      : alpha_(alpha), value_(initial) {
+    if (alpha < 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("Ewma: alpha must be in [0, 1]");
+    }
+  }
+
+  /// Fold in the observation for one period and return the new average.
+  double update(double observation) {
+    value_ = alpha_ * observation + (1.0 - alpha_) * value_;
+    return value_;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_;
+};
+
+}  // namespace agar::stats

@@ -1,0 +1,42 @@
+#include "stats/freq_tracker.hpp"
+
+namespace agar::stats {
+
+void FreqTracker::record(const ObjectKey& key) {
+  ++state_[key].count;
+}
+
+std::size_t FreqTracker::roll_period() {
+  ++periods_;
+  for (auto it = state_.begin(); it != state_.end();) {
+    KeyState& s = it->second;
+    s.popularity = alpha_ * static_cast<double>(s.count) +
+                   (1.0 - alpha_) * s.popularity;
+    s.count = 0;
+    if (s.popularity < drop_below_) {
+      it = state_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return state_.size();
+}
+
+double FreqTracker::popularity(const ObjectKey& key) const {
+  const auto it = state_.find(key);
+  return it == state_.end() ? 0.0 : it->second.popularity;
+}
+
+std::uint64_t FreqTracker::current_count(const ObjectKey& key) const {
+  const auto it = state_.find(key);
+  return it == state_.end() ? 0 : it->second.count;
+}
+
+std::vector<std::pair<ObjectKey, double>> FreqTracker::snapshot() const {
+  std::vector<std::pair<ObjectKey, double>> out;
+  out.reserve(state_.size());
+  for (const auto& [key, s] : state_) out.emplace_back(key, s.popularity);
+  return out;
+}
+
+}  // namespace agar::stats

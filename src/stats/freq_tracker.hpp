@@ -1,0 +1,57 @@
+// Per-period access frequency tracking with EWMA smoothing — the state
+// behind Agar's request monitor (paper §III-b / §IV-A).
+//
+// record() counts accesses within the current period; roll_period() folds
+// the period's counts into each key's EWMA popularity and resets the
+// counters. Keys whose popularity decays below a floor are dropped so the
+// tracker's footprint follows the working set, not the full key space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/ewma.hpp"
+
+namespace agar::stats {
+
+class FreqTracker {
+ public:
+  explicit FreqTracker(double alpha = 0.8, double drop_below = 1e-3)
+      : alpha_(alpha), drop_below_(drop_below) {}
+
+  /// Count one access to `key` in the current period.
+  void record(const ObjectKey& key);
+
+  /// Close the current period: popularity <- alpha*freq + (1-alpha)*pop.
+  /// Returns the number of keys still tracked.
+  std::size_t roll_period();
+
+  /// Smoothed popularity of a key (0 if never seen / decayed away).
+  [[nodiscard]] double popularity(const ObjectKey& key) const;
+
+  /// Raw in-period count (for tests).
+  [[nodiscard]] std::uint64_t current_count(const ObjectKey& key) const;
+
+  /// All (key, popularity) pairs, unspecified order.
+  [[nodiscard]] std::vector<std::pair<ObjectKey, double>> snapshot() const;
+
+  [[nodiscard]] std::size_t tracked_keys() const { return state_.size(); }
+  [[nodiscard]] std::uint64_t periods() const { return periods_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  struct KeyState {
+    double popularity = 0.0;
+    std::uint64_t count = 0;  // accesses in the current period
+  };
+
+  double alpha_;
+  double drop_below_;
+  std::uint64_t periods_ = 0;
+  std::unordered_map<ObjectKey, KeyState> state_;
+};
+
+}  // namespace agar::stats

@@ -1,0 +1,73 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace agar::stats {
+
+void Histogram::add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) throw std::logic_error("Histogram: empty");
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) throw std::logic_error("Histogram: empty");
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Histogram::percentile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Histogram: empty");
+  if (q < 0.0 || q > 100.0) {
+    throw std::invalid_argument("Histogram: percentile out of range");
+  }
+  sort_if_needed();
+  // Nearest-rank: ceil(q/100 * N), 1-based.
+  const auto n = static_cast<double>(samples_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (const double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+  sum_ += other.sum_;
+}
+
+}  // namespace agar::stats

@@ -1,0 +1,42 @@
+// Streaming latency statistics: mean, min/max, and percentiles.
+//
+// Experiments report average read latency (as the paper does) plus
+// percentiles for the extended analysis. Samples are kept exactly — runs
+// are thousands of operations, so memory is not a concern — which makes
+// percentile math trivial and exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace agar::stats {
+
+class Histogram {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Exact percentile by nearest-rank; q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double stddev() const;
+
+  void clear();
+
+  /// Merge another histogram's samples into this one.
+  void merge(const Histogram& other);
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+}  // namespace agar::stats

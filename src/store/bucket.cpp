@@ -1,0 +1,37 @@
+#include "store/bucket.hpp"
+
+namespace agar::store {
+
+void Bucket::put(const ChunkId& id, Bytes data) {
+  ++puts_;
+  auto it = chunks_.find(id);
+  if (it != chunks_.end()) {
+    total_bytes_ -= it->second.size();
+    total_bytes_ += data.size();
+    it->second = std::move(data);
+    return;
+  }
+  total_bytes_ += data.size();
+  chunks_.emplace(id, std::move(data));
+}
+
+std::optional<BytesView> Bucket::get(const ChunkId& id) const {
+  ++gets_;
+  const auto it = chunks_.find(id);
+  if (it == chunks_.end()) return std::nullopt;
+  return BytesView(it->second);
+}
+
+bool Bucket::contains(const ChunkId& id) const {
+  return chunks_.contains(id);
+}
+
+bool Bucket::erase(const ChunkId& id) {
+  const auto it = chunks_.find(id);
+  if (it == chunks_.end()) return false;
+  total_bytes_ -= it->second.size();
+  chunks_.erase(it);
+  return true;
+}
+
+}  // namespace agar::store

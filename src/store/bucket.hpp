@@ -1,0 +1,41 @@
+// An S3-like bucket: durable chunk storage for one region.
+//
+// Buckets store chunk payloads keyed by ChunkId and keep simple counters so
+// tests and reports can observe backend traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace agar::store {
+
+class Bucket {
+ public:
+  /// Store (or overwrite) one chunk.
+  void put(const ChunkId& id, Bytes data);
+
+  /// Fetch a chunk payload; nullopt if absent.
+  [[nodiscard]] std::optional<BytesView> get(const ChunkId& id) const;
+
+  [[nodiscard]] bool contains(const ChunkId& id) const;
+  bool erase(const ChunkId& id);
+
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
+
+  /// Observability counters.
+  [[nodiscard]] std::uint64_t gets() const { return gets_; }
+  [[nodiscard]] std::uint64_t puts() const { return puts_; }
+
+ private:
+  std::unordered_map<ChunkId, Bytes> chunks_;
+  std::size_t total_bytes_ = 0;
+  mutable std::uint64_t gets_ = 0;
+  std::uint64_t puts_ = 0;
+};
+
+}  // namespace agar::store

@@ -1,0 +1,37 @@
+// Stripe repair: reconstruct lost chunks from the surviving ones and
+// re-store them — the maintenance path every erasure-coded store needs
+// (region loss, bucket corruption, bit rot).
+//
+// Repair operates directly on the backend's buckets (it is an operator
+// tool, not a client): for each object with missing chunks it gathers any
+// k survivors, recomputes the missing chunks with the Reed-Solomon codec,
+// and writes them back to their home regions.
+#pragma once
+
+#include <vector>
+
+#include "store/backend.hpp"
+
+namespace agar::store {
+
+struct RepairReport {
+  std::size_t objects_scanned = 0;
+  std::size_t objects_damaged = 0;    ///< at least one chunk missing
+  std::size_t objects_repaired = 0;   ///< fully restored
+  std::size_t objects_unrecoverable = 0;  ///< fewer than k survivors
+  std::size_t chunks_rebuilt = 0;
+};
+
+/// Repair one object. Returns true if the object is fully intact after the
+/// call (including "was never damaged").
+bool repair_object(BackendCluster& backend, const ObjectKey& key,
+                   RepairReport* report = nullptr);
+
+/// Scan every object and repair whatever is damaged.
+[[nodiscard]] RepairReport repair_all(BackendCluster& backend);
+
+/// Chunk indices of `key` currently missing from their buckets.
+[[nodiscard]] std::vector<ChunkIndex> missing_chunks(
+    const BackendCluster& backend, const ObjectKey& key);
+
+}  // namespace agar::store

@@ -1,0 +1,132 @@
+// Backend cluster: stripe distribution, metadata, end-to-end chunk access.
+#include "store/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace agar::store {
+namespace {
+
+BackendCluster make_cluster(std::size_t regions = 6,
+                            ec::CodecParams params = {9, 3}) {
+  return BackendCluster(regions, params,
+                        std::make_shared<ec::RoundRobinPlacement>(false));
+}
+
+TEST(Backend, ConstructionValidation) {
+  EXPECT_THROW(
+      BackendCluster(0, ec::CodecParams{9, 3},
+                     std::make_shared<ec::RoundRobinPlacement>(false)),
+      std::invalid_argument);
+  EXPECT_THROW(BackendCluster(6, ec::CodecParams{9, 3}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Backend, PutDistributesChunksRoundRobin) {
+  auto cluster = make_cluster();
+  const Bytes payload = deterministic_payload("obj", 9000);
+  cluster.put_object("obj", BytesView(payload));
+  // 12 chunks over 6 regions -> 2 per bucket.
+  for (RegionId r = 0; r < 6; ++r) {
+    EXPECT_EQ(cluster.bucket(r).num_chunks(), 2u) << "region " << r;
+  }
+}
+
+TEST(Backend, ObjectInfoHasAllLocations) {
+  auto cluster = make_cluster();
+  const Bytes payload = deterministic_payload("obj", 900);
+  cluster.put_object("obj", BytesView(payload));
+  const ObjectInfo info = cluster.object_info("obj");
+  EXPECT_EQ(info.object_size, 900u);
+  EXPECT_EQ(info.chunk_size, 100u);
+  ASSERT_EQ(info.locations.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(info.locations[i].index, i);
+    EXPECT_EQ(info.locations[i].region, i % 6);
+  }
+}
+
+TEST(Backend, UnknownObjectThrows) {
+  auto cluster = make_cluster();
+  EXPECT_THROW((void)cluster.object_info("nope"), std::out_of_range);
+  EXPECT_FALSE(cluster.has_object("nope"));
+}
+
+TEST(Backend, GetChunkFetchesFromRightBucket) {
+  auto cluster = make_cluster();
+  const Bytes payload = deterministic_payload("obj", 1800);
+  cluster.put_object("obj", BytesView(payload));
+  for (ChunkIndex i = 0; i < 12; ++i) {
+    EXPECT_TRUE(cluster.get_chunk({"obj", i}).has_value()) << i;
+  }
+  EXPECT_FALSE(cluster.get_chunk({"other", 0}).has_value());
+}
+
+TEST(Backend, ChunksDecodeBackToObject) {
+  auto cluster = make_cluster(6, ec::CodecParams{4, 2});
+  const Bytes payload = deterministic_payload("rt", 4096);
+  cluster.put_object("rt", BytesView(payload));
+  std::vector<ec::Chunk> chunks;
+  for (ChunkIndex i = 0; i < 4; ++i) {  // data chunks suffice
+    const auto v = cluster.get_chunk({"rt", i});
+    ASSERT_TRUE(v.has_value());
+    chunks.push_back(ec::Chunk{i, Bytes(v->begin(), v->end())});
+  }
+  EXPECT_EQ(cluster.codec().decode(4096, chunks), payload);
+}
+
+TEST(Backend, RegisterObjectMetadataOnly) {
+  auto cluster = make_cluster();
+  cluster.register_object("meta", 1_MB);
+  EXPECT_TRUE(cluster.has_object("meta"));
+  const ObjectInfo info = cluster.object_info("meta");
+  EXPECT_EQ(info.object_size, 1_MB);
+  EXPECT_EQ(info.locations.size(), 12u);
+  // No payloads were materialized.
+  EXPECT_FALSE(cluster.get_chunk({"meta", 0}).has_value());
+  for (RegionId r = 0; r < 6; ++r) {
+    EXPECT_EQ(cluster.bucket(r).num_chunks(), 0u);
+  }
+}
+
+TEST(Backend, PopulateWorkingSet) {
+  auto cluster = make_cluster();
+  populate_working_set(cluster, 10, 900);
+  EXPECT_EQ(cluster.num_objects(), 10u);
+  EXPECT_TRUE(cluster.has_object("object0"));
+  EXPECT_TRUE(cluster.has_object("object9"));
+  EXPECT_FALSE(cluster.has_object("object10"));
+  // Each region holds 2 chunks per object.
+  for (RegionId r = 0; r < 6; ++r) {
+    EXPECT_EQ(cluster.bucket(r).num_chunks(), 20u);
+  }
+}
+
+TEST(Backend, KeysListsAllObjects) {
+  auto cluster = make_cluster();
+  populate_working_set(cluster, 3, 90);
+  auto keys = cluster.keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys,
+            (std::vector<ObjectKey>{"object0", "object1", "object2"}));
+}
+
+TEST(Backend, OverwriteObjectReplacesChunks) {
+  auto cluster = make_cluster(6, ec::CodecParams{4, 2});
+  cluster.put_object("k", BytesView(deterministic_payload("v1", 400)));
+  cluster.put_object("k", BytesView(deterministic_payload("v2", 800)));
+  const ObjectInfo info = cluster.object_info("k");
+  EXPECT_EQ(info.object_size, 800u);
+  std::vector<ec::Chunk> chunks;
+  for (ChunkIndex i = 0; i < 4; ++i) {
+    const auto v = cluster.get_chunk({"k", i});
+    ASSERT_TRUE(v.has_value());
+    chunks.push_back(ec::Chunk{i, Bytes(v->begin(), v->end())});
+  }
+  EXPECT_EQ(cluster.codec().decode(800, chunks),
+            deterministic_payload("v2", 800));
+}
+
+}  // namespace
+}  // namespace agar::store

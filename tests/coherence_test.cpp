@@ -1,0 +1,128 @@
+// Write coherence (§VI extension): versions, invalidation, write ordering.
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.hpp"
+#include "cache/static_cache.hpp"
+#include "paxos/coherence.hpp"
+#include "sim/topology.hpp"
+
+namespace agar::paxos {
+namespace {
+
+TEST(WriteRecord, EncodeDecodeRoundTrip) {
+  WriteRecord r{"object42", 7};
+  const WriteRecord back = WriteRecord::decode(r.encode());
+  EXPECT_EQ(back.key, "object42");
+  EXPECT_EQ(back.version, 7u);
+}
+
+TEST(WriteRecord, KeysWithAtSignsSurvive) {
+  WriteRecord r{"user@example", 3};
+  const WriteRecord back = WriteRecord::decode(r.encode());
+  EXPECT_EQ(back.key, "user@example");
+  EXPECT_EQ(back.version, 3u);
+}
+
+TEST(WriteRecord, MalformedThrows) {
+  EXPECT_THROW(WriteRecord::decode("no-version-marker"),
+               std::invalid_argument);
+}
+
+class CoherenceTest : public ::testing::Test {
+ protected:
+  CoherenceTest()
+      : topology_(sim::aws_six_regions()),
+        network_(sim::LatencyModel(&topology_, {}, 21)),
+        coordinator_(6, &network_),
+        fra_cache_(1_MB),
+        syd_cache_(1_MB) {
+    coordinator_.attach_cache(sim::region::kFrankfurt, &fra_cache_, 12);
+    coordinator_.attach_cache(sim::region::kSydney, &syd_cache_, 12);
+  }
+
+  void populate(cache::CacheEngine& cache, const ObjectKey& key) {
+    for (ChunkIndex i = 0; i < 12; ++i) {
+      cache.put(ChunkId{key, i}.cache_key(), Bytes(16, 1));
+    }
+  }
+
+  sim::Topology topology_;
+  sim::Network network_;
+  CoherenceCoordinator coordinator_;
+  cache::LruCache fra_cache_;
+  cache::LruCache syd_cache_;
+};
+
+TEST_F(CoherenceTest, NullCacheThrows) {
+  EXPECT_THROW(coordinator_.attach_cache(0, nullptr, 12),
+               std::invalid_argument);
+}
+
+TEST_F(CoherenceTest, VersionsStartAtZeroAndIncrement) {
+  EXPECT_EQ(coordinator_.version("k"), 0u);
+  ASSERT_TRUE(coordinator_.commit_write(0, "k").has_value());
+  EXPECT_EQ(coordinator_.version("k"), 1u);
+  ASSERT_TRUE(coordinator_.commit_write(3, "k").has_value());
+  EXPECT_EQ(coordinator_.version("k"), 2u);
+}
+
+TEST_F(CoherenceTest, WriteInvalidatesAllRegionCaches) {
+  populate(fra_cache_, "obj");
+  populate(syd_cache_, "obj");
+  populate(fra_cache_, "other");
+  ASSERT_TRUE(coordinator_.commit_write(0, "obj").has_value());
+  for (ChunkIndex i = 0; i < 12; ++i) {
+    EXPECT_FALSE(fra_cache_.contains(ChunkId{"obj", i}.cache_key()));
+    EXPECT_FALSE(syd_cache_.contains(ChunkId{"obj", i}.cache_key()));
+    // Unrelated keys untouched.
+    EXPECT_TRUE(fra_cache_.contains(ChunkId{"other", i}.cache_key()));
+  }
+  EXPECT_EQ(coordinator_.invalidations_applied(), 24u);
+}
+
+TEST_F(CoherenceTest, CommitLatencyIsPositiveAndBounded) {
+  const auto latency = coordinator_.commit_write(sim::region::kSydney, "k");
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_GT(*latency, 0.0);
+  EXPECT_LT(*latency, 4000.0);
+}
+
+TEST_F(CoherenceTest, NoQuorumNoCommit) {
+  network_.fail_region(1);
+  network_.fail_region(2);
+  network_.fail_region(3);
+  populate(fra_cache_, "obj");
+  EXPECT_FALSE(coordinator_.commit_write(0, "obj").has_value());
+  // Failed commit must not invalidate.
+  EXPECT_TRUE(fra_cache_.contains(ChunkId{"obj", 0}.cache_key()));
+  EXPECT_EQ(coordinator_.version("obj"), 0u);
+}
+
+TEST_F(CoherenceTest, ConcurrentWritersSerializeThroughLog) {
+  for (int i = 0; i < 10; ++i) {
+    const RegionId writer = static_cast<RegionId>(i % 6);
+    ASSERT_TRUE(coordinator_.commit_write(writer, "hot").has_value());
+  }
+  EXPECT_EQ(coordinator_.version("hot"), 10u);
+  EXPECT_EQ(coordinator_.log().decided_prefix(), 10u);
+}
+
+TEST_F(CoherenceTest, StaticConfigCacheAlsoInvalidates) {
+  cache::StaticConfigCache agar_cache(1_MB);
+  std::unordered_set<std::string> configured;
+  for (ChunkIndex i = 0; i < 12; ++i) {
+    configured.insert(ChunkId{"obj", i}.cache_key());
+  }
+  agar_cache.install_configuration(std::move(configured));
+  for (ChunkIndex i = 0; i < 12; ++i) {
+    agar_cache.put(ChunkId{"obj", i}.cache_key(), Bytes(8, 2));
+  }
+  coordinator_.attach_cache(sim::region::kDublin, &agar_cache, 12);
+  ASSERT_TRUE(coordinator_.commit_write(0, "obj").has_value());
+  EXPECT_EQ(agar_cache.used_bytes(), 0u);
+  // The configuration itself survives: the next read repopulates.
+  EXPECT_TRUE(agar_cache.is_configured(ChunkId{"obj", 0}.cache_key()));
+}
+
+}  // namespace
+}  // namespace agar::paxos

@@ -1,0 +1,77 @@
+// Count-min sketch: never under-estimates, ages, bounded error.
+#include "stats/count_min.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::stats {
+namespace {
+
+TEST(CountMin, ValidatesDimensions) {
+  EXPECT_THROW(CountMinSketch(0, 4), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(16, 0), std::invalid_argument);
+}
+
+TEST(CountMin, UnseenKeyEstimatesZeroOnEmptySketch) {
+  CountMinSketch s(1024, 4);
+  EXPECT_EQ(s.estimate("never"), 0u);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch s(256, 4);
+  for (int k = 0; k < 50; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    for (int i = 0; i <= k; ++i) s.add(key);
+  }
+  for (int k = 0; k < 50; ++k) {
+    const std::string key = "key" + std::to_string(k);
+    EXPECT_GE(s.estimate(key), static_cast<std::uint64_t>(k + 1)) << key;
+  }
+}
+
+TEST(CountMin, ExactWhenSparse) {
+  CountMinSketch s(4096, 4);
+  for (int i = 0; i < 100; ++i) s.add("solo");
+  EXPECT_EQ(s.estimate("solo"), 100u);
+}
+
+TEST(CountMin, HalvingReducesCounts) {
+  CountMinSketch s(1024, 4);
+  for (int i = 0; i < 100; ++i) s.add("a");
+  s.halve();
+  EXPECT_EQ(s.estimate("a"), 50u);
+}
+
+TEST(CountMin, AutoAgingTriggers) {
+  CountMinSketch s(1024, 4, /*aging_window=*/64);
+  for (int i = 0; i < 64; ++i) s.add("a");
+  // Exactly at the window the halve fires: 64 -> 32.
+  EXPECT_EQ(s.estimate("a"), 32u);
+}
+
+TEST(CountMin, TotalAddsMonotonic) {
+  CountMinSketch s(64, 2, 8);
+  for (int i = 0; i < 100; ++i) s.add("x");
+  EXPECT_EQ(s.total_adds(), 100u);
+}
+
+TEST(CountMin, DimensionsReported) {
+  CountMinSketch s(128, 3);
+  EXPECT_EQ(s.width(), 128u);
+  EXPECT_EQ(s.depth(), 3u);
+}
+
+TEST(CountMin, ErrorBoundedUnderLoad) {
+  // With width w, the over-estimate of any key is ~ total/w per row; the
+  // min over 4 rows is far tighter. Check a generous bound.
+  CountMinSketch s(1024, 4);
+  for (int k = 0; k < 2000; ++k) {
+    s.add("noise" + std::to_string(k));
+  }
+  for (int i = 0; i < 10; ++i) s.add("target");
+  const auto est = s.estimate("target");
+  EXPECT_GE(est, 10u);
+  EXPECT_LE(est, 10u + 40u);  // 2010 adds / 1024 width * slack
+}
+
+}  // namespace
+}  // namespace agar::stats

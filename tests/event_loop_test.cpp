@@ -1,0 +1,140 @@
+// Discrete-event loop: ordering, determinism, periodic timers.
+#include "sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agar::sim {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0.0);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30.0, [&] { order.push_back(3); });
+  loop.schedule_at(10.0, [&] { order.push_back(1); });
+  loop.schedule_at(20.0, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30.0);
+}
+
+TEST(EventLoop, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(5.0, [&] { order.push_back(1); });
+  loop.schedule_at(5.0, [&] { order.push_back(2); });
+  loop.schedule_at(5.0, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, ScheduleInIsRelative) {
+  EventLoop loop;
+  SimTimeMs fired_at = -1;
+  loop.schedule_at(100.0, [&] {
+    loop.schedule_in(50.0, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150.0);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  SimTimeMs fired_at = -1;
+  loop.schedule_at(100.0, [&] {
+    loop.schedule_at(10.0, [&] { fired_at = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 100.0);
+}
+
+TEST(EventLoop, NegativeDelayClampsToZero) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_in(-5.0, [&] { fired = true; });
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), 0.0);
+}
+
+TEST(EventLoop, CallbacksCanScheduleMore) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_in(1.0, recurse);
+  };
+  loop.schedule_in(1.0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 5.0);
+}
+
+TEST(EventLoop, RunUntilStopsAtHorizon) {
+  EventLoop loop;
+  std::vector<SimTimeMs> fired;
+  for (int i = 1; i <= 5; ++i) {
+    loop.schedule_at(i * 10.0, [&, i] { fired.push_back(i * 10.0); });
+  }
+  loop.run_until(30.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(loop.now(), 30.0);
+  loop.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventLoop loop;
+  loop.run_until(500.0);
+  EXPECT_EQ(loop.now(), 500.0);
+}
+
+TEST(EventLoop, PeriodicFiresUntilCancelled) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_periodic(10.0, [&] { return ++count < 3; });
+  loop.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(loop.now(), 30.0);
+}
+
+TEST(EventLoop, PeriodicFirstFiringAfterOnePeriod) {
+  EventLoop loop;
+  SimTimeMs first = -1;
+  loop.schedule_periodic(25.0, [&] {
+    if (first < 0) first = loop.now();
+    return false;
+  });
+  loop.run();
+  EXPECT_EQ(first, 25.0);
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_in(1.0, [] {});
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 7u);
+}
+
+TEST(EventLoop, InterleavedPeriodicAndOneShot) {
+  EventLoop loop;
+  std::vector<std::string> sequence;
+  loop.schedule_periodic(10.0, [&] {
+    sequence.push_back("tick@" + std::to_string(static_cast<int>(loop.now())));
+    return loop.now() < 30.0;
+  });
+  loop.schedule_at(15.0, [&] { sequence.push_back("shot@15"); });
+  loop.run();
+  EXPECT_EQ(sequence,
+            (std::vector<std::string>{"tick@10", "shot@15", "tick@20",
+                                      "tick@30"}));
+}
+
+}  // namespace
+}  // namespace agar::sim

@@ -1,0 +1,65 @@
+// EWMA: the paper's popularity smoothing (alpha = 0.8).
+#include "stats/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::stats {
+namespace {
+
+TEST(Ewma, PaperExampleFirstIteration) {
+  // §IV example: previous popularity 0, frequency 100, alpha 0.8 -> 80.
+  Ewma e(0.8, 0.0);
+  EXPECT_DOUBLE_EQ(e.update(100.0), 80.0);
+}
+
+TEST(Ewma, SecondIterationBlends) {
+  Ewma e(0.8, 0.0);
+  e.update(100.0);                        // 80
+  EXPECT_DOUBLE_EQ(e.update(50.0), 56.0);  // 0.8*50 + 0.2*80
+}
+
+TEST(Ewma, AlphaOneTracksInstantly) {
+  Ewma e(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(e.update(42.0), 42.0);
+}
+
+TEST(Ewma, AlphaZeroNeverMoves) {
+  Ewma e(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(e.update(1000.0), 7.0);
+}
+
+TEST(Ewma, InvalidAlphaThrows) {
+  EXPECT_THROW(Ewma(-0.1), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.1), std::invalid_argument);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.5, 0.0);
+  for (int i = 0; i < 64; ++i) e.update(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, DecaysToZeroWithoutTraffic) {
+  Ewma e(0.8, 100.0);
+  for (int i = 0; i < 10; ++i) e.update(0.0);
+  EXPECT_LT(e.value(), 0.001);
+  EXPECT_GT(e.value(), 0.0);
+}
+
+TEST(Ewma, GeometricDecayRate) {
+  // After n zero periods, value = initial * (1 - alpha)^n.
+  Ewma e(0.8, 100.0);
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 20.0);
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);
+}
+
+TEST(Ewma, AccessorsReport) {
+  Ewma e(0.3, 2.5);
+  EXPECT_DOUBLE_EQ(e.alpha(), 0.3);
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+}  // namespace
+}  // namespace agar::stats

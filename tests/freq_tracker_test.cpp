@@ -1,0 +1,103 @@
+// Per-period frequency tracking with EWMA smoothing.
+#include "stats/freq_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::stats {
+namespace {
+
+TEST(FreqTracker, CountsWithinPeriod) {
+  FreqTracker t(0.8);
+  t.record("a");
+  t.record("a");
+  t.record("b");
+  EXPECT_EQ(t.current_count("a"), 2u);
+  EXPECT_EQ(t.current_count("b"), 1u);
+  EXPECT_EQ(t.current_count("c"), 0u);
+}
+
+TEST(FreqTracker, PopularityZeroBeforeFirstRoll) {
+  FreqTracker t(0.8);
+  t.record("a");
+  EXPECT_DOUBLE_EQ(t.popularity("a"), 0.0);
+}
+
+TEST(FreqTracker, RollAppliesPaperFormula) {
+  FreqTracker t(0.8);
+  for (int i = 0; i < 100; ++i) t.record("key1");
+  t.roll_period();
+  EXPECT_DOUBLE_EQ(t.popularity("key1"), 80.0);  // paper's §IV example
+  for (int i = 0; i < 50; ++i) t.record("key1");
+  t.roll_period();
+  EXPECT_DOUBLE_EQ(t.popularity("key1"), 56.0);  // 0.8*50 + 0.2*80
+}
+
+TEST(FreqTracker, RollResetsCounts) {
+  FreqTracker t(0.8);
+  t.record("a");
+  t.roll_period();
+  EXPECT_EQ(t.current_count("a"), 0u);
+}
+
+TEST(FreqTracker, ColdKeysDecayAway) {
+  FreqTracker t(0.8, /*drop_below=*/1e-3);
+  t.record("once");
+  t.roll_period();  // popularity 0.8
+  EXPECT_GT(t.popularity("once"), 0.0);
+  // 0.8 * 0.2^n < 1e-3 after a handful of idle periods.
+  for (int i = 0; i < 6; ++i) t.roll_period();
+  EXPECT_DOUBLE_EQ(t.popularity("once"), 0.0);
+  EXPECT_EQ(t.tracked_keys(), 0u);
+}
+
+TEST(FreqTracker, HotKeysStayTracked) {
+  FreqTracker t(0.8);
+  for (int p = 0; p < 10; ++p) {
+    for (int i = 0; i < 20; ++i) t.record("hot");
+    t.roll_period();
+  }
+  EXPECT_NEAR(t.popularity("hot"), 20.0, 0.1);
+  EXPECT_EQ(t.tracked_keys(), 1u);
+}
+
+TEST(FreqTracker, SnapshotListsTrackedKeys) {
+  FreqTracker t(0.8);
+  t.record("a");
+  t.record("b");
+  t.roll_period();
+  auto snap = t.snapshot();
+  std::sort(snap.begin(), snap.end());
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_DOUBLE_EQ(snap[0].second, 0.8);
+}
+
+TEST(FreqTracker, PeriodsCount) {
+  FreqTracker t;
+  EXPECT_EQ(t.periods(), 0u);
+  t.roll_period();
+  t.roll_period();
+  EXPECT_EQ(t.periods(), 2u);
+}
+
+TEST(FreqTracker, RollReturnsTrackedKeyCount) {
+  FreqTracker t(0.8);
+  t.record("a");
+  t.record("b");
+  EXPECT_EQ(t.roll_period(), 2u);
+}
+
+TEST(FreqTracker, DistinguishesManyKeys) {
+  FreqTracker t(0.8);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    for (int j = 0; j <= i; ++j) t.record(key);
+  }
+  t.roll_period();
+  // Popularity must be monotone in access count.
+  EXPECT_LT(t.popularity("k10"), t.popularity("k50"));
+  EXPECT_LT(t.popularity("k50"), t.popularity("k99"));
+}
+
+}  // namespace
+}  // namespace agar::stats

@@ -1,0 +1,86 @@
+// Latency statistics: mean, percentiles, merge.
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::stats {
+namespace {
+
+TEST(Histogram, EmptyBasics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_THROW((void)h.min(), std::logic_error);
+  EXPECT_THROW((void)h.percentile(50), std::logic_error);
+}
+
+TEST(Histogram, MeanMinMax) {
+  Histogram h;
+  for (const double v : {3.0, 1.0, 2.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, PercentileNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 1.0);
+}
+
+TEST(Histogram, PercentileOutOfRangeThrows) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_THROW((void)h.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile(101), std::invalid_argument);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.add(7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, StddevKnownValue) {
+  Histogram h;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.add(v);
+  // Sample stddev of this classic set is ~2.138.
+  EXPECT_NEAR(h.stddev(), 2.138, 0.001);
+}
+
+TEST(Histogram, AddAfterPercentileStillCorrect) {
+  Histogram h;
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+  h.add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(5.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, MergeCombinesSamples) {
+  Histogram a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace agar::stats

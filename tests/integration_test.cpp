@@ -1,0 +1,166 @@
+// End-to-end integration: the full paper deployment exercised through the
+// public API, with real payload verification, reconfiguration over simulated
+// time, failure injection, and the headline Agar-vs-static-policy ordering
+// on a scaled-down working set.
+#include <gtest/gtest.h>
+
+#include "client/report.hpp"
+#include "client/runner.hpp"
+
+namespace agar::client {
+namespace {
+
+ExperimentConfig paper_mini() {
+  // A scaled-down §V-A setup: fewer/smaller objects so verify-mode tests
+  // stay fast, same structure (RS(9,3), six regions, zipf 1.1, 2 clients).
+  ExperimentConfig c;
+  c.deployment.num_objects = 40;
+  c.deployment.object_size_bytes = 18_KB;
+  c.deployment.seed = 2026;
+  c.workload = WorkloadSpec::zipfian(1.1);
+  c.ops_per_run = 1500;
+  c.runs = 2;
+  c.num_clients = 2;
+  // The paper's 30 s period matters: shorter periods see too few samples
+  // per period at this scale, the EWMA gets noisy, and configuration churn
+  // erodes Agar's advantage (see EXPERIMENTS.md notes).
+  c.reconfig_period_ms = 30'000.0;
+  return c;
+}
+
+std::size_t cache_for_objects(const ExperimentConfig& c, double objects) {
+  // Capacity equivalent to `objects` full 9-chunk replicas.
+  const std::size_t chunk = (c.deployment.object_size_bytes + 8) / 9;
+  return static_cast<std::size_t>(9.0 * objects * static_cast<double>(chunk));
+}
+
+TEST(Integration, AgarBeatsStaticPoliciesOnSkewedWorkload) {
+  auto config = paper_mini();
+  const std::size_t cache = cache_for_objects(config, 4.0);  // ~10% of data
+
+  const auto results = run_comparison(
+      config, {
+                  StrategySpec::agar(cache),
+                  StrategySpec::lru(1, cache),
+                  StrategySpec::lru(9, cache),
+                  StrategySpec::lfu(5, cache),
+                  StrategySpec::lfu(9, cache),
+                  StrategySpec::backend(),
+              });
+
+  const double agar = results[0].mean_latency_ms();
+  const double backend = results.back().mean_latency_ms();
+  // Agar must beat the backend massively and every static policy we ran
+  // (the paper reports 16-41% over the best static policy; we only assert
+  // the ordering, not the magnitude).
+  EXPECT_LT(agar, backend);
+  for (std::size_t i = 1; i + 1 < results.size(); ++i) {
+    EXPECT_LT(agar, results[i].mean_latency_ms() * 1.02)
+        << "vs " << results[i].spec.label();
+  }
+}
+
+TEST(Integration, HitRatioOrderingMatchesFig7) {
+  auto config = paper_mini();
+  const std::size_t cache = cache_for_objects(config, 4.0);
+  const auto lru1 = run_experiment(config, StrategySpec::lru(1, cache));
+  const auto lru9 = run_experiment(config, StrategySpec::lru(9, cache));
+  // Fewer chunks per object -> more objects fit -> higher hit ratio.
+  EXPECT_GT(lru1.hit_ratio(), lru9.hit_ratio());
+}
+
+TEST(Integration, VerifiedEndToEndWithRealPayloads) {
+  auto config = paper_mini();
+  config.verify_data = true;
+  config.ops_per_run = 200;
+  config.runs = 1;
+  const auto agar =
+      run_experiment(config, StrategySpec::agar(cache_for_objects(config, 4)));
+  EXPECT_EQ(agar.runs[0].verified, agar.runs[0].ops);
+}
+
+TEST(Integration, CacheSizeSweepIsMonotoneForLru) {
+  auto config = paper_mini();
+  config.ops_per_run = 400;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const double objects : {1.0, 4.0, 16.0, 40.0}) {
+    const auto r = run_experiment(
+        config, StrategySpec::lru(9, cache_for_objects(config, objects)));
+    // Larger caches can only help (tolerate small jitter noise).
+    EXPECT_LE(r.mean_latency_ms(), prev * 1.05);
+    prev = r.mean_latency_ms();
+  }
+}
+
+TEST(Integration, SkewSweepHelpsCachingSystems) {
+  auto config = paper_mini();
+  config.ops_per_run = 400;
+  const std::size_t cache = cache_for_objects(config, 4.0);
+  const auto uniform_cfg = [&] {
+    auto c = config;
+    c.workload = WorkloadSpec::uniform();
+    return c;
+  }();
+  const auto skewed_cfg = [&] {
+    auto c = config;
+    c.workload = WorkloadSpec::zipfian(1.4);
+    return c;
+  }();
+  const auto uniform = run_experiment(uniform_cfg, StrategySpec::lfu(9, cache));
+  const auto skewed = run_experiment(skewed_cfg, StrategySpec::lfu(9, cache));
+  EXPECT_LT(skewed.mean_latency_ms(), uniform.mean_latency_ms());
+  EXPECT_GT(skewed.hit_ratio(), uniform.hit_ratio());
+}
+
+TEST(Integration, FrankfurtVsSydneyGeographyMatters) {
+  auto config = paper_mini();
+  config.ops_per_run = 300;
+  auto sydney_cfg = config;
+  sydney_cfg.client_region = sim::region::kSydney;
+  const auto fra = run_experiment(config, StrategySpec::backend());
+  const auto syd = run_experiment(sydney_cfg, StrategySpec::backend());
+  // Both dominated by their furthest needed chunk; Sydney's is further.
+  EXPECT_GT(syd.mean_latency_ms(), fra.mean_latency_ms() * 0.9);
+}
+
+TEST(Integration, AgarSurvivesRegionOutageMidRun) {
+  // Fail a region before the run; every read must still assemble k chunks
+  // (fallback to parity) and verify.
+  auto config = paper_mini();
+  config.verify_data = true;
+  config.ops_per_run = 150;
+  config.runs = 1;
+
+  DeploymentConfig dep = config.deployment;
+  Deployment deployment(dep);
+  deployment.network().fail_region(sim::region::kVirginia);
+
+  auto strategy =
+      make_strategy(config, StrategySpec::agar(cache_for_objects(config, 4)),
+                    deployment);
+  strategy->warm_up();
+  Workload workload(config.workload, dep.num_objects, 99);
+  for (int i = 0; i < 150; ++i) {
+    const auto r = strategy->read(workload.next_key());
+    EXPECT_TRUE(r.verified);
+  }
+}
+
+TEST(Integration, ReportFormattingSmoke) {
+  auto config = paper_mini();
+  config.ops_per_run = 100;
+  config.runs = 1;
+  const auto results =
+      run_comparison(config, {StrategySpec::backend(),
+                              StrategySpec::agar(cache_for_objects(config, 4))});
+  const std::string table = format_table(
+      {"system", "latency"},
+      {{results[0].spec.label(), fmt_ms(results[0].mean_latency_ms())},
+       {results[1].spec.label(), fmt_ms(results[1].mean_latency_ms())}});
+  EXPECT_NE(table.find("Backend"), std::string::npos);
+  EXPECT_NE(table.find("Agar"), std::string::npos);
+  EXPECT_EQ(fmt_pct(0.5), "50.0%");
+}
+
+}  // namespace
+}  // namespace agar::client

@@ -1,0 +1,233 @@
+// Knapsack solvers: the exact DP (paper Figs. 4-5) against brute force,
+// greedy's known failure modes, and structural invariants.
+#include "core/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace agar::core {
+namespace {
+
+CachingOption opt(const ObjectKey& key, std::size_t weight, double value) {
+  CachingOption o;
+  o.key = key;
+  o.weight = weight;
+  o.weight_units = weight;
+  o.value = value;
+  for (std::size_t i = 0; i < weight; ++i) {
+    o.chunks.push_back(static_cast<ChunkIndex>(i));
+  }
+  return o;
+}
+
+TEST(Knapsack, EmptyInput) {
+  const auto r = solve_dp({}, 10);
+  EXPECT_TRUE(r.chosen.empty());
+  EXPECT_DOUBLE_EQ(r.total_value, 0.0);
+}
+
+TEST(Knapsack, ZeroCapacityChoosesNothing) {
+  const auto r = solve_dp({{opt("a", 1, 5.0)}}, 0);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(Knapsack, SingleOptionFits) {
+  const auto r = solve_dp({{opt("a", 3, 7.0)}}, 5);
+  ASSERT_EQ(r.chosen.size(), 1u);
+  EXPECT_EQ(r.chosen[0].key, "a");
+  EXPECT_DOUBLE_EQ(r.total_value, 7.0);
+  EXPECT_EQ(r.total_weight_units, 3u);
+}
+
+TEST(Knapsack, SingleOptionTooHeavy) {
+  const auto r = solve_dp({{opt("a", 6, 7.0)}}, 5);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(Knapsack, AtMostOneOptionPerKey) {
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 1, 10.0), opt("a", 2, 15.0), opt("a", 3, 18.0)},
+      {opt("b", 1, 9.0), opt("b", 2, 14.0)},
+  };
+  const auto r = solve_dp(groups, 10);
+  std::set<ObjectKey> keys;
+  for (const auto& o : r.chosen) {
+    EXPECT_TRUE(keys.insert(o.key).second) << "duplicate key " << o.key;
+  }
+}
+
+TEST(Knapsack, PrefersHigherValueCombination) {
+  // Capacity 3: best is a@1 (10) + b@2 (14) = 24, not a@3 (18).
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 1, 10.0), opt("a", 3, 18.0)},
+      {opt("b", 2, 14.0)},
+  };
+  const auto r = solve_dp(groups, 3);
+  EXPECT_DOUBLE_EQ(r.total_value, 24.0);
+  EXPECT_EQ(r.chosen.size(), 2u);
+}
+
+TEST(Knapsack, RelaxationShrinkAnOption) {
+  // The RELAX move of Fig. 5: replacing a heavy option for a key with a
+  // lighter one for the same key frees room. Capacity 4:
+  //   a@4 alone = 20; a@2 (15) + b@2 (12) = 27.
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 2, 15.0), opt("a", 4, 20.0)},
+      {opt("b", 2, 12.0)},
+  };
+  const auto r = solve_dp(groups, 4);
+  EXPECT_DOUBLE_EQ(r.total_value, 27.0);
+}
+
+TEST(Knapsack, IgnoresZeroValueOptions) {
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 1, 0.0)},
+      {opt("b", 1, -3.0)},
+  };
+  const auto r = solve_dp(groups, 5);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(Knapsack, ExactCapacityFill) {
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 5, 50.0)},
+      {opt("b", 5, 49.0)},
+  };
+  const auto r = solve_dp(groups, 10);
+  EXPECT_EQ(r.total_weight_units, 10u);
+  EXPECT_DOUBLE_EQ(r.total_value, 99.0);
+}
+
+TEST(Knapsack, GreedyFailsOnClassicAdversarialInstance) {
+  // Greedy by density: takes a@1 (density 10), leaving no room for b@10
+  // (density 9.9, value 99). DP takes b.
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 1, 10.0)},
+      {opt("b", 10, 99.0)},
+  };
+  const auto greedy = solve_greedy(groups, 10);
+  const auto dp = solve_dp(groups, 10);
+  EXPECT_DOUBLE_EQ(greedy.total_value, 10.0);
+  EXPECT_DOUBLE_EQ(dp.total_value, 99.0);
+}
+
+TEST(Knapsack, GreedyNeverBeatsDp) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<CachingOption>> groups;
+    const std::size_t keys = 1 + rng.next_below(6);
+    for (std::size_t key = 0; key < keys; ++key) {
+      std::vector<CachingOption> group;
+      const std::size_t options = 1 + rng.next_below(4);
+      for (std::size_t i = 0; i < options; ++i) {
+        group.push_back(opt("k" + std::to_string(key),
+                            1 + rng.next_below(8),
+                            static_cast<double>(rng.next_below(100))));
+      }
+      groups.push_back(std::move(group));
+    }
+    const std::size_t cap = rng.next_below(20);
+    EXPECT_LE(solve_greedy(groups, cap).total_value,
+              solve_dp(groups, cap).total_value + 1e-9);
+  }
+}
+
+// The decisive correctness check: the DP must match exhaustive search on
+// randomized small instances (different shapes via parameterization).
+class DpVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpVsBruteForce, OptimalOnRandomInstances) {
+  Rng rng(77 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<std::vector<CachingOption>> groups;
+    const std::size_t keys = 1 + rng.next_below(5);
+    for (std::size_t key = 0; key < keys; ++key) {
+      std::vector<CachingOption> group;
+      const std::size_t options = 1 + rng.next_below(5);
+      for (std::size_t i = 0; i < options; ++i) {
+        group.push_back(opt("k" + std::to_string(key),
+                            1 + rng.next_below(9),
+                            1.0 + static_cast<double>(rng.next_below(1000))));
+      }
+      groups.push_back(std::move(group));
+    }
+    const std::size_t cap = 1 + rng.next_below(25);
+    const auto dp = solve_dp(groups, cap);
+    const auto brute = solve_brute_force(groups, cap);
+    EXPECT_DOUBLE_EQ(dp.total_value, brute.total_value)
+        << "trial " << trial << " cap " << cap;
+    EXPECT_LE(dp.total_weight_units, cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpVsBruteForce, ::testing::Range(0, 6));
+
+TEST(Knapsack, ChosenWeightsNeverExceedCapacity) {
+  Rng rng(555);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::vector<CachingOption>> groups;
+    for (std::size_t key = 0; key < 8; ++key) {
+      groups.push_back({opt("k" + std::to_string(key), 1 + rng.next_below(9),
+                            static_cast<double>(1 + rng.next_below(50)))});
+    }
+    const std::size_t cap = rng.next_below(30);
+    const auto r = solve_dp(groups, cap);
+    EXPECT_LE(r.total_weight_units, cap);
+    double value = 0.0;
+    for (const auto& o : r.chosen) value += o.value;
+    EXPECT_DOUBLE_EQ(value, r.total_value);
+  }
+}
+
+TEST(Knapsack, PaperStyleInstanceMixesWeights) {
+  // Zipf-ish popularity: a handful of hot keys, long cold tail; options at
+  // weights {1,3,5,7,9} with the paper's improvement profile
+  // (2000/2800/3200/3320/3345 from Table I). With a small cache, the DP
+  // should cache hot objects heavily and still squeeze value from the tail.
+  const std::vector<double> improvement = {2000, 2800, 3200, 3320, 3345};
+  const std::vector<std::size_t> weights = {1, 3, 5, 7, 9};
+  std::vector<std::vector<CachingOption>> groups;
+  for (int key = 0; key < 30; ++key) {
+    const double popularity = 100.0 / (1.0 + key);  // zipf-1-ish
+    std::vector<CachingOption> group;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      group.push_back(opt("object" + std::to_string(key), weights[i],
+                          popularity * improvement[i]));
+    }
+    groups.push_back(std::move(group));
+  }
+  const auto r = solve_dp(groups, 90);  // 10 MB cache in chunk units
+
+  // Brute force is exponential; verify optimality on a truncated instance.
+  const std::vector<std::vector<CachingOption>> head(groups.begin(),
+                                                     groups.begin() + 8);
+  EXPECT_EQ(solve_brute_force(head, 20).total_value,
+            solve_dp(head, 20).total_value);
+
+  // The hottest key must be cached at high weight, and more keys than a
+  // full-replica-only policy (90/9 = 10) must appear.
+  std::size_t hottest_weight = 0;
+  for (const auto& o : r.chosen) {
+    if (o.key == "object0") hottest_weight = o.weight;
+  }
+  EXPECT_GE(hottest_weight, 5u);
+  EXPECT_GT(r.chosen.size(), 10u);
+  EXPECT_LE(r.total_weight_units, 90u);
+}
+
+TEST(Knapsack, BruteForceHonorsCapacityToo) {
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 4, 9.0)},
+      {opt("b", 4, 9.5)},
+      {opt("c", 4, 9.9)},
+  };
+  const auto r = solve_brute_force(groups, 8);
+  EXPECT_EQ(r.chosen.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.total_value, 19.4);
+}
+
+}  // namespace
+}  // namespace agar::core

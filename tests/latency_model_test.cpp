@@ -1,0 +1,111 @@
+// Latency model: jitter bounds, bandwidth term, determinism.
+#include "sim/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::sim {
+namespace {
+
+class LatencyModelTest : public ::testing::Test {
+ protected:
+  Topology topology_ = aws_six_regions();
+};
+
+TEST_F(LatencyModelTest, NullTopologyThrows) {
+  EXPECT_THROW(LatencyModel(nullptr, {}, 1), std::invalid_argument);
+}
+
+TEST_F(LatencyModelTest, BadJitterThrows) {
+  LatencyModelParams p;
+  p.jitter_fraction = 1.5;
+  EXPECT_THROW(LatencyModel(&topology_, p, 1), std::invalid_argument);
+  p.jitter_fraction = -0.1;
+  EXPECT_THROW(LatencyModel(&topology_, p, 1), std::invalid_argument);
+}
+
+TEST_F(LatencyModelTest, ExpectedMatchesBasePlusTransfer) {
+  LatencyModelParams p;
+  p.wan_bandwidth_mbps = 100.0;
+  LatencyModel model(&topology_, p, 7);
+  // 100 Mbps = 12.5 KB/ms; 125000 bytes -> 10 ms.
+  const double expected =
+      topology_.base_latency_ms(0, 1) + 125000.0 * 8.0 / (100.0 * 1000.0);
+  EXPECT_DOUBLE_EQ(model.expected_backend_fetch_ms(0, 1, 125000), expected);
+}
+
+TEST_F(LatencyModelTest, JitterStaysWithinBounds) {
+  LatencyModelParams p;
+  p.jitter_fraction = 0.10;
+  p.wan_bandwidth_mbps = 1e9;  // neutralize transfer term
+  LatencyModel model(&topology_, p, 11);
+  const double base = topology_.base_latency_ms(0, 5);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = model.backend_fetch_ms(0, 5, 0);
+    EXPECT_GE(v, base * 0.9 - 1e-9);
+    EXPECT_LE(v, base * 1.1 + 1e-9);
+  }
+}
+
+TEST_F(LatencyModelTest, ZeroJitterIsExact) {
+  LatencyModelParams p;
+  p.jitter_fraction = 0.0;
+  LatencyModel model(&topology_, p, 3);
+  EXPECT_DOUBLE_EQ(model.backend_fetch_ms(2, 3, 0),
+                   topology_.base_latency_ms(2, 3));
+}
+
+TEST_F(LatencyModelTest, SameSeedSameSequence) {
+  LatencyModelParams p;
+  LatencyModel a(&topology_, p, 99);
+  LatencyModel b(&topology_, p, 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.backend_fetch_ms(0, 4, 1000),
+                     b.backend_fetch_ms(0, 4, 1000));
+  }
+}
+
+TEST_F(LatencyModelTest, DifferentSeedsDiffer) {
+  LatencyModelParams p;
+  LatencyModel a(&topology_, p, 1);
+  LatencyModel b(&topology_, p, 2);
+  bool any_diff = false;
+  for (int i = 0; i < 50; ++i) {
+    if (a.backend_fetch_ms(0, 4, 1000) != b.backend_fetch_ms(0, 4, 1000)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(LatencyModelTest, CacheFetchMuchCheaperThanWan) {
+  LatencyModelParams p;
+  LatencyModel model(&topology_, p, 5);
+  const double cache = model.expected_cache_fetch_ms(114_KB);
+  const double wan = model.expected_backend_fetch_ms(
+      region::kFrankfurt, region::kSydney, 114_KB);
+  EXPECT_LT(cache, wan / 5.0);
+}
+
+TEST_F(LatencyModelTest, LargerTransfersAreSlower) {
+  LatencyModelParams p;
+  p.jitter_fraction = 0.0;
+  LatencyModel model(&topology_, p, 5);
+  EXPECT_LT(model.backend_fetch_ms(0, 1, 1_KB),
+            model.backend_fetch_ms(0, 1, 10_MB));
+}
+
+TEST_F(LatencyModelTest, MeanJitterIsRoughlyNeutral) {
+  LatencyModelParams p;
+  p.jitter_fraction = 0.10;
+  p.wan_bandwidth_mbps = 1e9;
+  LatencyModel model(&topology_, p, 123);
+  const double base = topology_.base_latency_ms(0, 3);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += model.backend_fetch_ms(0, 3, 0);
+  const double mean = acc / n;
+  EXPECT_NEAR(mean, base, base * 0.01);
+}
+
+}  // namespace
+}  // namespace agar::sim

@@ -1,0 +1,62 @@
+// Network wrapper: failure injection and parallel-batch semantics.
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : topology_(aws_six_regions()),
+        network_(LatencyModel(&topology_, {}, 42)) {}
+
+  Topology topology_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, FetchFromLiveRegionReturnsLatency) {
+  const auto l = network_.backend_fetch(0, 1, 1000);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_GT(*l, 0.0);
+}
+
+TEST_F(NetworkTest, FetchFromDownRegionFails) {
+  network_.fail_region(region::kTokyo);
+  EXPECT_FALSE(network_.backend_fetch(0, region::kTokyo, 1000).has_value());
+  EXPECT_TRUE(network_.backend_fetch(0, region::kDublin, 1000).has_value());
+}
+
+TEST_F(NetworkTest, RestoreBringsRegionBack) {
+  network_.fail_region(2);
+  EXPECT_TRUE(network_.is_down(2));
+  network_.restore_region(2);
+  EXPECT_FALSE(network_.is_down(2));
+  EXPECT_TRUE(network_.backend_fetch(0, 2, 1000).has_value());
+}
+
+TEST_F(NetworkTest, DownCountTracksFailures) {
+  EXPECT_EQ(network_.down_count(), 0u);
+  network_.fail_region(1);
+  network_.fail_region(3);
+  network_.fail_region(1);  // duplicate
+  EXPECT_EQ(network_.down_count(), 2u);
+}
+
+TEST_F(NetworkTest, CacheFetchAlwaysSucceeds) {
+  network_.fail_region(0);
+  EXPECT_GT(network_.cache_fetch(1000), 0.0);
+}
+
+TEST(NetworkBatch, EmptyBatchIsZero) {
+  EXPECT_EQ(Network::parallel_batch_ms({}), 0.0);
+}
+
+TEST(NetworkBatch, BatchIsMax) {
+  EXPECT_EQ(Network::parallel_batch_ms({10.0, 50.0, 30.0}), 50.0);
+  EXPECT_EQ(Network::parallel_batch_ms({42.0}), 42.0);
+}
+
+}  // namespace
+}  // namespace agar::sim

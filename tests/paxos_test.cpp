@@ -1,0 +1,180 @@
+// Single-decree Paxos: acceptor safety, proposer quorum logic, value
+// adoption, contention, and failure behaviour.
+#include <gtest/gtest.h>
+
+#include "paxos/proposer.hpp"
+#include "sim/topology.hpp"
+
+namespace agar::paxos {
+namespace {
+
+TEST(Ballot, PacksRoundAndProposer) {
+  const Ballot b = make_ballot(7, 3);
+  EXPECT_EQ(ballot_round(b), 7u);
+  EXPECT_EQ(ballot_proposer(b), 3u);
+  // Higher rounds dominate regardless of proposer id.
+  EXPECT_GT(make_ballot(8, 0), make_ballot(7, 0xffffffffu));
+}
+
+TEST(Acceptor, PromisesMonotonically) {
+  Acceptor a;
+  EXPECT_TRUE(a.handle_prepare(make_ballot(2, 1)).ok);
+  // Same or lower ballot is rejected.
+  EXPECT_FALSE(a.handle_prepare(make_ballot(2, 1)).ok);
+  EXPECT_FALSE(a.handle_prepare(make_ballot(1, 9)).ok);
+  EXPECT_TRUE(a.handle_prepare(make_ballot(3, 0)).ok);
+}
+
+TEST(Acceptor, AcceptRequiresPromise) {
+  Acceptor a;
+  (void)a.handle_prepare(make_ballot(5, 1));
+  // Lower-ballot accept is refused.
+  EXPECT_FALSE(a.handle_accept(make_ballot(4, 1), "x").ok);
+  EXPECT_TRUE(a.handle_accept(make_ballot(5, 1), "x").ok);
+  EXPECT_EQ(a.accepted_value(), "x");
+}
+
+TEST(Acceptor, AcceptAtHigherBallotWithoutPrepareIsAllowed) {
+  // Accept carries an implicit promise (ballot >= promised).
+  Acceptor a;
+  EXPECT_TRUE(a.handle_accept(make_ballot(1, 1), "v").ok);
+  EXPECT_EQ(a.promised(), make_ballot(1, 1));
+}
+
+TEST(Acceptor, PromiseReportsPriorAccept) {
+  Acceptor a;
+  (void)a.handle_accept(make_ballot(1, 1), "old");
+  const Promise p = a.handle_prepare(make_ballot(2, 2));
+  ASSERT_TRUE(p.ok);
+  ASSERT_TRUE(p.accepted_ballot.has_value());
+  EXPECT_EQ(*p.accepted_ballot, make_ballot(1, 1));
+  EXPECT_EQ(*p.accepted_value, "old");
+}
+
+class ProposerTest : public ::testing::Test {
+ protected:
+  ProposerTest()
+      : topology_(sim::aws_six_regions()),
+        network_(sim::LatencyModel(&topology_, {}, 77)),
+        acceptors_(6) {}
+
+  std::vector<Acceptor*> acceptor_ptrs() {
+    std::vector<Acceptor*> out;
+    for (auto& a : acceptors_) out.push_back(&a);
+    return out;
+  }
+
+  Proposer make_proposer(RegionId region, std::uint32_t id = 1) {
+    ProposerParams p;
+    p.region = region;
+    p.proposer_id = id;
+    return Proposer(acceptor_ptrs(), &network_, p);
+  }
+
+  sim::Topology topology_;
+  sim::Network network_;
+  std::vector<Acceptor> acceptors_;
+};
+
+TEST_F(ProposerTest, NullNetworkThrows) {
+  ProposerParams p;
+  EXPECT_THROW(Proposer(acceptor_ptrs(), nullptr, p), std::invalid_argument);
+}
+
+TEST_F(ProposerTest, NoAcceptorsThrows) {
+  ProposerParams p;
+  EXPECT_THROW(Proposer({nullptr, nullptr}, &network_, p),
+               std::invalid_argument);
+}
+
+TEST_F(ProposerTest, QuorumIsMajority) {
+  auto proposer = make_proposer(0);
+  EXPECT_EQ(proposer.quorum(), 4u);  // 6 acceptors -> 4
+}
+
+TEST_F(ProposerTest, ChoosesValueOnCleanRun) {
+  auto proposer = make_proposer(sim::region::kFrankfurt);
+  const ProposeOutcome out = proposer.propose("hello");
+  EXPECT_TRUE(out.chosen);
+  EXPECT_EQ(out.value, "hello");
+  EXPECT_EQ(out.rounds, 1u);
+  EXPECT_GT(out.latency_ms, 0.0);
+}
+
+TEST_F(ProposerTest, LatencyIsTwoQuorumRoundTrips) {
+  // With zero jitter, each phase costs the 4th-smallest RTT from
+  // Frankfurt: regions sorted 80,100,220,470,... -> 470 * factor each.
+  sim::LatencyModelParams lp;
+  lp.jitter_fraction = 0.0;
+  sim::Network quiet(sim::LatencyModel(&topology_, lp, 1));
+  ProposerParams p;
+  p.region = sim::region::kFrankfurt;
+  p.proposer_id = 1;
+  p.message_rtt_factor = 0.3;
+  Proposer proposer(acceptor_ptrs(), &quiet, p);
+  const ProposeOutcome out = proposer.propose("v");
+  ASSERT_TRUE(out.chosen);
+  EXPECT_DOUBLE_EQ(out.latency_ms, 2 * 470.0 * 0.3);
+}
+
+TEST_F(ProposerTest, SecondProposerAdoptsChosenValue) {
+  auto first = make_proposer(0, 1);
+  ASSERT_TRUE(first.propose("first").chosen);
+  auto second = make_proposer(5, 2);
+  const ProposeOutcome out = second.propose("second");
+  ASSERT_TRUE(out.chosen);
+  // Safety: once chosen, always chosen.
+  EXPECT_EQ(out.value, "first");
+}
+
+TEST_F(ProposerTest, PartialAcceptanceStillConverges) {
+  // One acceptor accepts "A" at a ballot LOWER than the proposer's, so its
+  // promise reports the accepted value; Paxos obliges the proposer to
+  // adopt it instead of its own "B".
+  (void)acceptors_[0].handle_accept(make_ballot(0, 9), "A");
+  auto proposer = make_proposer(0, 2);
+  const ProposeOutcome out = proposer.propose("B");
+  ASSERT_TRUE(out.chosen);
+  EXPECT_EQ(out.value, "A");
+}
+
+TEST_F(ProposerTest, UnreportedMinorityAcceptMayBeOverridden) {
+  // If the acceptor holding "A" NACKs the prepare (its promise is higher),
+  // its value never reaches the proposer and "B" can legally be chosen:
+  // "A" was accepted by a minority and never chosen.
+  (void)acceptors_[0].handle_accept(make_ballot(5, 9), "A");
+  auto proposer = make_proposer(0, 2);  // starts at round 1 < 5
+  const ProposeOutcome out = proposer.propose("B");
+  ASSERT_TRUE(out.chosen);
+  EXPECT_EQ(out.value, "B");
+}
+
+TEST_F(ProposerTest, SurvivesMinorityFailures) {
+  network_.fail_region(sim::region::kTokyo);
+  network_.fail_region(sim::region::kSydney);
+  auto proposer = make_proposer(sim::region::kFrankfurt);
+  const ProposeOutcome out = proposer.propose("v");
+  EXPECT_TRUE(out.chosen);
+}
+
+TEST_F(ProposerTest, FailsWithoutQuorum) {
+  network_.fail_region(1);
+  network_.fail_region(2);
+  network_.fail_region(3);
+  auto proposer = make_proposer(0);
+  const ProposeOutcome out = proposer.propose("v");
+  EXPECT_FALSE(out.chosen);  // only 3 of 6 reachable < quorum 4
+}
+
+TEST_F(ProposerTest, DuelingProposersEventuallyAgree) {
+  auto alice = make_proposer(0, 1);
+  auto bob = make_proposer(5, 2);
+  const ProposeOutcome a = alice.propose("alice");
+  const ProposeOutcome b = bob.propose("bob");
+  ASSERT_TRUE(a.chosen);
+  ASSERT_TRUE(b.chosen);
+  EXPECT_EQ(a.value, b.value);  // consensus: both report the same value
+}
+
+}  // namespace
+}  // namespace agar::paxos

@@ -1,0 +1,86 @@
+// Round-robin placement: the paper's two-chunks-per-region layout.
+#include "ec/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace agar::ec {
+namespace {
+
+TEST(Placement, RoundRobinWithoutOffset) {
+  const RoundRobinPlacement p(false);
+  // Chunk i -> region i % 6, regardless of key.
+  for (ChunkIndex i = 0; i < 12; ++i) {
+    EXPECT_EQ(p.region_of("a", i, 6), i % 6);
+    EXPECT_EQ(p.region_of("b", i, 6), i % 6);
+  }
+}
+
+TEST(Placement, PaperLayoutTwoChunksPerRegion) {
+  // 12 chunks over 6 regions: every region holds exactly 2 (paper Fig. 1).
+  const RoundRobinPlacement p(false);
+  for (RegionId r = 0; r < 6; ++r) {
+    const auto chunks = p.chunks_in_region("obj", 12, r, 6);
+    ASSERT_EQ(chunks.size(), 2u) << "region " << r;
+    EXPECT_EQ(chunks[0], r);
+    EXPECT_EQ(chunks[1], r + 6);
+  }
+}
+
+TEST(Placement, ZeroRegionsThrows) {
+  const RoundRobinPlacement p(false);
+  EXPECT_THROW((void)p.region_of("a", 0, 0), std::invalid_argument);
+}
+
+TEST(Placement, PerKeyOffsetStaysBalanced) {
+  const RoundRobinPlacement p(true);
+  // Offsets differ per key but each key's stripe is still balanced.
+  for (const std::string key : {"k1", "k2", "another", "x"}) {
+    std::set<RegionId> seen;
+    std::vector<std::size_t> counts(6, 0);
+    for (ChunkIndex i = 0; i < 12; ++i) {
+      const RegionId r = p.region_of(key, i, 6);
+      ASSERT_LT(r, 6u);
+      ++counts[r];
+    }
+    for (const auto c : counts) EXPECT_EQ(c, 2u) << key;
+  }
+}
+
+TEST(Placement, PerKeyOffsetIsDeterministic) {
+  const RoundRobinPlacement p(true);
+  for (ChunkIndex i = 0; i < 12; ++i) {
+    EXPECT_EQ(p.region_of("same-key", i, 6), p.region_of("same-key", i, 6));
+  }
+}
+
+TEST(Placement, PerKeyOffsetActuallyVaries) {
+  const RoundRobinPlacement p(true);
+  // At least one pair of keys should map chunk 0 to different regions.
+  std::set<RegionId> regions;
+  for (int i = 0; i < 20; ++i) {
+    regions.insert(p.region_of("key" + std::to_string(i), 0, 6));
+  }
+  EXPECT_GT(regions.size(), 1u);
+}
+
+TEST(Placement, ChunksInRegionConsistentWithRegionOf) {
+  const RoundRobinPlacement p(true);
+  for (RegionId r = 0; r < 5; ++r) {
+    for (const ChunkIndex c : p.chunks_in_region("key", 10, r, 5)) {
+      EXPECT_EQ(p.region_of("key", c, 5), r);
+    }
+  }
+}
+
+TEST(Placement, MoreRegionsThanChunks) {
+  const RoundRobinPlacement p(false);
+  // 4 chunks over 6 regions: regions 4 and 5 stay empty.
+  EXPECT_TRUE(p.chunks_in_region("k", 4, 4, 6).empty());
+  EXPECT_TRUE(p.chunks_in_region("k", 4, 5, 6).empty());
+  EXPECT_EQ(p.chunks_in_region("k", 4, 0, 6).size(), 1u);
+}
+
+}  // namespace
+}  // namespace agar::ec

@@ -1,0 +1,243 @@
+// Cross-module property tests: invariants that must hold for ANY cache
+// engine, any option-generator input, any codec geometry, and for the
+// simulation as a whole (determinism).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "cache/lfu_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "cache/static_cache.hpp"
+#include "cache/tinylfu_cache.hpp"
+#include "client/runner.hpp"
+#include "common/rng.hpp"
+#include "core/option_generator.hpp"
+#include "store/repair.hpp"
+
+namespace agar {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cache-engine invariants, parameterized over (engine kind, capacity).
+
+enum class EngineKind { kLru, kLfu, kTinyLfu };
+
+struct EngineParam {
+  EngineKind kind;
+  std::size_t capacity;
+};
+
+std::unique_ptr<cache::CacheEngine> make_engine(const EngineParam& p) {
+  switch (p.kind) {
+    case EngineKind::kLru:
+      return std::make_unique<cache::LruCache>(p.capacity);
+    case EngineKind::kLfu:
+      return std::make_unique<cache::LfuCache>(p.capacity);
+    case EngineKind::kTinyLfu:
+      return std::make_unique<cache::TinyLfuCache>(p.capacity);
+  }
+  return nullptr;
+}
+
+class EngineInvariants : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EngineInvariants, CapacityNeverExceededUnderChurn) {
+  auto engine = make_engine(GetParam());
+  Rng rng(101);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(97));
+    if (rng.next_below(2) == 0) {
+      engine->put(key, Bytes(1 + rng.next_below(61), 0xAA));
+    } else {
+      (void)engine->get(key);
+    }
+    ASSERT_LE(engine->used_bytes(), engine->capacity_bytes());
+  }
+}
+
+TEST_P(EngineInvariants, UsedBytesMatchesResidentEntries) {
+  auto engine = make_engine(GetParam());
+  Rng rng(102);
+  for (int i = 0; i < 1000; ++i) {
+    engine->put("k" + std::to_string(rng.next_below(37)),
+                Bytes(1 + rng.next_below(31), 1));
+  }
+  std::size_t total = 0;
+  for (const auto& key : engine->keys()) {
+    const auto v = engine->get(key);
+    ASSERT_TRUE(v.has_value()) << key;
+    total += v->size();
+  }
+  EXPECT_EQ(total, engine->used_bytes());
+}
+
+TEST_P(EngineInvariants, GetAfterPutReturnsLatestValue) {
+  auto engine = make_engine(GetParam());
+  engine->put("key", Bytes(10, 1));
+  engine->put("key", Bytes(20, 2));
+  const auto v = engine->get("key");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 20u);
+  EXPECT_EQ((*v)[0], 2);
+}
+
+TEST_P(EngineInvariants, EraseThenGetMisses) {
+  auto engine = make_engine(GetParam());
+  engine->put("key", Bytes(10, 1));
+  EXPECT_TRUE(engine->erase("key"));
+  EXPECT_FALSE(engine->get("key").has_value());
+  EXPECT_EQ(engine->used_bytes(), 0u);
+}
+
+TEST_P(EngineInvariants, ClearLeavesEmptyEngine) {
+  auto engine = make_engine(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    engine->put("k" + std::to_string(i), Bytes(8, 3));
+  }
+  engine->clear();
+  EXPECT_TRUE(engine->keys().empty());
+  EXPECT_EQ(engine->used_bytes(), 0u);
+  // Still usable afterwards.
+  engine->put("fresh", Bytes(8, 4));
+  EXPECT_TRUE(engine->get("fresh").has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineInvariants,
+    ::testing::Values(EngineParam{EngineKind::kLru, 256},
+                      EngineParam{EngineKind::kLru, 4096},
+                      EngineParam{EngineKind::kLfu, 256},
+                      EngineParam{EngineKind::kLfu, 4096},
+                      EngineParam{EngineKind::kTinyLfu, 256},
+                      EngineParam{EngineKind::kTinyLfu, 4096}));
+
+// ---------------------------------------------------------------------------
+// Option-generator invariants over randomized latency landscapes.
+
+class OptionProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionProperties, InvariantsOnRandomLatencies) {
+  Rng rng(500 + static_cast<std::uint64_t>(GetParam()));
+  core::OptionGeneratorParams params;
+  params.k = 9;
+  params.m = 3;
+  params.cache_latency_ms = 50.0;
+  const core::OptionGenerator gen(params);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<core::ChunkCost> costs;
+    for (ChunkIndex i = 0; i < 12; ++i) {
+      costs.push_back(core::ChunkCost{
+          i, i % 6, 60.0 + static_cast<double>(rng.next_below(2000))});
+    }
+    const double pop = 1.0 + static_cast<double>(rng.next_below(100));
+    const auto options = gen.generate("key", costs, pop);
+
+    ASSERT_EQ(options.size(), 9u);
+    double prev_value = -1.0;
+    for (const auto& opt : options) {
+      // Weight bookkeeping.
+      ASSERT_EQ(opt.chunks.size(), opt.weight);
+      // Chunk indices are distinct.
+      std::set<ChunkIndex> unique(opt.chunks.begin(), opt.chunks.end());
+      ASSERT_EQ(unique.size(), opt.chunks.size());
+      // Values are non-negative and monotone non-decreasing in weight.
+      ASSERT_GE(opt.value, 0.0);
+      ASSERT_GE(opt.value, prev_value);
+      prev_value = opt.value;
+      // Options never exceed k chunks.
+      ASSERT_LE(opt.weight, 9u);
+    }
+    // A bigger option's chunk set contains the smaller option's chunks
+    // (most-distant-first nesting).
+    for (std::size_t i = 1; i < options.size(); ++i) {
+      for (const ChunkIndex c : options[i - 1].chunks) {
+        ASSERT_NE(std::find(options[i].chunks.begin(),
+                            options[i].chunks.end(), c),
+                  options[i].chunks.end());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptionProperties, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: identical configs give bit-identical results for
+// every strategy kind.
+
+class Determinism
+    : public ::testing::TestWithParam<client::StrategySpec::Kind> {};
+
+TEST_P(Determinism, RepeatRunsAreIdentical) {
+  client::ExperimentConfig config;
+  config.deployment.num_objects = 25;
+  config.deployment.object_size_bytes = 9000;
+  config.deployment.seed = 31337;
+  config.ops_per_run = 150;
+  config.runs = 1;
+  config.reconfig_period_ms = 10'000.0;
+
+  client::StrategySpec spec;
+  spec.kind = GetParam();
+  spec.chunks = 5;
+  spec.cache_bytes = 64_KB;
+
+  const auto a = run_experiment(config, spec);
+  const auto b = run_experiment(config, spec);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms(), b.mean_latency_ms());
+  EXPECT_EQ(a.runs[0].full_hits, b.runs[0].full_hits);
+  EXPECT_EQ(a.runs[0].partial_hits, b.runs[0].partial_hits);
+  EXPECT_DOUBLE_EQ(a.percentile_ms(95), b.percentile_ms(95));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, Determinism,
+    ::testing::Values(client::StrategySpec::Kind::kBackend,
+                      client::StrategySpec::Kind::kLru,
+                      client::StrategySpec::Kind::kLfu,
+                      client::StrategySpec::Kind::kLfuEviction,
+                      client::StrategySpec::Kind::kTinyLfu,
+                      client::StrategySpec::Kind::kAgar));
+
+// ---------------------------------------------------------------------------
+// Random damage + repair: for ANY damage pattern of <= m chunks per object,
+// repair restores byte-identical content.
+
+class RepairProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairProperty, RandomDamageUpToMIsAlwaysRepairable) {
+  Rng rng(900 + static_cast<std::uint64_t>(GetParam()));
+  store::BackendCluster backend(
+      6, ec::CodecParams{9, 3},
+      std::make_shared<ec::RoundRobinPlacement>(false));
+  store::populate_working_set(backend, 4, 4500);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Damage each object in a random pattern of 1..3 chunks.
+    for (int obj = 0; obj < 4; ++obj) {
+      const ObjectKey key = "object" + std::to_string(obj);
+      const std::size_t losses = 1 + rng.next_below(3);
+      std::set<ChunkIndex> dropped;
+      while (dropped.size() < losses) {
+        dropped.insert(static_cast<ChunkIndex>(rng.next_below(12)));
+      }
+      for (const ChunkIndex idx : dropped) {
+        const RegionId region = backend.placement().region_of(key, idx, 6);
+        backend.bucket(region).erase(ChunkId{key, idx});
+      }
+    }
+    const store::RepairReport report = store::repair_all(backend);
+    ASSERT_EQ(report.objects_unrecoverable, 0u);
+    for (int obj = 0; obj < 4; ++obj) {
+      const ObjectKey key = "object" + std::to_string(obj);
+      ASSERT_TRUE(store::missing_chunks(backend, key).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairProperty, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace agar

@@ -1,0 +1,117 @@
+// Region manager: latency probing and chunk-cost resolution.
+#include "core/region_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace agar::core {
+namespace {
+
+class RegionManagerTest : public ::testing::Test {
+ protected:
+  RegionManagerTest()
+      : topology_(sim::aws_six_regions()),
+        network_(sim::LatencyModel(&topology_, {}, 1234)),
+        backend_(6, ec::CodecParams{9, 3},
+                 std::make_shared<ec::RoundRobinPlacement>(false)) {
+    backend_.register_object("obj", 1_MB);
+  }
+
+  RegionManager make(RegionId local) {
+    RegionManagerParams p;
+    p.local_region = local;
+    return RegionManager(&backend_, &network_, p);
+  }
+
+  sim::Topology topology_;
+  sim::Network network_;
+  store::BackendCluster backend_;
+};
+
+TEST_F(RegionManagerTest, NullDependenciesThrow) {
+  RegionManagerParams p;
+  EXPECT_THROW(RegionManager(nullptr, &network_, p), std::invalid_argument);
+  EXPECT_THROW(RegionManager(&backend_, nullptr, p), std::invalid_argument);
+  p.local_region = 99;
+  EXPECT_THROW(RegionManager(&backend_, &network_, p), std::invalid_argument);
+}
+
+TEST_F(RegionManagerTest, UnprobedEstimatesAreInfinite) {
+  auto rm = make(sim::region::kFrankfurt);
+  EXPECT_TRUE(std::isinf(rm.estimate_ms(sim::region::kSydney)));
+}
+
+TEST_F(RegionManagerTest, ProbeSamplesEveryRegion) {
+  auto rm = make(sim::region::kFrankfurt);
+  rm.probe();
+  EXPECT_EQ(rm.probe_rounds(), 1u);
+  for (RegionId r = 0; r < 6; ++r) {
+    EXPECT_TRUE(rm.estimator().has_sample(r)) << r;
+    EXPECT_EQ(rm.estimator().samples(r), 6u);  // probes_per_region default
+  }
+}
+
+TEST_F(RegionManagerTest, EstimatesTrackTopologyOrdering) {
+  auto rm = make(sim::region::kFrankfurt);
+  rm.probe();
+  rm.probe();
+  // With ±10% jitter the widely separated base latencies keep their order.
+  EXPECT_LT(rm.estimate_ms(sim::region::kFrankfurt),
+            rm.estimate_ms(sim::region::kDublin));
+  EXPECT_LT(rm.estimate_ms(sim::region::kDublin),
+            rm.estimate_ms(sim::region::kVirginia));
+  EXPECT_LT(rm.estimate_ms(sim::region::kVirginia),
+            rm.estimate_ms(sim::region::kSaoPaulo));
+}
+
+TEST_F(RegionManagerTest, EstimateNearBaseLatency) {
+  auto rm = make(sim::region::kFrankfurt);
+  for (int i = 0; i < 20; ++i) rm.probe();
+  const double base =
+      topology_.base_latency_ms(sim::region::kFrankfurt, sim::region::kTokyo);
+  EXPECT_NEAR(rm.estimate_ms(sim::region::kTokyo), base, base * 0.15);
+}
+
+TEST_F(RegionManagerTest, DownRegionsAreSkipped) {
+  auto rm = make(sim::region::kFrankfurt);
+  network_.fail_region(sim::region::kSydney);
+  rm.probe();
+  EXPECT_FALSE(rm.estimator().has_sample(sim::region::kSydney));
+  EXPECT_TRUE(rm.estimator().has_sample(sim::region::kTokyo));
+}
+
+TEST_F(RegionManagerTest, ChunkCostsCoverWholeStripe) {
+  auto rm = make(sim::region::kFrankfurt);
+  rm.probe();
+  const auto costs = rm.chunk_costs("obj");
+  ASSERT_EQ(costs.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(costs[i].index, i);
+    EXPECT_EQ(costs[i].region, i % 6);
+    EXPECT_DOUBLE_EQ(costs[i].latency_ms,
+                     rm.estimate_ms(static_cast<RegionId>(i % 6)));
+  }
+}
+
+TEST_F(RegionManagerTest, RegionOfDelegatesToPlacement) {
+  auto rm = make(sim::region::kFrankfurt);
+  EXPECT_EQ(rm.region_of("obj", 0), 0u);
+  EXPECT_EQ(rm.region_of("obj", 7), 1u);
+}
+
+TEST_F(RegionManagerTest, LocalRegionPerspectiveMatters) {
+  auto fra = make(sim::region::kFrankfurt);
+  auto syd = make(sim::region::kSydney);
+  for (int i = 0; i < 10; ++i) {
+    fra.probe();
+    syd.probe();
+  }
+  // Dublin is close to Frankfurt but far from Sydney.
+  EXPECT_LT(fra.estimate_ms(sim::region::kDublin),
+            syd.estimate_ms(sim::region::kDublin));
+}
+
+}  // namespace
+}  // namespace agar::core

@@ -1,0 +1,83 @@
+// Request monitor: EWMA popularity over periods plus in-flight blending.
+#include "core/request_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace agar::core {
+namespace {
+
+TEST(RequestMonitor, ChargesProcessingOverhead) {
+  RequestMonitorParams p;
+  p.processing_ms = 0.5;  // the paper's measured overhead (§VI)
+  RequestMonitor m(p);
+  EXPECT_DOUBLE_EQ(m.record_access("a"), 0.5);
+}
+
+TEST(RequestMonitor, CountsAccesses) {
+  RequestMonitor m;
+  m.record_access("a");
+  m.record_access("a");
+  m.record_access("b");
+  EXPECT_EQ(m.accesses(), 3u);
+  EXPECT_EQ(m.tracked_keys(), 2u);
+}
+
+TEST(RequestMonitor, PopularityBlendsCurrentPeriod) {
+  RequestMonitor m;
+  for (int i = 0; i < 100; ++i) m.record_access("key1");
+  // Before the period rolls, popularity reflects alpha * current count
+  // (paper example: 0.8 * 100 + 0.2 * 0 = 80).
+  EXPECT_DOUBLE_EQ(m.popularity("key1"), 80.0);
+}
+
+TEST(RequestMonitor, RollPeriodLocksInEwma) {
+  RequestMonitor m;
+  for (int i = 0; i < 100; ++i) m.record_access("key1");
+  m.roll_period();
+  EXPECT_DOUBLE_EQ(m.popularity("key1"), 80.0);
+  for (int i = 0; i < 50; ++i) m.record_access("key1");
+  m.roll_period();
+  EXPECT_DOUBLE_EQ(m.popularity("key1"), 56.0);
+}
+
+TEST(RequestMonitor, UnknownKeyHasZeroPopularity) {
+  RequestMonitor m;
+  EXPECT_DOUBLE_EQ(m.popularity("ghost"), 0.0);
+}
+
+TEST(RequestMonitor, SnapshotOrdersByKeyContent) {
+  RequestMonitor m;
+  m.record_access("hot");
+  m.record_access("hot");
+  m.record_access("cold");
+  auto snap = m.snapshot();
+  std::sort(snap.begin(), snap.end());
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "cold");
+  EXPECT_DOUBLE_EQ(snap[0].second, 0.8);
+  EXPECT_DOUBLE_EQ(snap[1].second, 1.6);
+}
+
+TEST(RequestMonitor, PopularityDecaysAcrossIdlePeriods) {
+  RequestMonitor m;
+  for (int i = 0; i < 10; ++i) m.record_access("k");
+  m.roll_period();
+  const double p1 = m.popularity("k");
+  m.roll_period();
+  const double p2 = m.popularity("k");
+  EXPECT_LT(p2, p1);
+}
+
+TEST(RequestMonitor, CustomAlpha) {
+  RequestMonitorParams p;
+  p.ewma_alpha = 0.5;
+  RequestMonitor m(p);
+  for (int i = 0; i < 10; ++i) m.record_access("k");
+  m.roll_period();
+  EXPECT_DOUBLE_EQ(m.popularity("k"), 5.0);
+}
+
+}  // namespace
+}  // namespace agar::core

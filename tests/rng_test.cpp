@@ -1,0 +1,129 @@
+// Deterministic RNG: reproducibility and rough distribution sanity.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agar {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(55);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(55);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 6.5);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasRoughMoments) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, FillBytesDeterministic) {
+  Rng a(31), b(31);
+  std::vector<std::uint8_t> ba(100), bb(100);
+  a.fill_bytes(ba.data(), ba.size());
+  b.fill_bytes(bb.data(), bb.size());
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(Rng, FillBytesOddLengths) {
+  Rng rng(37);
+  for (const std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u}) {
+    std::vector<std::uint8_t> buf(len, 0xEE);
+    rng.fill_bytes(buf.data(), buf.size());
+    // No assertion beyond not crashing for len 0; for others expect the
+    // buffer to change with overwhelming probability when len >= 4.
+    if (len >= 4) {
+      bool changed = false;
+      for (const auto b : buf) changed |= (b != 0xEE);
+      EXPECT_TRUE(changed) << len;
+    }
+  }
+}
+
+TEST(SplitMix, KnownGolden) {
+  // splitmix64(0) first output is a published constant.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace agar

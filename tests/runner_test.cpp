@@ -1,0 +1,161 @@
+// Experiment runner: deployment construction, closed-loop clients,
+// aggregation, determinism.
+#include "client/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace agar::client {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig c;
+  c.deployment.num_objects = 20;
+  c.deployment.object_size_bytes = 9000;
+  c.deployment.seed = 7;
+  c.ops_per_run = 120;
+  c.runs = 2;
+  c.num_clients = 2;
+  c.reconfig_period_ms = 5000.0;
+  return c;
+}
+
+TEST(Deployment, BuildsSixRegionCluster) {
+  DeploymentConfig c;
+  c.num_objects = 3;
+  c.object_size_bytes = 900;
+  Deployment d(c);
+  EXPECT_EQ(d.topology().num_regions(), 6u);
+  EXPECT_EQ(d.backend().num_objects(), 3u);
+  EXPECT_TRUE(d.backend().has_object("object0"));
+}
+
+TEST(Deployment, MetadataOnlyModeSkipsPayloads) {
+  DeploymentConfig c;
+  c.num_objects = 3;
+  c.store_payloads = false;
+  Deployment d(c);
+  EXPECT_TRUE(d.backend().has_object("object0"));
+  EXPECT_FALSE(d.backend().get_chunk({"object0", 0}).has_value());
+}
+
+TEST(StrategySpecs, Labels) {
+  EXPECT_EQ(StrategySpec::backend().label(), "Backend");
+  EXPECT_EQ(StrategySpec::lru(3, 10_MB).label(), "LRU-3");
+  EXPECT_EQ(StrategySpec::lfu(9, 10_MB).label(), "LFU-9");
+  EXPECT_EQ(StrategySpec::tinylfu(5, 10_MB).label(), "TinyLFU-5");
+  EXPECT_EQ(StrategySpec::agar(10_MB).label(), "Agar");
+}
+
+TEST(Runner, BackendExperimentProducesAllOps) {
+  const auto config = small_config();
+  const auto result = run_experiment(config, StrategySpec::backend());
+  EXPECT_EQ(result.runs.size(), 2u);
+  EXPECT_EQ(result.total_ops(), 240u);
+  EXPECT_GT(result.mean_latency_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(result.hit_ratio(), 0.0);
+}
+
+TEST(Runner, LruWithInfiniteCacheHitsAfterColdStart) {
+  auto config = small_config();
+  config.ops_per_run = 300;
+  const auto result =
+      run_experiment(config, StrategySpec::lru(9, 500_MB));
+  // 20 objects, 300 zipf reads: nearly everything after the first touch of
+  // each object is a full hit.
+  EXPECT_GT(result.hit_ratio(), 0.8);
+  EXPECT_GT(result.full_hit_ratio(), 0.8);
+  // And the average latency is far below backend-only.
+  const auto backend = run_experiment(config, StrategySpec::backend());
+  EXPECT_LT(result.mean_latency_ms(), backend.mean_latency_ms() * 0.5);
+}
+
+TEST(Runner, AgarRunsAndBeatsBackend) {
+  auto config = small_config();
+  config.ops_per_run = 400;
+  const auto agar = run_experiment(config, StrategySpec::agar(10_MB));
+  const auto backend = run_experiment(config, StrategySpec::backend());
+  EXPECT_GT(agar.hit_ratio(), 0.0);
+  EXPECT_LT(agar.mean_latency_ms(), backend.mean_latency_ms());
+  // Agar's final configuration must respect the cache budget.
+  for (const auto& run : agar.runs) {
+    EXPECT_LE(run.cache_used_bytes, 10_MB);
+  }
+}
+
+TEST(Runner, ResultsAreDeterministic) {
+  const auto config = small_config();
+  const auto a = run_experiment(config, StrategySpec::lfu(5, 5_MB));
+  const auto b = run_experiment(config, StrategySpec::lfu(5, 5_MB));
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms(), b.mean_latency_ms());
+  EXPECT_DOUBLE_EQ(a.hit_ratio(), b.hit_ratio());
+}
+
+TEST(Runner, DifferentSeedsChangeResults) {
+  auto config = small_config();
+  const auto a = run_experiment(config, StrategySpec::lru(5, 5_MB));
+  config.deployment.seed = 12345;
+  const auto b = run_experiment(config, StrategySpec::lru(5, 5_MB));
+  EXPECT_NE(a.mean_latency_ms(), b.mean_latency_ms());
+}
+
+TEST(Runner, PercentilesAreOrdered) {
+  const auto config = small_config();
+  const auto r = run_experiment(config, StrategySpec::lru(9, 10_MB));
+  EXPECT_LE(r.percentile_ms(50), r.percentile_ms(95));
+  EXPECT_LE(r.percentile_ms(95), r.percentile_ms(99));
+}
+
+TEST(Runner, ComparisonRunsAllSpecs) {
+  const auto config = small_config();
+  const auto results = run_comparison(
+      config, {StrategySpec::backend(), StrategySpec::lru(5, 5_MB),
+               StrategySpec::agar(5_MB)});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].spec.label(), "Backend");
+  EXPECT_EQ(results[2].spec.label(), "Agar");
+}
+
+TEST(Runner, VerifyModeDecodesEveryRead) {
+  auto config = small_config();
+  config.verify_data = true;
+  config.ops_per_run = 60;
+  config.runs = 1;
+  for (const auto spec :
+       {StrategySpec::backend(), StrategySpec::lru(5, 5_MB),
+        StrategySpec::agar(5_MB)}) {
+    const auto result = run_experiment(config, spec);
+    EXPECT_EQ(result.runs[0].verified, result.runs[0].ops)
+        << spec.label();
+  }
+}
+
+TEST(Runner, AgarWeightHistogramPopulated) {
+  auto config = small_config();
+  config.ops_per_run = 500;
+  config.runs = 1;
+  config.reconfig_period_ms = 2000.0;
+  const auto result = run_experiment(config, StrategySpec::agar(5_MB));
+  std::size_t total = 0;
+  for (const auto& [w, count] : result.runs[0].weight_histogram) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 9u);
+    total += count;
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Runner, UniformWorkloadMakesCachingUseless) {
+  auto config = small_config();
+  config.deployment.num_objects = 100;
+  config.workload = WorkloadSpec::uniform();
+  config.ops_per_run = 200;
+  // 100 KB cache holds ~11 of the 100 objects (9 x 1000-byte chunks each);
+  // under uniform access the hit ratio collapses toward that fraction.
+  const auto lru = run_experiment(config, StrategySpec::lru(9, 100_KB));
+  EXPECT_LT(lru.hit_ratio(), 0.2);
+}
+
+}  // namespace
+}  // namespace agar::client

@@ -1,0 +1,127 @@
+// Agar's static-configuration cache: admission gating and reconfiguration.
+#include "cache/static_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::cache {
+namespace {
+
+Bytes val(std::size_t n) { return Bytes(n, 0x77); }
+
+TEST(StaticCache, RejectsUnconfiguredKeys) {
+  StaticConfigCache c(100);
+  EXPECT_FALSE(c.put("a", val(10)));
+  EXPECT_EQ(c.stats().rejections, 1u);
+  c.install_configuration({"a"});
+  EXPECT_TRUE(c.put("a", val(10)));
+}
+
+TEST(StaticCache, GetServesOnlyPopulatedEntries) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a", "b"});
+  c.put("a", val(10));
+  EXPECT_TRUE(c.get("a").has_value());
+  // "b" is configured but nobody populated it yet.
+  EXPECT_FALSE(c.get("b").has_value());
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(StaticCache, ReconfigurationEvictsDroppedKeys) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a", "b"});
+  c.put("a", val(10));
+  c.put("b", val(10));
+  c.install_configuration({"b", "c"});
+  EXPECT_FALSE(c.contains("a"));
+  EXPECT_TRUE(c.contains("b"));
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.used_bytes(), 10u);
+}
+
+TEST(StaticCache, ReconfigurationKeepsSurvivors) {
+  StaticConfigCache c(100);
+  c.install_configuration({"x"});
+  c.put("x", val(42));
+  c.install_configuration({"x", "y"});
+  const auto v = c.get("x");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 42u);
+}
+
+TEST(StaticCache, IsConfiguredReflectsCurrentSet) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a"});
+  EXPECT_TRUE(c.is_configured("a"));
+  EXPECT_FALSE(c.is_configured("b"));
+  EXPECT_EQ(c.configured_size(), 1u);
+}
+
+TEST(StaticCache, CapacityIsRespected) {
+  StaticConfigCache c(25);
+  c.install_configuration({"a", "b", "c"});
+  EXPECT_TRUE(c.put("a", val(10)));
+  EXPECT_TRUE(c.put("b", val(10)));
+  // Would exceed capacity; declined rather than evicting a sibling.
+  EXPECT_FALSE(c.put("c", val(10)));
+  EXPECT_EQ(c.used_bytes(), 20u);
+}
+
+TEST(StaticCache, OversizedValueRejected) {
+  StaticConfigCache c(10);
+  c.install_configuration({"a"});
+  EXPECT_FALSE(c.put("a", val(11)));
+}
+
+TEST(StaticCache, OverwriteConfiguredKeyUpdatesBytes) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a"});
+  c.put("a", val(10));
+  c.put("a", val(30));
+  EXPECT_EQ(c.used_bytes(), 30u);
+}
+
+TEST(StaticCache, EraseAndClear) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a", "b"});
+  c.put("a", val(10));
+  c.put("b", val(10));
+  EXPECT_TRUE(c.erase("a"));
+  EXPECT_EQ(c.used_bytes(), 10u);
+  c.clear();
+  EXPECT_EQ(c.used_bytes(), 0u);
+  // Configuration survives clear; entries do not.
+  EXPECT_TRUE(c.is_configured("b"));
+  EXPECT_FALSE(c.contains("b"));
+}
+
+TEST(StaticCache, ReconfigurationCountIncrements) {
+  StaticConfigCache c(100);
+  EXPECT_EQ(c.reconfigurations(), 0u);
+  c.install_configuration({});
+  c.install_configuration({"a"});
+  EXPECT_EQ(c.reconfigurations(), 2u);
+}
+
+TEST(StaticCache, EmptyConfigurationEvictsEverything) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a", "b"});
+  c.put("a", val(10));
+  c.put("b", val(10));
+  c.install_configuration({});
+  EXPECT_EQ(c.used_bytes(), 0u);
+  EXPECT_TRUE(c.keys().empty());
+}
+
+TEST(StaticCache, HitMissStats) {
+  StaticConfigCache c(100);
+  c.install_configuration({"a"});
+  c.put("a", val(5));
+  (void)c.get("a");
+  (void)c.get("a");
+  (void)c.get("zzz");
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+}  // namespace
+}  // namespace agar::cache

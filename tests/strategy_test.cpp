@@ -1,0 +1,313 @@
+// Read strategies: latency composition, hit accounting, verify-mode decode,
+// failure fallback.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/agar_strategy.hpp"
+#include "client/backend_strategy.hpp"
+#include "client/fixed_chunks_strategy.hpp"
+#include "client/lfu_config_strategy.hpp"
+
+namespace agar::client {
+namespace {
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  StrategyTest()
+      : topology_(sim::aws_six_regions()),
+        network_(sim::LatencyModel(&topology_, zero_jitter(), 3)),
+        backend_(6, ec::CodecParams{9, 3},
+                 std::make_shared<ec::RoundRobinPlacement>(false)) {
+    store::populate_working_set(backend_, 5, 9000);
+  }
+
+  static sim::LatencyModelParams zero_jitter() {
+    sim::LatencyModelParams p;
+    p.jitter_fraction = 0.0;
+    // Infinite bandwidth isolates base latencies so expectations are exact.
+    p.wan_bandwidth_mbps = std::numeric_limits<double>::infinity();
+    p.cache_bandwidth_mbps = std::numeric_limits<double>::infinity();
+    p.cache_base_ms = 55.0;
+    return p;
+  }
+
+  ClientContext ctx(RegionId region, bool verify = true) {
+    ClientContext c;
+    c.backend = &backend_;
+    c.network = &network_;
+    c.region = region;
+    c.decode_ms_per_mb = 0.0;  // keep latency math exact in tests
+    c.verify_data = verify;
+    return c;
+  }
+
+  sim::Topology topology_;
+  sim::Network network_;
+  store::BackendCluster backend_;
+};
+
+TEST_F(StrategyTest, BackendLatencyIsSlowestNeededChunk) {
+  BackendStrategy s(ctx(sim::region::kFrankfurt));
+  const ReadResult r = s.read("object0");
+  // From Frankfurt the 9th-cheapest chunk lives in Tokyo: base 1130 ms
+  // (Table I ordering, scaled).
+  EXPECT_DOUBLE_EQ(r.latency_ms, 1130.0);
+  EXPECT_EQ(r.backend_chunks, 9u);
+  EXPECT_EQ(r.cache_chunks, 0u);
+  EXPECT_FALSE(r.partial_hit);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, BackendFromSydneyUsesItsOwnGeography) {
+  BackendStrategy s(ctx(sim::region::kSydney));
+  const ReadResult r = s.read("object0");
+  // Sydney's 9th-cheapest is Frankfurt (1530): Dublin x2 and one Frankfurt
+  // chunk are discarded as the m = 3 furthest.
+  EXPECT_DOUBLE_EQ(r.latency_ms, 1530.0);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, BackendSurvivesRegionFailure) {
+  network_.fail_region(sim::region::kTokyo);
+  BackendStrategy s(ctx(sim::region::kFrankfurt));
+  const ReadResult r = s.read("object0");
+  // Tokyo's chunk is replaced by a fallback (Sydney, 1530 ms).
+  EXPECT_EQ(r.backend_chunks, 9u);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 1530.0);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, BackendSurvivesMRegionFailures) {
+  // RS(9,3) with 2 chunks/region tolerates one full region loss (2 chunks)
+  // plus one more chunk; failing Tokyo loses 2 chunks, still decodable.
+  network_.fail_region(sim::region::kTokyo);
+  BackendStrategy s(ctx(sim::region::kFrankfurt));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(s.read("object" + std::to_string(i)).verified);
+  }
+}
+
+TEST_F(StrategyTest, LruFirstReadMissesThenHits) {
+  FixedChunksParams p;
+  p.policy = Policy::kLru;
+  p.chunks_per_object = 9;
+  p.cache_capacity_bytes = 100_MB;
+  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+
+  const ReadResult miss = s.read("object0");
+  EXPECT_FALSE(miss.partial_hit);
+  EXPECT_DOUBLE_EQ(miss.latency_ms, 1130.0);
+
+  const ReadResult hit = s.read("object0");
+  EXPECT_TRUE(hit.full_hit);
+  EXPECT_EQ(hit.cache_chunks, 9u);
+  EXPECT_DOUBLE_EQ(hit.latency_ms, 55.0);
+  EXPECT_TRUE(hit.verified);
+}
+
+TEST_F(StrategyTest, PartialCacheLatencyIsResidualBackend) {
+  FixedChunksParams p;
+  p.policy = Policy::kLru;
+  p.chunks_per_object = 5;  // cache the 5 most distant needed chunks
+  p.cache_capacity_bytes = 100_MB;
+  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  (void)s.read("object0");
+  const ReadResult r = s.read("object0");
+  EXPECT_TRUE(r.partial_hit);
+  EXPECT_FALSE(r.full_hit);
+  EXPECT_EQ(r.cache_chunks, 5u);
+  EXPECT_EQ(r.backend_chunks, 4u);
+  // Residual chunks: Dublin x2 + Frankfurt x2 -> 100 ms dominates cache 55.
+  EXPECT_DOUBLE_EQ(r.latency_ms, 100.0);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, ChunksPerObjectOneBarelyHelps) {
+  FixedChunksParams p;
+  p.policy = Policy::kLru;
+  p.chunks_per_object = 1;
+  p.cache_capacity_bytes = 100_MB;
+  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  (void)s.read("object0");
+  const ReadResult r = s.read("object0");
+  // Tokyo chunk cached; Sao Paulo (470 ms) now dominates — the §IV
+  // worked example's one-cached-chunk improvement (Tokyo - SaoPaulo).
+  EXPECT_DOUBLE_EQ(r.latency_ms, 470.0);
+}
+
+TEST_F(StrategyTest, EvictionLfuChargesProxyOverhead) {
+  FixedChunksParams p;
+  p.policy = Policy::kLfu;
+  p.chunks_per_object = 9;
+  p.cache_capacity_bytes = 100_MB;
+  p.proxy_overhead_ms = 0.5;
+  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  (void)s.read("object0");
+  const ReadResult r = s.read("object0");
+  EXPECT_DOUBLE_EQ(r.latency_ms, 55.5);
+}
+
+TEST_F(StrategyTest, PeriodicLfuHitsAfterReconfiguration) {
+  LfuConfigParams p;
+  p.chunks_per_object = 9;
+  p.cache_capacity_bytes = 100_MB;
+  LfuConfigStrategy s(ctx(sim::region::kFrankfurt), p);
+  s.warm_up();
+  // Before any reconfiguration nothing is configured: full backend read
+  // plus the frequency proxy's 0.5 ms.
+  const ReadResult cold = s.read("object0");
+  EXPECT_DOUBLE_EQ(cold.latency_ms, 1130.5);
+  // After the period rolls, object0 is the most frequent and gets its 9
+  // designated chunks configured; the next read populates them on-path.
+  s.reconfigure();
+  (void)s.read("object0");
+  const ReadResult hit = s.read("object0");
+  EXPECT_TRUE(hit.full_hit);
+  EXPECT_DOUBLE_EQ(hit.latency_ms, 55.5);
+  EXPECT_TRUE(hit.verified);
+}
+
+TEST_F(StrategyTest, PeriodicLfuRanksByFrequency) {
+  LfuConfigParams p;
+  p.chunks_per_object = 9;
+  // Room for exactly one 9-chunk object (1000-byte chunks).
+  p.cache_capacity_bytes = 9 * 1000 + 100;
+  LfuConfigStrategy s(ctx(sim::region::kFrankfurt), p);
+  s.warm_up();
+  for (int i = 0; i < 5; ++i) (void)s.read("object1");
+  (void)s.read("object0");
+  s.reconfigure();
+  // Only the most frequent object (object1) fits the configuration.
+  (void)s.read("object1");
+  EXPECT_TRUE(s.read("object1").full_hit);
+  EXPECT_FALSE(s.read("object0").partial_hit);
+}
+
+TEST_F(StrategyTest, PeriodicLfuPartialChunks) {
+  LfuConfigParams p;
+  p.chunks_per_object = 5;
+  p.cache_capacity_bytes = 100_MB;
+  LfuConfigStrategy s(ctx(sim::region::kFrankfurt), p);
+  s.warm_up();
+  (void)s.read("object0");
+  s.reconfigure();
+  (void)s.read("object0");
+  const ReadResult r = s.read("object0");
+  // 5 most distant needed chunks cached; residual is Dublin (100 ms).
+  EXPECT_EQ(r.cache_chunks, 5u);
+  EXPECT_FALSE(r.full_hit);
+  EXPECT_TRUE(r.partial_hit);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 100.5);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, PeriodicLfuZeroChunksThrows) {
+  LfuConfigParams p;
+  p.chunks_per_object = 0;
+  EXPECT_THROW(LfuConfigStrategy(ctx(0), p), std::invalid_argument);
+}
+
+TEST_F(StrategyTest, LruEvictsUnderPressure) {
+  FixedChunksParams p;
+  p.policy = Policy::kLru;
+  p.chunks_per_object = 9;
+  // Room for ~1 object's 9 chunks only (chunk = 1000 bytes for 9000-byte
+  // objects).
+  p.cache_capacity_bytes = 9 * 1000 + 500;
+  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  (void)s.read("object0");
+  (void)s.read("object1");  // evicts object0's chunks
+  const ReadResult r = s.read("object0");
+  EXPECT_FALSE(r.full_hit);
+}
+
+TEST_F(StrategyTest, StrategyNames) {
+  FixedChunksParams p;
+  p.chunks_per_object = 7;
+  EXPECT_EQ(FixedChunksStrategy(ctx(0), p).name(), "LRU-7");
+  p.policy = Policy::kLfu;
+  p.chunks_per_object = 3;
+  EXPECT_EQ(FixedChunksStrategy(ctx(0), p).name(), "LFUev-3");
+  LfuConfigParams lp;
+  lp.chunks_per_object = 3;
+  EXPECT_EQ(LfuConfigStrategy(ctx(0), lp).name(), "LFU-3");
+  EXPECT_EQ(BackendStrategy(ctx(0)).name(), "Backend");
+}
+
+TEST_F(StrategyTest, ZeroChunksPerObjectThrows) {
+  FixedChunksParams p;
+  p.chunks_per_object = 0;
+  EXPECT_THROW(FixedChunksStrategy(ctx(0), p), std::invalid_argument);
+}
+
+core::AgarNodeParams agar_params(std::size_t cache_bytes) {
+  core::AgarNodeParams p;
+  p.region = sim::region::kFrankfurt;
+  p.cache_capacity_bytes = cache_bytes;
+  p.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
+  p.cache_manager.cache_latency_ms = 55.0;
+  return p;
+}
+
+TEST_F(StrategyTest, AgarColdReadMatchesBackendPlusMonitor) {
+  AgarStrategy s(ctx(sim::region::kFrankfurt), agar_params(10_MB));
+  s.warm_up();
+  const ReadResult r = s.read("object0");
+  EXPECT_DOUBLE_EQ(r.latency_ms, 1130.5);  // backend + 0.5 ms monitor
+  EXPECT_FALSE(r.partial_hit);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, AgarReadsFromCacheAfterReconfiguration) {
+  AgarStrategy s(ctx(sim::region::kFrankfurt), agar_params(100_MB));
+  s.warm_up();
+  for (int i = 0; i < 50; ++i) (void)s.read("object0");
+  s.node().reconfigure();
+  // Population happened during the post-reconfig reads.
+  (void)s.read("object0");
+  const ReadResult r = s.read("object0");
+  EXPECT_TRUE(r.full_hit);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 55.5);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_F(StrategyTest, AgarPartialConfigurationsYieldPartialHits) {
+  // Cache sized for ~2 full objects; make several objects warm so the
+  // solver spreads weights.
+  AgarStrategy s(ctx(sim::region::kFrankfurt),
+                 agar_params(2 * 9 * 1000 + 100));
+  s.warm_up();
+  for (int round = 0; round < 30; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      (void)s.read("object" + std::to_string(k));
+    }
+  }
+  s.node().reconfigure();
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      (void)s.read("object" + std::to_string(k));
+    }
+  }
+  // At least one object must now be served with a partial hit, and all
+  // reads still verify.
+  bool any_hit = false;
+  for (int k = 0; k < 5; ++k) {
+    const ReadResult r = s.read("object" + std::to_string(k));
+    any_hit |= r.partial_hit || r.full_hit;
+    EXPECT_TRUE(r.verified);
+  }
+  EXPECT_TRUE(any_hit);
+}
+
+TEST_F(StrategyTest, AgarSurvivesRegionFailure) {
+  AgarStrategy s(ctx(sim::region::kFrankfurt), agar_params(10_MB));
+  s.warm_up();
+  network_.fail_region(sim::region::kVirginia);
+  const ReadResult r = s.read("object0");
+  EXPECT_EQ(r.cache_chunks + r.backend_chunks, 9u);
+  EXPECT_TRUE(r.verified);
+}
+
+}  // namespace
+}  // namespace agar::client

@@ -1,0 +1,92 @@
+// Topology: validation plus the paper's six-region deployment invariants.
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace agar::sim {
+namespace {
+
+TEST(Topology, RejectsNonSquare) {
+  EXPECT_THROW(Topology({"a", "b"}, {{1, 2}}), std::invalid_argument);
+  EXPECT_THROW(Topology({"a", "b"}, {{1, 2}, {2}}), std::invalid_argument);
+}
+
+TEST(Topology, RejectsAsymmetric) {
+  EXPECT_THROW(Topology({"a", "b"}, {{0, 1}, {2, 0}}), std::invalid_argument);
+}
+
+TEST(Topology, RejectsNegativeLatency) {
+  EXPECT_THROW(Topology({"a", "b"}, {{0, -1}, {-1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Topology, IdOfLookup) {
+  const Topology t = aws_six_regions();
+  EXPECT_EQ(t.id_of("frankfurt"), region::kFrankfurt);
+  EXPECT_EQ(t.id_of("sydney"), region::kSydney);
+  EXPECT_THROW((void)t.id_of("mars"), std::out_of_range);
+}
+
+TEST(Topology, SixRegions) {
+  const Topology t = aws_six_regions();
+  EXPECT_EQ(t.num_regions(), 6u);
+  EXPECT_EQ(t.name(region::kFrankfurt), "frankfurt");
+  EXPECT_EQ(t.name(region::kDublin), "dublin");
+  EXPECT_EQ(t.name(region::kVirginia), "virginia");
+  EXPECT_EQ(t.name(region::kSaoPaulo), "saopaulo");
+  EXPECT_EQ(t.name(region::kTokyo), "tokyo");
+  EXPECT_EQ(t.name(region::kSydney), "sydney");
+}
+
+TEST(Topology, MatrixIsSymmetric) {
+  const Topology t = aws_six_regions();
+  for (RegionId a = 0; a < 6; ++a) {
+    for (RegionId b = 0; b < 6; ++b) {
+      EXPECT_EQ(t.base_latency_ms(a, b), t.base_latency_ms(b, a));
+    }
+  }
+}
+
+TEST(Topology, LocalIsCheapest) {
+  const Topology t = aws_six_regions();
+  for (RegionId r = 0; r < 6; ++r) {
+    for (RegionId other = 0; other < 6; ++other) {
+      if (other == r) continue;
+      EXPECT_LT(t.base_latency_ms(r, r), t.base_latency_ms(r, other));
+    }
+  }
+}
+
+// The paper's Table I ordering as seen from Frankfurt:
+// Frankfurt < Dublin < N. Virginia < Sao Paulo < Tokyo < Sydney.
+TEST(Topology, TableOneOrderingFromFrankfurt) {
+  const Topology t = aws_six_regions();
+  const auto order = t.regions_by_distance(region::kFrankfurt);
+  EXPECT_EQ(order[0], region::kFrankfurt);
+  EXPECT_EQ(order[1], region::kDublin);
+  EXPECT_EQ(order[2], region::kVirginia);
+  EXPECT_EQ(order[3], region::kSaoPaulo);
+  EXPECT_EQ(order[4], region::kTokyo);
+  EXPECT_EQ(order[5], region::kSydney);
+}
+
+TEST(Topology, SydneyIsFarFromEverythingButTokyo) {
+  // §V-B: "Sydney ... being far away from all other regions"; its nearest
+  // backend neighbours are Tokyo (and in our matrix Virginia).
+  const Topology t = aws_six_regions();
+  const auto order = t.regions_by_distance(region::kSydney);
+  EXPECT_EQ(order[0], region::kSydney);
+  EXPECT_EQ(order[1], region::kTokyo);
+}
+
+TEST(Topology, RegionsByDistanceIsPermutation) {
+  const Topology t = aws_six_regions();
+  for (RegionId r = 0; r < 6; ++r) {
+    auto order = t.regions_by_distance(r);
+    std::sort(order.begin(), order.end());
+    for (RegionId i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace agar::sim
