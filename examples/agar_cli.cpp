@@ -10,6 +10,7 @@
 // op/run counts, reconfiguration period and seed.
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "client/report.hpp"
@@ -31,6 +32,10 @@ void usage() {
       "  --cache-mb <n>      cache capacity in MB (default 10)\n"
       "  --region <name>     frankfurt dublin virginia saopaulo tokyo "
       "sydney\n"
+      "  --client-regions <a,b,..>  client populations in several regions\n"
+      "                      (one cache node per region; overrides --region)\n"
+      "  --arrival-rate <r>  open-loop mode: Poisson arrivals at r reads/s\n"
+      "                      per region (0 = closed-loop clients, default)\n"
       "  --workload <w>      'uniform' or a zipf skew like '1.1'\n"
       "  --objects <n>       working-set size (default 300)\n"
       "  --object-kb <n>     object size in KB (default 1024)\n"
@@ -38,7 +43,9 @@ void usage() {
       "  --runs <n>          independent runs (default 5)\n"
       "  --period-s <n>      reconfiguration period seconds (default 30)\n"
       "  --seed <n>          RNG seed (default 42)\n"
+      "  --max-outstanding <n>  per-region concurrent-fetch cap (0 = off)\n"
       "  --verify            move real bytes and RS-decode every read\n"
+      "  --json              emit results as JSON (bench harnesses)\n"
       "  --list              print available systems and regions\n";
 }
 
@@ -53,8 +60,10 @@ int main(int argc, char** argv) {
   client::ExperimentConfig config;
   std::string system = "agar";
   std::string region = "frankfurt";
+  std::string client_regions;
   std::size_t chunks = 5;
   std::size_t cache_mb = 10;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +95,15 @@ int main(int argc, char** argv) {
         cache_mb = std::stoul(next("--cache-mb"));
       } else if (arg == "--region") {
         region = next("--region");
+      } else if (arg == "--client-regions") {
+        client_regions = next("--client-regions");
+      } else if (arg == "--arrival-rate") {
+        config.arrival_rate_per_s = std::stod(next("--arrival-rate"));
+      } else if (arg == "--max-outstanding") {
+        config.max_outstanding_per_region =
+            std::stoul(next("--max-outstanding"));
+      } else if (arg == "--json") {
+        json = true;
       } else if (arg == "--workload") {
         const std::string w = next("--workload");
         config.workload = w == "uniform"
@@ -133,19 +151,51 @@ int main(int argc, char** argv) {
     return fail("unknown system '" + system + "' (try --list)");
   }
 
+  const auto topology = sim::aws_six_regions();
   try {
-    config.client_region = sim::aws_six_regions().id_of(region);
+    config.client_region = topology.id_of(region);
   } catch (const std::exception&) {
     return fail("unknown region '" + region + "' (try --list)");
   }
+  if (!client_regions.empty()) {
+    std::stringstream names(client_regions);
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      if (name.empty()) continue;
+      try {
+        config.client_regions.push_back(topology.id_of(name));
+      } catch (const std::exception&) {
+        return fail("unknown region '" + name + "' (try --list)");
+      }
+    }
+    if (config.client_regions.empty()) {
+      return fail("--client-regions needs at least one region");
+    }
+    config.client_region = config.client_regions.front();
+  }
 
-  std::cout << "system=" << spec.label() << " region=" << region
-            << " cache=" << cache_mb << "MB workload="
-            << config.workload.label() << " objects="
-            << config.deployment.num_objects << " ops="
-            << config.ops_per_run << " x" << config.runs << " runs\n\n";
+  if (!json) {
+    std::cout << "system=" << spec.label() << " regions=";
+    for (std::size_t i = 0;
+         i < config.effective_client_regions().size(); ++i) {
+      if (i > 0) std::cout << ",";
+      std::cout << topology.name(config.effective_client_regions()[i]);
+    }
+    std::cout << " cache=" << cache_mb << "MB workload="
+              << config.workload.label() << " objects="
+              << config.deployment.num_objects << " ops="
+              << config.ops_per_run << " x" << config.runs << " runs";
+    if (config.arrival_rate_per_s > 0.0) {
+      std::cout << " open-loop@" << config.arrival_rate_per_s << "/s";
+    }
+    std::cout << "\n\n";
+  }
 
   const auto result = run_experiment(config, spec);
+  if (json) {
+    std::cout << client::results_json({result});
+    return 0;
+  }
   client::print_results_table({result});
   if (config.verify_data) {
     std::uint64_t verified = 0;

@@ -9,25 +9,34 @@ AgarStrategy::AgarStrategy(ClientContext ctx, core::AgarNodeParams node_params)
 
 void AgarStrategy::warm_up() { node_->warm_up(); }
 
-void AgarStrategy::reconfigure() {
-  node_->reconfigure();
-  for (const auto& [key, option] :
-       node_->cache_manager().current().entries) {
+void AgarStrategy::populate_configuration() {
+  for (const auto& [key, option] : node_->cache_manager().current().entries) {
     for (const ChunkIndex idx : option.chunks) {
-      (void)prefetch_chunk(key, idx, node_->cache());
+      if (ctx_.loop != nullptr) {
+        populate_chunk_async(key, idx, node_->cache());
+      } else {
+        (void)prefetch_chunk(key, idx, node_->cache());
+      }
     }
   }
 }
 
-void AgarStrategy::attach_to_loop(sim::EventLoop& loop) {
-  loop.schedule_periodic(node_->params().reconfig_period_ms, [this] {
-    reconfigure();
-    return true;
-  });
+void AgarStrategy::reconfigure() {
+  node_->reconfigure();
+  populate_configuration();
 }
 
-ReadResult AgarStrategy::read(const ObjectKey& key) {
-  return execute_plan(key, node_->plan_read(key), node_->cache());
+void AgarStrategy::attach_to_loop(sim::EventLoop& loop) {
+  ReadStrategy::attach_to_loop(loop);
+  // Event-driven reconfiguration pipeline (shared with the node): a probe
+  // round fires, and only once its fetches have landed is the
+  // configuration recomputed and the population downloads started.
+  reconfig_timer_ =
+      node_->attach_to_loop(loop, [this] { populate_configuration(); });
+}
+
+void AgarStrategy::start_read(const ObjectKey& key, ReadCallback done) {
+  start_plan(key, node_->plan_read(key), node_->cache(), std::move(done));
 }
 
 }  // namespace agar::client

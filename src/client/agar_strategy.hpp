@@ -3,6 +3,11 @@
 // Agar cache, the rest from the backend; after the read the client
 // populates the cache with the chunks the current configuration wants
 // (asynchronously, off the latency path).
+//
+// On the event loop the whole control plane is background events: latency
+// probes are asynchronous fetches, each reconfiguration waits for its probe
+// round to land, and the a-priori population downloads go through the
+// strategy's coalescing fetch table so they merge with concurrent reads.
 #pragma once
 
 #include <memory>
@@ -16,7 +21,7 @@ class AgarStrategy final : public ReadStrategy {
  public:
   AgarStrategy(ClientContext ctx, core::AgarNodeParams node_params);
 
-  [[nodiscard]] ReadResult read(const ObjectKey& key) override;
+  void start_read(const ObjectKey& key, ReadCallback done) override;
   [[nodiscard]] std::string name() const override { return "Agar"; }
 
   void warm_up() override;
@@ -24,13 +29,26 @@ class AgarStrategy final : public ReadStrategy {
 
   /// One reconfiguration plus the a-priori population downloads for every
   /// configured-but-missing chunk (paper §IV-A; performed by the
-  /// population thread pool, off the read path).
+  /// population thread pool, off the read path). Synchronous variant for
+  /// loop-less callers; the periodic pipeline on the loop runs the same
+  /// steps as events (async probe round, then reconfigure + population).
   void reconfigure();
 
   [[nodiscard]] core::AgarNode& node() { return *node_; }
 
+  /// Cancel handle of the periodic reconfiguration (0 until attached);
+  /// pass to EventLoop::cancel to stop the control plane mid-run.
+  [[nodiscard]] sim::EventLoop::TimerId reconfig_timer() const {
+    return reconfig_timer_;
+  }
+
  private:
+  /// Download every configured-but-missing chunk: background events through
+  /// the coalescing table when a loop is attached, synchronous otherwise.
+  void populate_configuration();
+
   std::unique_ptr<core::AgarNode> node_;
+  sim::EventLoop::TimerId reconfig_timer_ = 0;
 };
 
 }  // namespace agar::client

@@ -31,35 +31,39 @@ std::vector<std::pair<ChunkIndex, RegionId>> chunks_by_expected_latency(
   return out;
 }
 
-ReadResult BackendStrategy::read(const ObjectKey& key) {
+void BackendStrategy::start_read(const ObjectKey& key, ReadCallback done) {
   const store::ObjectInfo info = ctx_.backend->object_info(key);
   const std::size_t k = ctx_.backend->codec().k();
 
   const auto candidates = chunks_by_expected_latency(ctx_, key);
-  const std::vector<std::pair<ChunkIndex, RegionId>> on_path(
-      candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(k));
-  const std::vector<std::pair<ChunkIndex, RegionId>> fallbacks(
-      candidates.begin() + static_cast<std::ptrdiff_t>(k), candidates.end());
+  BatchSpec spec;
+  spec.on_path.assign(candidates.begin(),
+                      candidates.begin() + static_cast<std::ptrdiff_t>(k));
+  spec.fallbacks.assign(candidates.begin() + static_cast<std::ptrdiff_t>(k),
+                        candidates.end());
+  spec.want_total = k;
+  spec.chunk_bytes = info.chunk_size;
+  spec.extra_ms = decode_ms(info.object_size);
 
-  const FetchOutcome outcome =
-      fetch_parallel(on_path, fallbacks, k, info.chunk_size);
-
-  ReadResult result;
-  result.backend_chunks = outcome.fetched.size();
-  result.latency_ms = outcome.batch_ms + decode_ms(info.object_size);
-
-  if (ctx_.verify_data) {
-    std::vector<ec::Chunk> chunks;
-    chunks.reserve(outcome.fetched.size());
-    for (const ChunkIndex idx : outcome.fetched) {
-      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
-      if (bytes.has_value()) {
-        chunks.push_back(ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
-      }
-    }
-    result.verified = verify_payload(key, chunks);
-  }
-  return result;
+  start_fetch_batch(
+      key, std::move(spec), ReadResult{},
+      [this, key, done = std::move(done)](ReadResult result,
+                                          std::vector<ChunkIndex> fetched) {
+        result.backend_chunks = fetched.size();
+        if (ctx_.verify_data) {
+          std::vector<ec::Chunk> chunks;
+          chunks.reserve(fetched.size());
+          for (const ChunkIndex idx : fetched) {
+            const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+            if (bytes.has_value()) {
+              chunks.push_back(
+                  ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+            }
+          }
+          result.verified = verify_payload(key, chunks);
+        }
+        done(result);
+      });
 }
 
 }  // namespace agar::client

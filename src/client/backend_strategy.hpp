@@ -12,7 +12,7 @@ class BackendStrategy final : public ReadStrategy {
  public:
   explicit BackendStrategy(ClientContext ctx) : ReadStrategy(ctx) {}
 
-  [[nodiscard]] ReadResult read(const ObjectKey& key) override;
+  void start_read(const ObjectKey& key, ReadCallback done) override;
   [[nodiscard]] std::string name() const override { return "Backend"; }
 };
 

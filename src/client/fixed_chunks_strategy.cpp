@@ -47,7 +47,7 @@ std::string FixedChunksStrategy::name() const {
   return base + "-" + std::to_string(params_.chunks_per_object);
 }
 
-ReadResult FixedChunksStrategy::read(const ObjectKey& key) {
+void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
   const store::ObjectInfo info = ctx_.backend->object_info(key);
   const std::size_t k = ctx_.backend->codec().k();
   const std::size_t c = std::min(params_.chunks_per_object, k);
@@ -57,72 +57,74 @@ ReadResult FixedChunksStrategy::read(const ObjectKey& key) {
   const auto candidates = chunks_by_expected_latency(ctx_, key);
   std::vector<std::pair<ChunkIndex, RegionId>> needed(
       candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(k));
-  const std::vector<std::pair<ChunkIndex, RegionId>> fallbacks(
-      candidates.begin() + static_cast<std::ptrdiff_t>(k), candidates.end());
   // designated = last c of `needed` (most distant of the needed chunks).
   const std::size_t designated_begin = k - c;
 
-  ReadResult result;
+  ReadResult partial;
   std::vector<SimTimeMs> cache_latencies;
-  std::vector<std::pair<ChunkIndex, RegionId>> on_path;
-  std::vector<ec::Chunk> collected;  // verify mode
+  auto collected = std::make_shared<std::vector<ec::Chunk>>();  // verify mode
+  auto designated = std::make_shared<std::vector<ChunkIndex>>();
 
+  BatchSpec spec;
+  spec.fallbacks.assign(candidates.begin() + static_cast<std::ptrdiff_t>(k),
+                        candidates.end());
   for (std::size_t i = 0; i < needed.size(); ++i) {
     const auto& [idx, region] = needed[i];
-    const bool designated = i >= designated_begin;
-    if (designated) {
+    if (i >= designated_begin) {
+      designated->push_back(idx);
       const std::string ck = ChunkId{key, idx}.cache_key();
       const auto hit = cache_->get(ck);
       if (hit.has_value()) {
         cache_latencies.push_back(ctx_.network->cache_fetch(info.chunk_size));
-        ++result.cache_chunks;
+        ++partial.cache_chunks;
         if (ctx_.verify_data) {
-          collected.push_back(ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
+          collected->push_back(
+              ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
         }
         continue;
       }
     }
-    on_path.emplace_back(idx, region);
+    spec.on_path.emplace_back(idx, region);
   }
 
-  const FetchOutcome outcome = fetch_parallel(
-      on_path, fallbacks, k - result.cache_chunks, info.chunk_size);
-  result.backend_chunks = outcome.fetched.size();
+  spec.want_total = k - partial.cache_chunks;
+  spec.chunk_bytes = info.chunk_size;
+  spec.cache_arm_ms = cache_latencies.empty()
+                          ? -1.0
+                          : sim::Network::parallel_batch_ms(cache_latencies);
+  spec.extra_ms = decode_ms(info.object_size) + params_.proxy_overhead_ms;
 
-  result.latency_ms =
-      std::max(sim::Network::parallel_batch_ms(cache_latencies),
-               outcome.batch_ms) +
-      decode_ms(info.object_size) + params_.proxy_overhead_ms;
-  result.full_hit = result.cache_chunks == k;
-  result.partial_hit = result.cache_chunks > 0;
+  start_fetch_batch(
+      key, std::move(spec), partial,
+      [this, key, k, info, collected, designated,
+       done = std::move(done)](ReadResult result,
+                               std::vector<ChunkIndex> fetched) {
+        result.backend_chunks = fetched.size();
+        result.full_hit = result.cache_chunks == k;
+        result.partial_hit = result.cache_chunks > 0;
 
-  // Populate: (re-)insert the designated chunks. Writes happen on a
-  // separate thread pool in the paper's client — no latency charged.
-  for (std::size_t i = designated_begin; i < needed.size(); ++i) {
-    const ChunkIndex idx = needed[i].first;
-    const std::string ck = ChunkId{key, idx}.cache_key();
-    if (cache_->contains(ck)) continue;  // hit earlier; recency refreshed
-    Bytes payload;
-    if (ctx_.verify_data) {
-      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
-      if (!bytes.has_value()) continue;
-      payload.assign(bytes->begin(), bytes->end());
-    } else {
-      payload.assign(info.chunk_size, 0);
-    }
-    cache_->put(ck, std::move(payload));
-  }
+        // Populate: (re-)insert the designated chunks. Writes happen on a
+        // separate thread pool in the paper's client — no latency charged.
+        for (const ChunkIndex idx : *designated) {
+          const std::string ck = ChunkId{key, idx}.cache_key();
+          if (cache_->contains(ck)) continue;  // hit earlier; recency kept
+          Bytes payload = population_payload(key, idx, info.chunk_size);
+          if (ctx_.verify_data && payload.empty()) continue;
+          cache_->put(ck, std::move(payload));
+        }
 
-  if (ctx_.verify_data) {
-    for (const ChunkIndex idx : outcome.fetched) {
-      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
-      if (bytes.has_value()) {
-        collected.push_back(ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
-      }
-    }
-    result.verified = verify_payload(key, collected);
-  }
-  return result;
+        if (ctx_.verify_data) {
+          for (const ChunkIndex idx : fetched) {
+            const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+            if (bytes.has_value()) {
+              collected->push_back(
+                  ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+            }
+          }
+          result.verified = verify_payload(key, *collected);
+        }
+        done(result);
+      });
 }
 
 }  // namespace agar::client

@@ -29,7 +29,7 @@ class FixedChunksStrategy final : public ReadStrategy {
  public:
   FixedChunksStrategy(ClientContext ctx, FixedChunksParams params);
 
-  [[nodiscard]] ReadResult read(const ObjectKey& key) override;
+  void start_read(const ObjectKey& key, ReadCallback done) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] cache::CacheEngine& engine() { return *cache_; }

@@ -40,10 +40,11 @@ std::string LfuConfigStrategy::name() const {
 void LfuConfigStrategy::warm_up() { region_manager_.probe(); }
 
 void LfuConfigStrategy::attach_to_loop(sim::EventLoop& loop) {
-  loop.schedule_periodic(params_.reconfig_period_ms, [this] {
-    reconfigure();
-    return true;
-  });
+  ReadStrategy::attach_to_loop(loop);
+  // Same event-driven pipeline as Agar: async probe round, then apply the
+  // configuration once the probes have landed.
+  reconfig_timer_ = region_manager_.schedule_probe_pipeline(
+      loop, params_.reconfig_period_ms, [this] { apply_configuration(); });
 }
 
 std::vector<ChunkIndex> LfuConfigStrategy::designated_chunks(
@@ -74,6 +75,10 @@ std::vector<ChunkIndex> LfuConfigStrategy::designated_chunks(
 
 void LfuConfigStrategy::reconfigure() {
   region_manager_.probe();
+  apply_configuration();
+}
+
+void LfuConfigStrategy::apply_configuration() {
   monitor_.roll_period();
 
   // Rank by popularity, most frequent first; deterministic tie-break.
@@ -110,12 +115,16 @@ void LfuConfigStrategy::reconfigure() {
   // configuration policy (knapsack vs fixed-c) in comparisons.
   for (const auto& [key, chunks] : configured_) {
     for (const ChunkIndex idx : chunks) {
-      (void)prefetch_chunk(key, idx, cache_);
+      if (ctx_.loop != nullptr) {
+        populate_chunk_async(key, idx, cache_);
+      } else {
+        (void)prefetch_chunk(key, idx, cache_);
+      }
     }
   }
 }
 
-ReadResult LfuConfigStrategy::read(const ObjectKey& key) {
+void LfuConfigStrategy::start_read(const ObjectKey& key, ReadCallback done) {
   const double overhead = monitor_.record_access(key);
   core::ReadPlan plan = core::plan_chunk_sources(
       *ctx_.backend, region_manager_, cache_,
@@ -127,7 +136,7 @@ ReadResult LfuConfigStrategy::read(const ObjectKey& key) {
       },
       key);
   plan.monitor_overhead_ms = overhead;
-  return execute_plan(key, plan, cache_);
+  start_plan(key, plan, cache_, std::move(done));
 }
 
 }  // namespace agar::client

@@ -37,18 +37,25 @@ class LfuConfigStrategy final : public ReadStrategy {
  public:
   LfuConfigStrategy(ClientContext ctx, LfuConfigParams params);
 
-  [[nodiscard]] ReadResult read(const ObjectKey& key) override;
+  void start_read(const ObjectKey& key, ReadCallback done) override;
   [[nodiscard]] std::string name() const override;
 
   void warm_up() override;
   void attach_to_loop(sim::EventLoop& loop) override;
 
-  /// Recompute the configuration now (the periodic timer calls this).
+  /// Recompute the configuration now: probe synchronously, then apply.
+  /// (On the loop, the periodic pipeline probes asynchronously instead.)
   void reconfigure();
 
   [[nodiscard]] cache::StaticConfigCache& cache() { return cache_; }
   [[nodiscard]] core::RequestMonitor& monitor() { return monitor_; }
   [[nodiscard]] const LfuConfigParams& params() const { return params_; }
+
+  /// Cancel handle of the periodic reconfiguration (0 until attached);
+  /// pass to EventLoop::cancel to stop the control plane mid-run.
+  [[nodiscard]] sim::EventLoop::TimerId reconfig_timer() const {
+    return reconfig_timer_;
+  }
 
  private:
   /// The c most-distant of the k needed chunks of `key` (most distant
@@ -56,7 +63,11 @@ class LfuConfigStrategy final : public ReadStrategy {
   [[nodiscard]] std::vector<ChunkIndex> designated_chunks(
       const ObjectKey& key) const;
 
+  /// Rank by popularity, install the configuration, start populations.
+  void apply_configuration();
+
   LfuConfigParams params_;
+  sim::EventLoop::TimerId reconfig_timer_ = 0;
   cache::StaticConfigCache cache_;
   core::RegionManager region_manager_;
   core::RequestMonitor monitor_;

@@ -72,11 +72,60 @@ void print_results_table(const std::vector<ExperimentResult>& results) {
         fmt_ms(r.percentile_ms(95)),
         fmt_pct(r.hit_ratio()),
         fmt_pct(r.full_hit_ratio()),
+        fmt_ms(r.mean_throughput_ops_per_s()),
+        std::to_string(r.total_coalesced_fetches()),
     });
   }
   std::cout << format_table({"system", "avg latency (ms)", "stddev", "p50",
-                             "p95", "hit ratio", "full hits"},
+                             "p95", "hit ratio", "full hits", "ops/s",
+                             "coalesced"},
                             rows);
+}
+
+std::string results_json(const std::vector<ExperimentResult>& results) {
+  std::ostringstream out;
+  auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  out << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"system\": \"" << r.spec.label() << "\""
+        << ", \"mean_latency_ms\": " << num(r.mean_latency_ms())
+        << ", \"stddev_ms\": " << num(r.stddev_of_means())
+        << ", \"p50_ms\": " << num(r.percentile_ms(50))
+        << ", \"p95_ms\": " << num(r.percentile_ms(95))
+        << ", \"p99_ms\": " << num(r.percentile_ms(99))
+        << ", \"hit_ratio\": " << num(r.hit_ratio())
+        << ", \"full_hit_ratio\": " << num(r.full_hit_ratio())
+        << ", \"throughput_ops_per_s\": " << num(r.mean_throughput_ops_per_s())
+        << ", \"total_ops\": " << r.total_ops()
+        << ", \"wire_fetches\": " << r.total_wire_fetches()
+        << ", \"coalesced_fetches\": " << r.total_coalesced_fetches()
+        << ", \"runs\": [";
+    for (std::size_t j = 0; j < r.runs.size(); ++j) {
+      const auto& run = r.runs[j];
+      if (j > 0) out << ",";
+      out << "\n    {\"ops\": " << run.ops
+          << ", \"mean_latency_ms\": " << num(run.mean_latency_ms())
+          << ", \"duration_ms\": " << num(run.duration_ms)
+          << ", \"throughput_ops_per_s\": " << num(run.throughput_ops_per_s())
+          << ", \"full_hits\": " << run.full_hits
+          << ", \"partial_hits\": " << run.partial_hits
+          << ", \"wire_fetches\": " << run.wire_fetches
+          << ", \"coalesced_fetches\": " << run.coalesced_fetches
+          << ", \"queued_fetches\": " << run.queued_fetches
+          << ", \"max_queue_depth\": " << run.max_queue_depth
+          << ", \"max_net_in_flight\": " << run.max_net_in_flight
+          << ", \"max_reads_in_flight\": " << run.max_reads_in_flight << "}";
+    }
+    out << "\n  ]}";
+  }
+  out << "\n]\n";
+  return out.str();
 }
 
 }  // namespace agar::client

@@ -18,8 +18,14 @@ namespace agar::client {
 void print_experiment_banner(const std::string& id, const std::string& what,
                              const std::string& setup);
 
-/// One row per strategy: label, mean latency, stddev, p50/p95, hit ratios.
+/// One row per strategy: label, mean latency, stddev, p50/p95, hit ratios,
+/// throughput and coalescing counters.
 void print_results_table(const std::vector<ExperimentResult>& results);
+
+/// Machine-readable variant for bench harnesses: a JSON array with one
+/// object per strategy, per-run results nested inside.
+[[nodiscard]] std::string results_json(
+    const std::vector<ExperimentResult>& results);
 
 /// Format helpers.
 [[nodiscard]] std::string fmt_ms(double ms);

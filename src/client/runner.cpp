@@ -67,10 +67,20 @@ std::string StrategySpec::label() const {
 std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
                                             const StrategySpec& spec,
                                             Deployment& deployment) {
+  return make_strategy(config, spec, deployment, config.client_region,
+                       nullptr);
+}
+
+std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
+                                            const StrategySpec& spec,
+                                            Deployment& deployment,
+                                            RegionId client_region,
+                                            sim::EventLoop* loop) {
   ClientContext ctx;
   ctx.backend = &deployment.backend();
   ctx.network = &deployment.network();
-  ctx.region = config.client_region;
+  ctx.loop = loop;
+  ctx.region = client_region;
   ctx.decode_ms_per_mb = config.decode_ms_per_mb;
   ctx.verify_data = config.verify_data;
 
@@ -109,7 +119,7 @@ std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
     }
     case StrategySpec::Kind::kAgar: {
       core::AgarNodeParams p;
-      p.region = config.client_region;
+      p.region = client_region;
       p.cache_capacity_bytes = spec.cache_bytes;
       p.reconfig_period_ms = config.reconfig_period_ms;
       p.cache_manager.candidate_weights = config.agar_candidate_weights;
@@ -123,6 +133,14 @@ std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
 
 namespace {
 
+/// Mix a per-(run, region, client) workload seed. Region index 0 client c
+/// reduces to the historical single-region formula, so single-region runs
+/// replay the seed repo's exact key streams.
+std::uint64_t workload_seed(std::uint64_t run_seed, std::size_t region_index,
+                            std::size_t client) {
+  return run_seed * 1315423911ULL + region_index * 1000000007ULL + client;
+}
+
 RunResult run_once(const ExperimentConfig& config, const StrategySpec& spec,
                    std::uint64_t run_seed) {
   DeploymentConfig dep_config = config.deployment;
@@ -130,67 +148,140 @@ RunResult run_once(const ExperimentConfig& config, const StrategySpec& spec,
   // Latency-only experiments skip payload materialization entirely.
   dep_config.store_payloads = config.verify_data;
   Deployment deployment(dep_config);
-
-  auto strategy = make_strategy(config, spec, deployment);
-  strategy->warm_up();
+  deployment.network().set_max_outstanding_per_region(
+      config.max_outstanding_per_region);
 
   sim::EventLoop loop;
-  strategy->attach_to_loop(loop);
+  deployment.network().bind_loop(&loop);
+
+  // One strategy instance (for Agar: one AgarNode) per client region.
+  const std::vector<RegionId> regions = config.effective_client_regions();
+  std::vector<std::unique_ptr<ReadStrategy>> strategies;
+  strategies.reserve(regions.size());
+  for (const RegionId region : regions) {
+    auto strategy = make_strategy(config, spec, deployment, region, &loop);
+    strategy->warm_up();
+    strategy->attach_to_loop(loop);
+    strategies.push_back(std::move(strategy));
+  }
 
   RunResult result;
-  // Closed-loop clients: each issues its next read when the previous one
-  // completes (the paper's YCSB clients are closed-loop).
-  const std::size_t clients = std::max<std::size_t>(1, config.num_clients);
   const std::size_t ops_total = config.ops_per_run;
   std::size_t issued = 0;
   std::size_t completed = 0;
+  std::size_t reads_in_flight = 0;
 
-  struct ClientState {
-    Workload workload;
-  };
-  std::vector<ClientState> client_states;
-  client_states.reserve(clients);
-  for (std::size_t c = 0; c < clients; ++c) {
-    client_states.push_back(ClientState{
-        Workload(config.workload, config.deployment.num_objects,
-                 run_seed * 1315423911ULL + c)});
-  }
-
-  // One lambda per client, rescheduling itself until the op budget is gone.
-  std::function<void(std::size_t)> issue = [&](std::size_t c) {
-    if (issued >= ops_total) return;
-    ++issued;
-    const ObjectKey key = client_states[c].workload.next_key();
-    const ReadResult r = strategy->read(key);
+  auto record = [&](const ReadResult& r) {
     result.latencies.add(r.latency_ms);
     ++result.ops;
     if (r.full_hit) ++result.full_hits;
     if (r.partial_hit && !r.full_hit) ++result.partial_hits;
     if (r.verified) ++result.verified;
     ++completed;
-    loop.schedule_in(r.latency_ms, [&, c] { issue(c); });
+    --reads_in_flight;
+    result.duration_ms = std::max(result.duration_ms, loop.now());
   };
-  for (std::size_t c = 0; c < clients; ++c) {
-    loop.schedule_in(0.0, [&, c] { issue(c); });
+  auto begin_read = [&](std::size_t region_index, Workload& workload,
+                        ReadStrategy::ReadCallback done) {
+    ++issued;
+    ++reads_in_flight;
+    result.max_reads_in_flight =
+        std::max(result.max_reads_in_flight, reads_in_flight);
+    strategies[region_index]->start_read(workload.next_key(),
+                                         std::move(done));
+  };
+
+  // Client state is heap-held and owns its own issue/arrival closure: the
+  // closures re-schedule themselves, so they must outlive this setup scope
+  // and have a stable address for the events already in the queue.
+  struct ClientState {
+    std::size_t region_index;
+    Workload workload;
+    Rng gaps;                   // open loop: inter-arrival draws
+    std::size_t remaining = 0;  // open loop: arrivals left for this region
+    std::function<void()> next;
+  };
+  std::vector<std::unique_ptr<ClientState>> clients;
+
+  if (config.arrival_rate_per_s > 0.0) {
+    // Open-loop mode: one Poisson arrival process per region; reads start
+    // at exponentially distributed instants regardless of completions, so
+    // load is applied even while earlier reads are still in flight.
+    const SimTimeMs mean_gap_ms = 1000.0 / config.arrival_rate_per_s;
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+      // Split the op budget across regions; the first region absorbs the
+      // remainder so totals always match ops_per_run.
+      const std::size_t budget = ops_total / regions.size() +
+                                 (ri == 0 ? ops_total % regions.size() : 0);
+      clients.push_back(std::make_unique<ClientState>(ClientState{
+          ri,
+          Workload(config.workload, config.deployment.num_objects,
+                   workload_seed(run_seed, ri, 0)),
+          Rng(workload_seed(run_seed, ri, 7777)), budget, {}}));
+      ClientState* state = clients.back().get();
+      state->next = [&, state, mean_gap_ms]() {
+        if (state->remaining == 0) return;
+        --state->remaining;
+        begin_read(state->region_index, state->workload, record);
+        if (state->remaining > 0) {
+          const double u = state->gaps.next_double();
+          const SimTimeMs gap = -mean_gap_ms * std::log(1.0 - u);
+          loop.schedule_in(gap, state->next);
+        }
+      };
+      loop.schedule_in(0.0, state->next);
+    }
+  } else {
+    // Closed-loop clients: each issues its next read when the previous one
+    // completes (the paper's YCSB clients are closed-loop).
+    const std::size_t per_region = std::max<std::size_t>(1, config.num_clients);
+    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+      for (std::size_t c = 0; c < per_region; ++c) {
+        clients.push_back(std::make_unique<ClientState>(ClientState{
+            ri,
+            Workload(config.workload, config.deployment.num_objects,
+                     workload_seed(run_seed, ri, c)),
+            Rng(0), 0, {}}));
+        ClientState* state = clients.back().get();
+        state->next = [&, state]() {
+          if (issued >= ops_total) return;
+          begin_read(state->region_index, state->workload,
+                     [&, state](const ReadResult& r) {
+                       record(r);
+                       state->next();
+                     });
+        };
+        loop.schedule_in(0.0, state->next);
+      }
+    }
   }
 
   // The periodic reconfiguration re-arms forever; cut it off once every
-  // client is done by draining with a horizon just past the last read.
+  // read has completed by draining with a bounded horizon.
   while (!loop.empty() && completed < ops_total) {
     loop.run_until(loop.now() + 1000.0);
   }
 
-  // Final snapshots.
-  if (auto* agar = dynamic_cast<AgarStrategy*>(strategy.get())) {
+  // Aggregate pipeline gauges: network-wide plus per-strategy coalescing.
+  result.wire_fetches = deployment.network().wire_fetches();
+  result.queued_fetches = deployment.network().queued_fetches();
+  result.max_queue_depth = deployment.network().max_queue_depth();
+  result.max_net_in_flight = deployment.network().max_in_flight();
+  for (const auto& strategy : strategies) {
+    result.coalesced_fetches += strategy->fetch_coordinator().coalesced();
+  }
+
+  // Final snapshots (primary region's strategy, as before).
+  ReadStrategy* primary = strategies.front().get();
+  if (auto* agar = dynamic_cast<AgarStrategy*>(primary)) {
     result.cache_stats = agar->node().cache().stats();
     result.cache_used_bytes = agar->node().cache().used_bytes();
     result.weight_histogram =
         agar->node().cache_manager().current().weight_histogram();
-  } else if (auto* fixed =
-                 dynamic_cast<FixedChunksStrategy*>(strategy.get())) {
+  } else if (auto* fixed = dynamic_cast<FixedChunksStrategy*>(primary)) {
     result.cache_stats = fixed->engine().stats();
     result.cache_used_bytes = fixed->engine().used_bytes();
-  } else if (auto* lfu = dynamic_cast<LfuConfigStrategy*>(strategy.get())) {
+  } else if (auto* lfu = dynamic_cast<LfuConfigStrategy*>(primary)) {
     result.cache_stats = lfu->cache().stats();
     result.cache_used_bytes = lfu->cache().used_bytes();
   }
@@ -247,6 +338,25 @@ std::uint64_t ExperimentResult::total_ops() const {
   std::uint64_t ops = 0;
   for (const auto& r : runs) ops += r.ops;
   return ops;
+}
+
+double ExperimentResult::mean_throughput_ops_per_s() const {
+  if (runs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& r : runs) acc += r.throughput_ops_per_s();
+  return acc / static_cast<double>(runs.size());
+}
+
+std::uint64_t ExperimentResult::total_coalesced_fetches() const {
+  std::uint64_t acc = 0;
+  for (const auto& r : runs) acc += r.coalesced_fetches;
+  return acc;
+}
+
+std::uint64_t ExperimentResult::total_wire_fetches() const {
+  std::uint64_t acc = 0;
+  for (const auto& r : runs) acc += r.wire_fetches;
+  return acc;
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config,

@@ -81,14 +81,29 @@ struct ExperimentConfig {
   DeploymentConfig deployment{};
   WorkloadSpec workload = WorkloadSpec::zipfian(1.1);
   RegionId client_region = sim::region::kFrankfurt;
-  std::size_t ops_per_run = 1000;  ///< paper: 1,000 reads
+  /// Client populations in multiple regions (one strategy instance — for
+  /// Agar, one AgarNode — per region). Empty means {client_region}.
+  std::vector<RegionId> client_regions;
+  std::size_t ops_per_run = 1000;  ///< paper: 1,000 reads (total, all regions)
   std::size_t runs = 5;            ///< paper: averages of 5 runs
-  std::size_t num_clients = 2;     ///< paper: 2 clients per YCSB instance
+  std::size_t num_clients = 2;     ///< closed-loop clients per region
+  /// Open-loop mode: > 0 switches from closed-loop clients to a Poisson
+  /// arrival process with this many reads/second per region. Reads overlap
+  /// freely (no client blocks waiting for its previous read).
+  double arrival_rate_per_s = 0.0;
   SimTimeMs reconfig_period_ms = 30'000.0;
   double decode_ms_per_mb = 10.0;
   bool verify_data = false;
+  /// Per-destination-region cap on concurrent backend fetches (0 =
+  /// unlimited). Contention beyond the cap queues FIFO on the network.
+  std::size_t max_outstanding_per_region = 64;
   /// Candidate option weights for Agar; the paper enumerates {1,3,5,7,9}.
   std::vector<std::size_t> agar_candidate_weights = {1, 3, 5, 7, 9};
+
+  [[nodiscard]] std::vector<RegionId> effective_client_regions() const {
+    return client_regions.empty() ? std::vector<RegionId>{client_region}
+                                  : client_regions;
+  }
 };
 
 /// Outcome of one run.
@@ -103,11 +118,26 @@ struct RunResult {
   /// Agar only: configured objects per option weight (Fig. 10 data).
   std::unordered_map<std::size_t, std::size_t> weight_histogram;
 
+  // ------------------------- async pipeline observability (all regions)
+  SimTimeMs duration_ms = 0.0;        ///< virtual time of the last completion
+  std::uint64_t wire_fetches = 0;     ///< transfers actually put on the wire
+  std::uint64_t coalesced_fetches = 0;///< requests joined to in-flight ones
+  std::uint64_t queued_fetches = 0;   ///< fetches that waited in a region FIFO
+  std::size_t max_queue_depth = 0;    ///< deepest per-region FIFO observed
+  std::size_t max_net_in_flight = 0;  ///< peak concurrent wire transfers
+  std::size_t max_reads_in_flight = 0;///< peak concurrent reads (open loop)
+
   [[nodiscard]] double mean_latency_ms() const { return latencies.mean(); }
   [[nodiscard]] double hit_ratio() const {
     return ops == 0 ? 0.0
                     : static_cast<double>(full_hits + partial_hits) /
                           static_cast<double>(ops);
+  }
+  /// Completed reads per second of virtual time.
+  [[nodiscard]] double throughput_ops_per_s() const {
+    return duration_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(ops) / (duration_ms / 1000.0);
   }
 };
 
@@ -122,12 +152,22 @@ struct ExperimentResult {
   [[nodiscard]] double full_hit_ratio() const;
   [[nodiscard]] double percentile_ms(double q) const;  ///< merged runs
   [[nodiscard]] std::uint64_t total_ops() const;
+  [[nodiscard]] double mean_throughput_ops_per_s() const;
+  [[nodiscard]] std::uint64_t total_coalesced_fetches() const;
+  [[nodiscard]] std::uint64_t total_wire_fetches() const;
 };
 
-/// Build a strategy instance for a spec against a deployment.
+/// Build a strategy instance for a spec against a deployment, serving the
+/// config's primary client region.
 [[nodiscard]] std::unique_ptr<ReadStrategy> make_strategy(
     const ExperimentConfig& config, const StrategySpec& spec,
     Deployment& deployment);
+
+/// Same, for one specific client region, with reads running as events on
+/// `loop` (may be null for the synchronous wrapper path).
+[[nodiscard]] std::unique_ptr<ReadStrategy> make_strategy(
+    const ExperimentConfig& config, const StrategySpec& spec,
+    Deployment& deployment, RegionId client_region, sim::EventLoop* loop);
 
 /// Run the full experiment (all runs) for one strategy spec.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,

@@ -2,60 +2,176 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "client/backend_strategy.hpp"
 
 namespace agar::client {
 
-ReadStrategy::ReadStrategy(ClientContext ctx) : ctx_(ctx) {
+ReadStrategy::ReadStrategy(ClientContext ctx) : ctx_(ctx), fetcher_(ctx.network) {
   if (ctx_.backend == nullptr || ctx_.network == nullptr) {
     throw std::invalid_argument("ReadStrategy: null backend/network");
   }
 }
 
-ReadStrategy::FetchOutcome ReadStrategy::fetch_parallel(
-    const std::vector<std::pair<ChunkIndex, RegionId>>& on_path,
-    const std::vector<std::pair<ChunkIndex, RegionId>>& fallbacks,
-    std::size_t want_total, std::size_t chunk_bytes) {
-  FetchOutcome out;
-  std::vector<SimTimeMs> latencies;
-  latencies.reserve(want_total);
-
-  auto try_fetch = [&](const std::pair<ChunkIndex, RegionId>& target) {
-    if (out.fetched.size() >= want_total) return;
-    const auto latency =
-        ctx_.network->backend_fetch(ctx_.region, target.second, chunk_bytes);
-    if (!latency.has_value()) return;  // region down; fallback covers it
-    latencies.push_back(*latency);
-    out.fetched.push_back(target.first);
-  };
-
-  for (const auto& t : on_path) try_fetch(t);
-  // Failure fallback: pull replacement chunks (typically parity from the
-  // regions the planner discarded) until the batch is complete.
-  for (const auto& t : fallbacks) {
-    if (out.fetched.size() >= want_total) break;
-    try_fetch(t);
+ReadResult ReadStrategy::read(const ObjectKey& key) {
+  ReadResult out;
+  bool done = false;
+  if (ctx_.loop != nullptr) {
+    start_read(key, [&](const ReadResult& r) {
+      out = r;
+      done = true;
+    });
+    // Drive the shared loop one event at a time; other events (timers,
+    // populations, other clients' fetches) interleave as they would in a
+    // real run.
+    while (!done && ctx_.loop->step()) {
+    }
+    return out;
   }
-
-  out.batch_ms = sim::Network::parallel_batch_ms(latencies);
+  // Loop-less caller: a private loop serves this read and its trailing
+  // population events, then the network is handed back. A verify-mode
+  // decode failure throws from a completion event; the loop must still be
+  // drained (so the network's in-flight accounting returns to zero) and
+  // the bindings restored before the exception continues to the caller.
+  sim::EventLoop local;
+  sim::EventLoop* const prev = ctx_.network->loop();
+  ctx_.network->bind_loop(&local);
+  ctx_.loop = &local;
+  std::exception_ptr error;
+  try {
+    start_read(key, [&](const ReadResult& r) {
+      out = r;
+      done = true;
+    });
+  } catch (...) {
+    error = std::current_exception();
+  }
+  while (!local.empty()) {
+    try {
+      local.run();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  ctx_.loop = nullptr;
+  ctx_.network->bind_loop(prev);
+  if (error) std::rethrow_exception(error);
   return out;
 }
+
+// ------------------------------------------------------------ fetch batch
+
+struct ReadStrategy::BatchState {
+  ObjectKey key;
+  std::size_t chunk_bytes = 0;
+  std::size_t want = 0;      // backend arms we aim to keep in flight
+  std::size_t accepted = 0;  // backend arms issued so far
+  std::size_t pending = 0;   // arms (backend + cache) not yet landed
+  bool issued_all = false;   // initial issue pass finished
+  std::vector<std::pair<ChunkIndex, RegionId>> on_path;
+  std::size_t next_on_path = 0;
+  std::vector<std::pair<ChunkIndex, RegionId>> fallbacks;
+  std::size_t next_fallback = 0;
+  std::vector<ChunkIndex> fetched;
+  ReadResult result;
+  SimTimeMs start = 0.0;
+  SimTimeMs extra = 0.0;
+  BatchCallback done;
+};
+
+void ReadStrategy::start_fetch_batch(const ObjectKey& key, BatchSpec spec,
+                                     ReadResult partial, BatchCallback done) {
+  sim::EventLoop* const loop = ctx_.loop;
+  if (loop == nullptr) {
+    throw std::logic_error("ReadStrategy: start_read requires a loop");
+  }
+  auto st = std::make_shared<BatchState>();
+  st->key = key;
+  st->chunk_bytes = spec.chunk_bytes;
+  st->want = spec.want_total;
+  st->on_path = std::move(spec.on_path);
+  st->fallbacks = std::move(spec.fallbacks);
+  st->result = std::move(partial);
+  st->start = loop->now();
+  st->extra = spec.extra_ms;
+  st->done = std::move(done);
+
+  if (spec.cache_arm_ms >= 0.0) {
+    ++st->pending;
+    loop->schedule_in(spec.cache_arm_ms,
+                      [this, st] { batch_arm_done(st); });
+  }
+  batch_issue(st);
+  st->issued_all = true;
+  if (st->pending == 0) {
+    // Nothing to wait for (all regions down, or a zero-latency full hit):
+    // complete asynchronously so `done` still fires on the loop.
+    loop->schedule_in(0.0, [this, st] { batch_arm_done(st); });
+    ++st->pending;
+  }
+}
+
+void ReadStrategy::batch_issue(const std::shared_ptr<BatchState>& st) {
+  auto try_issue = [&](const std::pair<ChunkIndex, RegionId>& target) {
+    const auto [index, region] = target;
+    const core::FetchStart started = fetcher_.fetch(
+        ChunkId{st->key, index}, ctx_.region, region, st->chunk_bytes,
+        [this, st, index](std::optional<SimTimeMs> latency) {
+          if (latency.has_value()) {
+            st->fetched.push_back(index);
+          } else {
+            // Went down while queued: replace with the next fallback.
+            --st->accepted;
+            batch_issue(st);
+          }
+          batch_arm_done(st);
+        });
+    if (started == core::FetchStart::kDown) {
+      return false;  // region down right now; caller falls back
+    }
+    if (started == core::FetchStart::kJoined) ++st->result.coalesced_chunks;
+    ++st->accepted;
+    ++st->pending;
+    return true;
+  };
+
+  while (st->accepted < st->want && st->next_on_path < st->on_path.size()) {
+    (void)try_issue(st->on_path[st->next_on_path++]);
+  }
+  // Failure fallback: pull replacement chunks (typically parity from the
+  // regions the planner discarded) until the batch is complete.
+  while (st->accepted < st->want && st->next_fallback < st->fallbacks.size()) {
+    (void)try_issue(st->fallbacks[st->next_fallback++]);
+  }
+}
+
+void ReadStrategy::batch_arm_done(const std::shared_ptr<BatchState>& st) {
+  --st->pending;
+  if (st->pending != 0 || !st->issued_all) return;
+  sim::EventLoop* const loop = ctx_.loop;
+  loop->schedule_in(st->extra, [loop, st] {
+    st->result.latency_ms = loop->now() - st->start;
+    st->done(std::move(st->result), std::move(st->fetched));
+  });
+}
+
+// ---------------------------------------------------------- planned reads
 
 double ReadStrategy::decode_ms(std::size_t object_bytes) const {
   return ctx_.decode_ms_per_mb * static_cast<double>(object_bytes) /
          static_cast<double>(1_MB);
 }
 
-ReadResult ReadStrategy::execute_plan(const ObjectKey& key,
-                                      const core::ReadPlan& plan,
-                                      cache::StaticConfigCache& cache) {
+void ReadStrategy::start_plan(const ObjectKey& key, const core::ReadPlan& plan,
+                              cache::StaticConfigCache& cache,
+                              ReadCallback done) {
   const store::ObjectInfo info = ctx_.backend->object_info(key);
   const std::size_t k = ctx_.backend->codec().k();
 
-  ReadResult result;
+  ReadResult partial;
   std::vector<SimTimeMs> cache_latencies;
-  std::vector<ec::Chunk> collected;  // verify mode
+  auto collected = std::make_shared<std::vector<ec::Chunk>>();  // verify mode
 
   // Cache-resident chunks, fetched in parallel with the backend batch.
   for (const ChunkIndex idx : plan.from_cache) {
@@ -63,71 +179,103 @@ ReadResult ReadStrategy::execute_plan(const ObjectKey& key,
     const auto hit = cache.get(ck);
     if (!hit.has_value()) continue;  // raced with a reconfiguration
     cache_latencies.push_back(ctx_.network->cache_fetch(info.chunk_size));
-    ++result.cache_chunks;
+    ++partial.cache_chunks;
     if (ctx_.verify_data) {
-      collected.push_back(ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
+      collected->push_back(ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
     }
   }
 
   // Backend chunks; every other chunk (cheapest-first) is a fallback in
   // case a region is down or a cache entry vanished.
-  std::vector<std::pair<ChunkIndex, RegionId>> fallbacks;
+  BatchSpec spec;
+  spec.on_path = plan.from_backend;
   for (const auto& cand : chunks_by_expected_latency(ctx_, key)) {
     const bool planned =
         std::any_of(plan.from_backend.begin(), plan.from_backend.end(),
                     [&](const auto& p) { return p.first == cand.first; }) ||
         std::any_of(plan.from_cache.begin(), plan.from_cache.end(),
                     [&](ChunkIndex i) { return i == cand.first; });
-    if (!planned) fallbacks.push_back(cand);
+    if (!planned) spec.fallbacks.push_back(cand);
   }
-  const FetchOutcome outcome = fetch_parallel(
-      plan.from_backend, fallbacks, k - result.cache_chunks, info.chunk_size);
-  result.backend_chunks = outcome.fetched.size();
+  spec.want_total = k - partial.cache_chunks;
+  spec.chunk_bytes = info.chunk_size;
+  spec.cache_arm_ms = cache_latencies.empty()
+                          ? -1.0
+                          : sim::Network::parallel_batch_ms(cache_latencies);
+  spec.extra_ms = decode_ms(info.object_size) + plan.monitor_overhead_ms;
 
-  result.latency_ms =
-      std::max(sim::Network::parallel_batch_ms(cache_latencies),
-               outcome.batch_ms) +
-      decode_ms(info.object_size) + plan.monitor_overhead_ms;
-  result.full_hit = result.cache_chunks == k;
-  result.partial_hit = result.cache_chunks > 0;
+  start_fetch_batch(
+      key, std::move(spec), partial,
+      [this, key, plan, &cache, collected, k, info,
+       done = std::move(done)](ReadResult result,
+                               std::vector<ChunkIndex> fetched) {
+        result.backend_chunks = fetched.size();
+        result.full_hit = result.cache_chunks == k;
+        result.partial_hit = result.cache_chunks > 0;
 
-  // Populate the cache per plan (asynchronous in the prototype: a separate
-  // thread pool performs the writes, so no latency is charged).
-  auto chunk_payload = [&](ChunkIndex idx) {
-    Bytes payload;
-    if (ctx_.verify_data) {
-      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
-      if (bytes.has_value()) payload.assign(bytes->begin(), bytes->end());
-    } else {
-      payload.assign(info.chunk_size, 0);
-    }
-    return payload;
-  };
-  for (const ChunkIndex idx : plan.populate_after_read) {
-    cache.put(ChunkId{key, idx}.cache_key(), chunk_payload(idx));
-  }
-  for (const auto& [idx, region] : plan.async_populate) {
-    // The population fetch still crosses the network (traffic counted by
-    // the region's bucket); its latency is off the read path.
-    (void)ctx_.network->backend_fetch(ctx_.region, region, info.chunk_size);
-    cache.put(ChunkId{key, idx}.cache_key(), chunk_payload(idx));
-  }
+        // Populate the cache per plan (asynchronous in the prototype: a
+        // separate thread pool performs the writes, so no latency charged).
+        for (const ChunkIndex idx : plan.populate_after_read) {
+          Bytes payload = population_payload(key, idx, info.chunk_size);
+          if (ctx_.verify_data && payload.empty()) continue;
+          cache.put(ChunkId{key, idx}.cache_key(), std::move(payload));
+        }
+        for (const auto& [idx, region] : plan.async_populate) {
+          (void)region;
+          // Population fetch crosses the network as a background event
+          // (traffic counted; coalesces with any in-flight read of the
+          // same chunk); its latency is off the read path.
+          populate_chunk_async(key, idx, cache);
+        }
 
+        if (ctx_.verify_data) {
+          for (const ChunkIndex idx : fetched) {
+            const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
+            if (bytes.has_value()) {
+              collected->push_back(
+                  ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+            }
+          }
+          result.verified = verify_payload(key, *collected);
+        }
+        done(result);
+      });
+}
+
+// ------------------------------------------------------------- population
+
+Bytes ReadStrategy::population_payload(const ObjectKey& key, ChunkIndex index,
+                                       std::size_t chunk_size) const {
+  Bytes payload;
   if (ctx_.verify_data) {
-    for (const ChunkIndex idx : outcome.fetched) {
-      const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
-      if (bytes.has_value()) {
-        collected.push_back(
-            ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
-      }
-    }
-    result.verified = verify_payload(key, collected);
+    const auto bytes = ctx_.backend->get_chunk(ChunkId{key, index});
+    if (bytes.has_value()) payload.assign(bytes->begin(), bytes->end());
+  } else {
+    payload.assign(chunk_size, 0);
   }
-  return result;
+  return payload;
+}
+
+void ReadStrategy::populate_chunk_async(const ObjectKey& key, ChunkIndex index,
+                                        cache::CacheEngine& cache) {
+  const std::string ck = ChunkId{key, index}.cache_key();
+  if (cache.contains(ck)) return;
+  const store::ObjectInfo info = ctx_.backend->object_info(key);
+  const RegionId region = ctx_.backend->placement().region_of(
+      key, index, ctx_.backend->num_regions());
+  (void)fetcher_.fetch(
+      ChunkId{key, index}, ctx_.region, region, info.chunk_size,
+      [this, key, index, &cache,
+       chunk_size = info.chunk_size](std::optional<SimTimeMs> latency) {
+        if (!latency.has_value()) return;  // region down; retry next period
+        Bytes payload = population_payload(key, index, chunk_size);
+        if (ctx_.verify_data && payload.empty()) return;  // no backend bytes
+        cache.put(ChunkId{key, index}.cache_key(), std::move(payload));
+      });
 }
 
 bool ReadStrategy::prefetch_chunk(const ObjectKey& key, ChunkIndex index,
-                                  cache::StaticConfigCache& cache) {
+                                  cache::CacheEngine& cache) {
   const std::string ck = ChunkId{key, index}.cache_key();
   if (cache.contains(ck)) return true;
   const store::ObjectInfo info = ctx_.backend->object_info(key);
@@ -138,14 +286,8 @@ bool ReadStrategy::prefetch_chunk(const ObjectKey& key, ChunkIndex index,
   const auto latency =
       ctx_.network->backend_fetch(ctx_.region, region, info.chunk_size);
   if (!latency.has_value()) return false;  // region down; retry next period
-  Bytes payload;
-  if (ctx_.verify_data) {
-    const auto bytes = ctx_.backend->get_chunk(ChunkId{key, index});
-    if (!bytes.has_value()) return false;
-    payload.assign(bytes->begin(), bytes->end());
-  } else {
-    payload.assign(info.chunk_size, 0);
-  }
+  Bytes payload = population_payload(key, index, info.chunk_size);
+  if (ctx_.verify_data && payload.empty()) return false;  // no backend bytes
   return cache.put(ck, std::move(payload));
 }
 

@@ -2,10 +2,13 @@
 // (§V-A): Backend (no cache), LRU-c, LFU-c (fixed chunks per object with a
 // classic eviction policy), and Agar.
 //
-// A strategy turns `read(key)` into a simulated latency plus bookkeeping:
-// which chunks came from the cache, whether the read was a full or partial
-// hit, and (in verify mode) the actual Reed-Solomon decode of real bytes so
-// tests can check end-to-end integrity.
+// A strategy turns `start_read(key, done)` into events on the simulation
+// loop: chunk fetches begin on the network (which enforces per-region
+// concurrency limits), duplicate fetches coalesce in the strategy's
+// in-flight table, and `done` fires at the virtual time the read completes
+// — so concurrent clients genuinely overlap on the timeline. A thin
+// synchronous `read(key)` wrapper drives a loop to completion for tests and
+// simple callers.
 #pragma once
 
 #include <memory>
@@ -14,6 +17,7 @@
 
 #include "cache/static_cache.hpp"
 #include "common/types.hpp"
+#include "core/fetch_coordinator.hpp"
 #include "core/read_planner.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
@@ -25,6 +29,7 @@ struct ReadResult {
   SimTimeMs latency_ms = 0.0;
   std::size_t cache_chunks = 0;    ///< chunks served by the local cache
   std::size_t backend_chunks = 0;  ///< chunks fetched from backend regions
+  std::size_t coalesced_chunks = 0;///< chunk fetches joined to in-flight ones
   bool full_hit = false;           ///< every chunk came from the cache
   bool partial_hit = false;        ///< at least one chunk came from the cache
   bool verified = false;           ///< payload decoded and checked (verify mode)
@@ -34,6 +39,9 @@ struct ReadResult {
 struct ClientContext {
   const store::BackendCluster* backend = nullptr;
   sim::Network* network = nullptr;
+  /// Loop that reads run on. May be null: the synchronous wrapper then
+  /// spins up a private loop per read (tests, simple examples).
+  sim::EventLoop* loop = nullptr;
   RegionId region = 0;
   /// Simulated decode cost: ms per MB of object decoded (CPU time of the
   /// Reed-Solomon decode on the client, paper's clients decode after k
@@ -46,51 +54,86 @@ struct ClientContext {
 
 class ReadStrategy {
  public:
+  /// Completion callback of one read; fires on the loop at the virtual
+  /// time the read finishes (last chunk + decode + monitor overhead).
+  using ReadCallback = std::function<void(const ReadResult&)>;
+
   explicit ReadStrategy(ClientContext ctx);
   virtual ~ReadStrategy() = default;
 
-  [[nodiscard]] virtual ReadResult read(const ObjectKey& key) = 0;
+  /// Start one asynchronous read. The strategy issues its chunk fetches as
+  /// events and invokes `done` exactly once when the read completes.
+  virtual void start_read(const ObjectKey& key, ReadCallback done) = 0;
+
+  /// Thin synchronous wrapper: starts the read and drives the loop until
+  /// it completes. With no loop in the context, a private loop serves just
+  /// this read (and its trailing population events).
+  [[nodiscard]] ReadResult read(const ObjectKey& key);
+
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Hook for periodic work (Agar reconfigurations) on the sim loop.
-  virtual void attach_to_loop(sim::EventLoop& loop) { (void)loop; }
+  /// Hook for periodic work (Agar reconfigurations) on the sim loop. The
+  /// base records the loop in the context so reads become events on it.
+  virtual void attach_to_loop(sim::EventLoop& loop) { ctx_.loop = &loop; }
 
   /// Warm-up before measurement starts (latency probes etc.).
   virtual void warm_up() {}
 
+  /// In-flight table: one wire fetch per chunk regardless of how many
+  /// concurrent reads/populations want it.
+  [[nodiscard]] core::FetchCoordinator& fetch_coordinator() {
+    return fetcher_;
+  }
+
  protected:
-  /// Latency of fetching `count` chunks of `chunk_bytes` from the given
-  /// regions in parallel. Skips down regions by substituting the next
-  /// cheapest live region holding an unused chunk — callers pass the full
-  /// candidate list sorted cheapest-first.
-  struct FetchOutcome {
-    SimTimeMs batch_ms = 0.0;
-    std::vector<ChunkIndex> fetched;
+  /// One parallel fetch batch: the backend arms (`on_path`, substituting
+  /// `fallbacks` for down regions until `want_total` are in flight) plus an
+  /// optional cache arm, completing when every arm has landed and charging
+  /// `extra_ms` (decode + monitor) after the last arrival.
+  struct BatchSpec {
+    std::vector<std::pair<ChunkIndex, RegionId>> on_path;
+    std::vector<std::pair<ChunkIndex, RegionId>> fallbacks;
+    std::size_t want_total = 0;
+    std::size_t chunk_bytes = 0;
+    SimTimeMs cache_arm_ms = -1.0;  ///< < 0 means no cache arm
+    SimTimeMs extra_ms = 0.0;       ///< decode + monitor, after the batch
   };
-  [[nodiscard]] FetchOutcome fetch_parallel(
-      const std::vector<std::pair<ChunkIndex, RegionId>>& on_path,
-      const std::vector<std::pair<ChunkIndex, RegionId>>& fallbacks,
-      std::size_t want_total, std::size_t chunk_bytes);
+  using BatchCallback =
+      std::function<void(ReadResult, std::vector<ChunkIndex>)>;
+
+  /// Issue the batch on the loop. `partial` carries the cache-hit counters
+  /// already accounted; the callback receives it completed (latency set,
+  /// fetched chunk indices attached).
+  void start_fetch_batch(const ObjectKey& key, BatchSpec spec,
+                         ReadResult partial, BatchCallback done);
+
+  /// Execute a planned read against a configured cache asynchronously:
+  /// cache arms and the backend batch in parallel, monitor/proxy overhead
+  /// charged after, population per plan off-path. Shared by the Agar
+  /// strategy and the paper's periodic-LFU baseline so the two differ only
+  /// in their configuration policy.
+  void start_plan(const ObjectKey& key, const core::ReadPlan& plan,
+                  cache::StaticConfigCache& cache, ReadCallback done);
 
   /// Decode-cost model.
   [[nodiscard]] double decode_ms(std::size_t object_bytes) const;
 
-  /// Execute a planned read against a configured cache: fetch the cached
-  /// chunks and the backend batch in parallel, charge the monitor/proxy
-  /// overhead, then perform the plan's population writes off-path. Shared
-  /// by the Agar strategy and the paper's periodic-LFU baseline so the two
-  /// differ only in their configuration policy.
-  [[nodiscard]] ReadResult execute_plan(const ObjectKey& key,
-                                        const core::ReadPlan& plan,
-                                        cache::StaticConfigCache& cache);
+  /// Population download as a background event (paper §IV-A: "caching items
+  /// implies downloading them a priori"): fetch one chunk from its backend
+  /// region through the coalescing table and install it in the cache when
+  /// the transfer lands. Off the latency path. No-op if already resident.
+  void populate_chunk_async(const ObjectKey& key, ChunkIndex index,
+                            cache::CacheEngine& cache);
 
-  /// Population prefetch ("caching items implies downloading them a
-  /// priori", paper §IV-A): download one configured chunk from its backend
-  /// region and install it in the cache. Off the latency path — the
-  /// prototype's population thread pool does this after reconfigurations.
-  /// Returns true if the chunk is resident afterwards.
+  /// Synchronous population for loop-less callers (tests drive reconfigure
+  /// directly). Returns true if the chunk is resident afterwards.
   bool prefetch_chunk(const ObjectKey& key, ChunkIndex index,
-                      cache::StaticConfigCache& cache);
+                      cache::CacheEngine& cache);
+
+  /// Bytes to install for a populated chunk (real payload in verify mode).
+  [[nodiscard]] Bytes population_payload(const ObjectKey& key,
+                                         ChunkIndex index,
+                                         std::size_t chunk_size) const;
 
   /// Verify-mode helper: fetch the given chunks' real bytes from the
   /// backend/caches is handled by subclasses; this decodes and checks.
@@ -98,6 +141,14 @@ class ReadStrategy {
                                     const std::vector<ec::Chunk>& chunks) const;
 
   ClientContext ctx_;
+  core::FetchCoordinator fetcher_;
+
+ private:
+  struct BatchState;
+  /// Issue on-path/fallback fetches until `want_total` arms are in flight.
+  void batch_issue(const std::shared_ptr<BatchState>& st);
+  /// One arm landed (ok) or died (down while queued → try a fallback).
+  void batch_arm_done(const std::shared_ptr<BatchState>& st);
 };
 
 }  // namespace agar::client

@@ -16,6 +16,7 @@ RegionManagerParams make_region_manager_params(const AgarNodeParams& p) {
 AgarNode::AgarNode(const store::BackendCluster* backend, sim::Network* network,
                    AgarNodeParams params)
     : backend_(backend),
+      network_(network),
       params_(params),
       cache_(params.cache_capacity_bytes),
       region_manager_(backend, network, make_region_manager_params(params)),
@@ -30,11 +31,28 @@ void AgarNode::reconfigure() {
   cache_manager_.reconfigure();
 }
 
-void AgarNode::attach_to_loop(sim::EventLoop& loop) {
-  loop.schedule_periodic(params_.reconfig_period_ms, [this]() {
-    reconfigure();
-    return true;
-  });
+sim::EventLoop::TimerId AgarNode::attach_to_loop(
+    sim::EventLoop& loop, std::function<void()> after_reconfigure) {
+  // With the network on this loop, probing is asynchronous: the timer
+  // fires a probe round and the reconfiguration runs once the probes have
+  // landed. Standalone uses (no bound network loop) keep the synchronous
+  // probe so the node works without event plumbing.
+  auto apply = [this, after = std::move(after_reconfigure)]() {
+    cache_manager_.reconfigure();
+    if (after) after();
+  };
+  if (network_->loop() == &loop) {
+    reconfig_timer_ = region_manager_.schedule_probe_pipeline(
+        loop, params_.reconfig_period_ms, std::move(apply));
+  } else {
+    reconfig_timer_ = loop.schedule_periodic(
+        params_.reconfig_period_ms, [this, apply = std::move(apply)]() {
+          region_manager_.probe();
+          apply();
+          return true;
+        });
+  }
+  return reconfig_timer_;
 }
 
 ReadPlan AgarNode::plan_read(const ObjectKey& key) {

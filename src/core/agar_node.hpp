@@ -44,8 +44,18 @@ class AgarNode {
   void reconfigure();
 
   /// Schedule periodic reconfiguration (and a latency probe before each)
-  /// on the simulation loop.
-  void attach_to_loop(sim::EventLoop& loop);
+  /// on the simulation loop. If the network is bound to `loop`, probes run
+  /// as background fetch events and each reconfiguration waits for its
+  /// probe round to land; otherwise the probe falls back to the
+  /// synchronous path. `after_reconfigure` (optional) runs after each
+  /// reconfiguration — the Agar strategy hangs its population downloads
+  /// there. Returns the timer handle (also kept internally).
+  sim::EventLoop::TimerId attach_to_loop(
+      sim::EventLoop& loop, std::function<void()> after_reconfigure = {});
+
+  [[nodiscard]] sim::EventLoop::TimerId reconfig_timer() const {
+    return reconfig_timer_;
+  }
 
   /// Resolve one read. Records the access in the request monitor.
   [[nodiscard]] ReadPlan plan_read(const ObjectKey& key);
@@ -62,6 +72,8 @@ class AgarNode {
 
  private:
   const store::BackendCluster* backend_;  // non-owning
+  sim::Network* network_;                 // non-owning
+  sim::EventLoop::TimerId reconfig_timer_ = 0;
   AgarNodeParams params_;
   cache::StaticConfigCache cache_;
   RegionManager region_manager_;

@@ -1,0 +1,67 @@
+// In-flight fetch table with duplicate coalescing (paper §IV-A's population
+// pool meets the read path).
+//
+// Every chunk download of one Agar node — read-path fetches, post-read
+// population writes and reconfiguration prefetches — funnels through this
+// coordinator. If a chunk is already being downloaded, later requesters
+// join the in-flight entry instead of issuing a second wire fetch; when the
+// single wire transfer completes, every joined callback fires. This is the
+// classic request-coalescing ("singleflight") pattern: under a skewed
+// workload many concurrent reads want the same hot chunk, and without
+// coalescing the simulated backends would serve the same bytes repeatedly.
+//
+// One coordinator serves one client region (wire latency depends on the
+// requesting region, so coalescing across regions would be wrong).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace agar::core {
+
+/// How one fetch request was admitted.
+enum class FetchStart {
+  kStarted,  ///< fresh wire fetch issued to the network
+  kJoined,   ///< coalesced onto an already in-flight fetch of the chunk
+  kDown,     ///< region down and nothing in flight; callback never fires
+};
+
+class FetchCoordinator {
+ public:
+  using Callback = sim::Network::FetchCallback;
+
+  explicit FetchCoordinator(sim::Network* network);
+
+  /// Fetch chunk `chunk` of size `bytes` from backend region `to` on behalf
+  /// of a client in `from`. If the chunk is already in flight the request
+  /// joins it (one wire fetch, every callback fires at completion).
+  FetchStart fetch(const ChunkId& chunk, RegionId from, RegionId to,
+                   std::size_t bytes, Callback cb);
+
+  /// Is a fetch of this chunk currently on the wire (or queued)?
+  [[nodiscard]] bool in_flight(const ChunkId& chunk) const {
+    return inflight_.contains(chunk.cache_key());
+  }
+
+  // ------------------------------------------------------- observability
+  /// Wire fetches actually issued to the network.
+  [[nodiscard]] std::uint64_t started() const { return started_; }
+  /// Requests that joined an existing in-flight fetch (deduplicated work).
+  [[nodiscard]] std::uint64_t coalesced() const { return coalesced_; }
+  [[nodiscard]] std::size_t table_size() const { return inflight_.size(); }
+  [[nodiscard]] std::size_t max_table_size() const { return max_table_size_; }
+
+ private:
+  sim::Network* network_;  // non-owning
+  std::unordered_map<std::string, std::vector<Callback>> inflight_;
+  std::uint64_t started_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::size_t max_table_size_ = 0;
+};
+
+}  // namespace agar::core

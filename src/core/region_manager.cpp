@@ -1,5 +1,7 @@
 #include "core/region_manager.hpp"
 
+#include <functional>
+#include <memory>
 #include <stdexcept>
 
 namespace agar::core {
@@ -30,6 +32,51 @@ void RegionManager::probe() {
       if (latency.has_value()) estimator_.record(r, *latency);
     }
   }
+}
+
+void RegionManager::start_probe(std::function<void()> done) {
+  sim::EventLoop* const loop = network_->loop();
+  if (loop == nullptr) {
+    throw std::logic_error("RegionManager: start_probe requires a bound loop");
+  }
+  ++probe_rounds_;
+  // Issuing is synchronous, completions are events — `remaining` is fully
+  // counted before the first completion can fire.
+  auto remaining = std::make_shared<std::size_t>(0);
+  auto on_done = std::make_shared<std::function<void()>>(std::move(done));
+  const std::size_t regions = network_->topology().num_regions();
+  for (RegionId r = 0; r < regions; ++r) {
+    for (std::size_t i = 0; i < params_.probes_per_region; ++i) {
+      const SimTimeMs issued_at = loop->now();
+      const bool accepted = network_->begin_fetch(
+          params_.local_region, r, params_.probe_chunk_bytes,
+          [this, r, loop, issued_at, remaining,
+           on_done](std::optional<SimTimeMs> latency) {
+            if (latency.has_value()) {
+              // Observed latency includes time queued behind other
+              // fetches — congestion feeds back into the estimates.
+              estimator_.record(r, loop->now() - issued_at);
+            }
+            if (--*remaining == 0 && *on_done) (*on_done)();
+          });
+      if (accepted) ++*remaining;
+    }
+  }
+  if (*remaining == 0 && *on_done) {
+    loop->schedule_in(0.0, [on_done] { (*on_done)(); });
+  }
+}
+
+sim::EventLoop::TimerId RegionManager::schedule_probe_pipeline(
+    sim::EventLoop& loop, SimTimeMs period, std::function<void()> apply) {
+  if (probe_rounds_ == 0) {
+    loop.schedule_in(0.0, [this] { start_probe({}); });
+  }
+  return loop.schedule_periodic(
+      period, [this, apply = std::move(apply)]() {
+        start_probe(apply);
+        return true;
+      });
 }
 
 double RegionManager::estimate_ms(RegionId region) const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -38,6 +39,22 @@ class RegionManager {
   /// the estimator. Down regions are skipped (their estimate goes stale,
   /// which is what a real prober would observe as timeouts).
   void probe();
+
+  /// Asynchronous probe round as background events on the network's loop:
+  /// every probe is a real fetch whose observed latency (queueing included,
+  /// exactly what a wall-clock prober would measure) lands in the estimator
+  /// at completion. `done` fires once after the last probe of the round;
+  /// pass {} for fire-and-forget warm-up.
+  void start_probe(std::function<void()> done);
+
+  /// The canonical event-driven control plane, shared by AgarNode and the
+  /// periodic-LFU baseline: a warm-up probe round at t=0 if nothing has
+  /// probed yet, then every `period` an asynchronous probe round followed
+  /// by `apply` (reconfigure + population) once the round's fetches land.
+  /// Returns the periodic timer's cancel handle.
+  sim::EventLoop::TimerId schedule_probe_pipeline(sim::EventLoop& loop,
+                                                  SimTimeMs period,
+                                                  std::function<void()> apply);
 
   /// Estimated chunk-fetch latency from the local region to `region`.
   [[nodiscard]] double estimate_ms(RegionId region) const;

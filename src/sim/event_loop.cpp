@@ -1,6 +1,7 @@
 #include "sim/event_loop.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace agar::sim {
@@ -13,13 +14,34 @@ void EventLoop::schedule_in(SimTimeMs delay, Callback fn) {
   schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
 }
 
-void EventLoop::schedule_periodic(SimTimeMs period, std::function<bool()> fn) {
-  // Each firing re-arms itself; capturing `this` is safe because callbacks
-  // never outlive the loop.
-  schedule_in(period, [this, period, fn = std::move(fn)]() mutable {
-    if (fn()) schedule_periodic(period, std::move(fn));
+EventLoop::TimerId EventLoop::schedule_periodic(SimTimeMs period,
+                                                std::function<bool()> fn) {
+  const TimerId id = next_timer_++;
+  active_timers_.insert(id);
+  arm_periodic(id, period,
+               std::make_shared<std::function<bool()>>(std::move(fn)));
+  return id;
+}
+
+void EventLoop::arm_periodic(TimerId id, SimTimeMs period,
+                             std::shared_ptr<std::function<bool()>> fn) {
+  // Capturing `this` is safe because callbacks never outlive the loop. The
+  // activity check runs both before AND after the callback: before, so a
+  // firing already queued when cancel() was called becomes a no-op; after,
+  // so a callback that cancels itself and still returns true cannot leak a
+  // re-armed timer.
+  schedule_in(period, [this, id, period, fn = std::move(fn)]() mutable {
+    if (!active_timers_.contains(id)) return;  // cancelled while queued
+    const bool keep = (*fn)();
+    if (!keep || !active_timers_.contains(id)) {
+      active_timers_.erase(id);
+      return;
+    }
+    arm_periodic(id, period, std::move(fn));
   });
 }
+
+bool EventLoop::cancel(TimerId id) { return active_timers_.erase(id) > 0; }
 
 void EventLoop::pop_and_run() {
   // Copy out before pop so the callback may schedule new events.
@@ -28,6 +50,12 @@ void EventLoop::pop_and_run() {
   now_ = ev.when;
   ++executed_;
   ev.fn();
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  pop_and_run();
+  return true;
 }
 
 void EventLoop::run() {

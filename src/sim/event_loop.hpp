@@ -8,7 +8,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,6 +20,8 @@ namespace agar::sim {
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+  /// Handle identifying one periodic timer. Never reused within a loop.
+  using TimerId = std::uint64_t;
 
   /// Current virtual time (ms). Starts at 0.
   [[nodiscard]] SimTimeMs now() const { return now_; }
@@ -30,11 +34,33 @@ class EventLoop {
 
   /// Schedule `fn` every `period` ms, first firing at now + period.
   /// The callback returns true to keep the timer armed, false to cancel.
-  void schedule_periodic(SimTimeMs period, std::function<bool()> fn);
+  /// The returned handle can cancel the timer from outside (or from within
+  /// the callback itself); a firing already in the queue when the timer is
+  /// cancelled becomes a no-op and does not re-arm.
+  TimerId schedule_periodic(SimTimeMs period, std::function<bool()> fn);
+
+  /// Cancel a periodic timer. Returns true if it was still armed. Safe to
+  /// call from inside the timer's own callback and idempotent.
+  bool cancel(TimerId id);
+
+  /// Is the periodic timer still armed?
+  [[nodiscard]] bool timer_active(TimerId id) const {
+    return active_timers_.contains(id);
+  }
+
+  /// Number of armed periodic timers (leak detection in tests).
+  [[nodiscard]] std::size_t active_timer_count() const {
+    return active_timers_.size();
+  }
 
   /// Run until the queue is empty or until the optional time horizon.
   void run();
   void run_until(SimTimeMs horizon);
+
+  /// Execute exactly one event. Returns false if the queue was empty.
+  /// Lets callers interleave with the loop (the synchronous read wrapper
+  /// drives the shared loop one event at a time until its read completes).
+  bool step();
 
   /// Number of events executed so far (observability for tests).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
@@ -54,11 +80,15 @@ class EventLoop {
     }
   };
 
+  void arm_periodic(TimerId id, SimTimeMs period,
+                    std::shared_ptr<std::function<bool()>> fn);
   void pop_and_run();
 
   SimTimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  TimerId next_timer_ = 1;
+  std::unordered_set<TimerId> active_timers_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -1,8 +1,76 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace agar::sim {
+
+void Network::bind_loop(EventLoop* loop) {
+  if (loop != loop_ && total_outstanding_ > 0) {
+    throw std::logic_error("Network: cannot rebind loop with fetches in flight");
+  }
+  loop_ = loop;
+}
+
+bool Network::begin_fetch(RegionId from, RegionId to, std::size_t bytes,
+                          FetchCallback cb) {
+  if (is_down(to)) return false;
+  if (loop_ == nullptr) {
+    throw std::logic_error("Network: begin_fetch requires a bound loop");
+  }
+  RegionState& rs = region_states_[to];
+  PendingFetch pending{from, bytes, std::move(cb)};
+  if (max_outstanding_per_region_ != 0 &&
+      rs.outstanding >= max_outstanding_per_region_) {
+    rs.fifo.push_back(std::move(pending));
+    ++queued_fetches_;
+    max_queue_depth_ = std::max(max_queue_depth_, rs.fifo.size());
+    return true;
+  }
+  start_wire(to, std::move(pending));
+  return true;
+}
+
+void Network::start_wire(RegionId to, PendingFetch pending) {
+  // Latency is sampled at wire time, not enqueue time: a fetch that waited
+  // in the FIFO pays its queueing delay on top of a fresh transfer sample.
+  const SimTimeMs latency =
+      model_.backend_fetch_ms(pending.from, to, pending.bytes);
+  RegionState& rs = region_states_[to];
+  ++rs.outstanding;
+  ++total_outstanding_;
+  ++wire_fetches_;
+  max_in_flight_ = std::max(max_in_flight_, total_outstanding_);
+  loop_->schedule_in(latency, [this, to, latency,
+                               cb = std::move(pending.cb)]() mutable {
+    finish_wire(to);
+    cb(latency);
+  });
+}
+
+void Network::finish_wire(RegionId to) {
+  RegionState& rs = region_states_[to];
+  --rs.outstanding;
+  --total_outstanding_;
+  // Hand the freed slot to the queue head before the completion callback
+  // runs, so a callback issuing a new fetch cannot jump the FIFO.
+  while (!rs.fifo.empty() &&
+         (max_outstanding_per_region_ == 0 ||
+          rs.outstanding < max_outstanding_per_region_)) {
+    PendingFetch next = std::move(rs.fifo.front());
+    rs.fifo.pop_front();
+    if (is_down(to)) {
+      // Region failed while the fetch waited; deliver the failure on the
+      // loop so callers observe it asynchronously, like a timeout.
+      loop_->schedule_in(0.0, [cb = std::move(next.cb)]() mutable {
+        cb(std::nullopt);
+      });
+      continue;
+    }
+    start_wire(to, std::move(next));
+  }
+}
 
 std::optional<SimTimeMs> Network::backend_fetch(RegionId from, RegionId to,
                                                 std::size_t bytes) {

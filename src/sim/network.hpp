@@ -1,26 +1,67 @@
 // Simulated wide-area network with failure injection.
 //
-// The network wraps the latency model and tracks region liveness. Clients
-// issue chunk fetches in parallel (the paper's YCSB client uses a thread
-// pool), so the completion time of a batch is the maximum of its per-fetch
-// latencies; `parallel_batch_ms` encodes exactly that.
+// The network wraps the latency model, tracks region liveness, and — when
+// bound to an event loop — serves chunk fetches asynchronously: a fetch is
+// an event whose completion fires on the loop after the sampled latency.
+// Each destination region admits a bounded number of outstanding requests
+// (the paper's storage nodes have finite service capacity); excess fetches
+// wait in a per-region FIFO, so contention shows up as queueing latency
+// instead of being invisible to the virtual timeline.
+//
+// The legacy synchronous API (`backend_fetch` returning a latency number)
+// is kept for latency probes and for the thin synchronous read wrapper that
+// tests use; the strategy hot path goes through `begin_fetch`.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/event_loop.hpp"
 #include "sim/latency_model.hpp"
 
 namespace agar::sim {
 
 class Network {
  public:
-  explicit Network(LatencyModel model) : model_(std::move(model)) {}
+  /// Completion callback of one asynchronous fetch: the wire latency the
+  /// transfer took (excluding any time spent queued), or nullopt if the
+  /// destination region went down while the fetch waited in the queue.
+  using FetchCallback = std::function<void(std::optional<SimTimeMs>)>;
+
+  explicit Network(LatencyModel model) : model_(std::move(model)) {
+    region_states_.resize(model_.topology().num_regions());
+  }
 
   [[nodiscard]] const Topology& topology() const { return model_.topology(); }
   [[nodiscard]] LatencyModel& model() { return model_; }
+
+  /// Bind the loop that completion events are scheduled on. Must be called
+  /// before `begin_fetch`. Rebinding is allowed only while no fetches are
+  /// outstanding (the synchronous read wrapper swaps in a private loop).
+  void bind_loop(EventLoop* loop);
+  [[nodiscard]] EventLoop* loop() const { return loop_; }
+
+  /// Per-destination-region cap on concurrently served fetches. Excess
+  /// fetches queue FIFO. 0 means unlimited.
+  void set_max_outstanding_per_region(std::size_t limit) {
+    max_outstanding_per_region_ = limit;
+  }
+  [[nodiscard]] std::size_t max_outstanding_per_region() const {
+    return max_outstanding_per_region_;
+  }
+
+  /// Start one asynchronous backend fetch. Returns false (and never calls
+  /// `cb`) if `to` is down right now — callers substitute a fallback
+  /// immediately, mirroring the synchronous path's skip-down-regions
+  /// semantics. Otherwise the fetch is served or queued and `cb` fires on
+  /// the loop when the transfer completes.
+  bool begin_fetch(RegionId from, RegionId to, std::size_t bytes,
+                   FetchCallback cb);
 
   /// Failure injection: a down region refuses fetches until restored.
   void fail_region(RegionId r) { down_.insert(r); }
@@ -29,6 +70,7 @@ class Network {
   [[nodiscard]] std::size_t down_count() const { return down_.size(); }
 
   /// Latency for one backend chunk fetch, or nullopt if `to` is down.
+  /// Synchronous path: latency probes and loop-less test reads.
   [[nodiscard]] std::optional<SimTimeMs> backend_fetch(RegionId from,
                                                        RegionId to,
                                                        std::size_t bytes);
@@ -38,12 +80,51 @@ class Network {
   [[nodiscard]] SimTimeMs cache_fetch(std::size_t bytes);
 
   /// Completion time of a parallel batch: max of the elements, 0 if empty.
+  /// Only the synchronous wrapper and tests use this now.
   [[nodiscard]] static SimTimeMs parallel_batch_ms(
       const std::vector<SimTimeMs>& latencies);
 
+  // ------------------------------------------------------- observability
+  [[nodiscard]] std::uint64_t wire_fetches() const { return wire_fetches_; }
+  [[nodiscard]] std::uint64_t queued_fetches() const {
+    return queued_fetches_;
+  }
+  [[nodiscard]] std::size_t max_queue_depth() const {
+    return max_queue_depth_;
+  }
+  [[nodiscard]] std::size_t max_in_flight() const { return max_in_flight_; }
+  [[nodiscard]] std::size_t in_flight() const { return total_outstanding_; }
+  [[nodiscard]] std::size_t outstanding(RegionId r) const {
+    return region_states_[r].outstanding;
+  }
+  [[nodiscard]] std::size_t queue_depth(RegionId r) const {
+    return region_states_[r].fifo.size();
+  }
+
  private:
+  struct PendingFetch {
+    RegionId from;
+    std::size_t bytes;
+    FetchCallback cb;
+  };
+  struct RegionState {
+    std::size_t outstanding = 0;
+    std::deque<PendingFetch> fifo;
+  };
+
+  void start_wire(RegionId to, PendingFetch pending);
+  void finish_wire(RegionId to);
+
   LatencyModel model_;
+  EventLoop* loop_ = nullptr;  // non-owning
   std::unordered_set<RegionId> down_;
+  std::vector<RegionState> region_states_;
+  std::size_t max_outstanding_per_region_ = 64;
+  std::size_t total_outstanding_ = 0;
+  std::size_t max_in_flight_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t wire_fetches_ = 0;
+  std::uint64_t queued_fetches_ = 0;
 };
 
 }  // namespace agar::sim

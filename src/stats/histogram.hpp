@@ -31,6 +31,13 @@ class Histogram {
   /// Merge another histogram's samples into this one.
   void merge(const Histogram& other);
 
+  /// All recorded samples, sorted ascending — lets determinism tests check
+  /// two runs produced byte-identical latency sets, not just equal means.
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    sort_if_needed();
+    return samples_;
+  }
+
  private:
   void sort_if_needed() const;
 

@@ -122,6 +122,83 @@ TEST(EventLoop, CountsExecutedEvents) {
   EXPECT_EQ(loop.events_executed(), 7u);
 }
 
+TEST(EventLoop, CancelStopsPeriodicTimer) {
+  EventLoop loop;
+  int count = 0;
+  const auto id = loop.schedule_periodic(10.0, [&] {
+    ++count;
+    return true;
+  });
+  EXPECT_TRUE(loop.timer_active(id));
+  loop.run_until(25.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(loop.cancel(id));
+  loop.run();
+  EXPECT_EQ(count, 2);  // the queued firing at t=30 became a no-op
+  EXPECT_FALSE(loop.timer_active(id));
+  EXPECT_EQ(loop.active_timer_count(), 0u);
+}
+
+TEST(EventLoop, CancelIsIdempotent) {
+  EventLoop loop;
+  const auto id = loop.schedule_periodic(10.0, [] { return true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));
+  loop.run();
+  EXPECT_EQ(loop.active_timer_count(), 0u);
+}
+
+TEST(EventLoop, CancelFromWithinCallbackCannotLeakTimer) {
+  // The regression this guards: a callback that cancels its own timer and
+  // then returns true (asking to re-arm) must NOT leave a live timer
+  // behind — cancellation wins over the return value.
+  EventLoop loop;
+  int count = 0;
+  EventLoop::TimerId id = 0;
+  id = loop.schedule_periodic(10.0, [&] {
+    ++count;
+    loop.cancel(id);
+    return true;  // lies: asks to re-arm after cancelling itself
+  });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.active_timer_count(), 0u);
+  EXPECT_EQ(loop.now(), 10.0);  // no ghost firing at t=20
+}
+
+TEST(EventLoop, ReturningFalseReleasesTimerHandle) {
+  EventLoop loop;
+  const auto id = loop.schedule_periodic(10.0, [] { return false; });
+  loop.run();
+  EXPECT_FALSE(loop.timer_active(id));
+  EXPECT_EQ(loop.active_timer_count(), 0u);
+}
+
+TEST(EventLoop, TimerIdsAreNotReused) {
+  EventLoop loop;
+  const auto a = loop.schedule_periodic(10.0, [] { return false; });
+  const auto b = loop.schedule_periodic(10.0, [] { return false; });
+  EXPECT_NE(a, b);
+  loop.run();
+  const auto c = loop.schedule_periodic(10.0, [] { return false; });
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+  loop.run();
+}
+
+TEST(EventLoop, StepExecutesExactlyOneEvent) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_in(1.0, [&] { ++fired; });
+  loop.schedule_in(2.0, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 1.0);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(loop.step());
+}
+
 TEST(EventLoop, InterleavedPeriodicAndOneShot) {
   EventLoop loop;
   std::vector<std::string> sequence;
