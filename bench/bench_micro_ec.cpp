@@ -1,6 +1,17 @@
-// Substrate microbenchmarks: GF(256) bulk ops and Reed-Solomon
-// encode/decode throughput for the paper's RS(9,3) and neighbours.
-#include <benchmark/benchmark.h>
+// EC data-plane throughput harness: GF(256) bulk kernels (every runtime
+// backend vs the scalar reference), Reed-Solomon encode/decode for the
+// paper's RS(9,3), and the decode-plan cache (cold vs memoized inversion).
+//
+// Self-contained (no Google Benchmark) so CI can always build and run it.
+// Default output is an aligned table; --json emits a JSON array ("BENCH
+// JSON") for artifact upload and trend tracking. --quick shrinks the
+// per-measurement budget for smoke runs.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "ec/object_codec.hpp"
@@ -10,98 +21,242 @@
 namespace {
 
 using namespace agar;
+using Clock = std::chrono::steady_clock;
 
-void BM_GfMulAddSlice(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
-  Bytes src(n), dst(n);
-  rng.fill_bytes(src.data(), n);
-  rng.fill_bytes(dst.data(), n);
-  for (auto _ : state) {
-    gf::mul_add_slice(0x57, src, dst);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+double g_budget_ms = 80.0;  // per measurement; --quick lowers it
+
+struct Result {
+  std::string bench;
+  std::string backend;
+  std::size_t bytes = 0;       ///< payload bytes processed per iteration
+  double mb_per_s = 0.0;
+  double ns_per_op = 0.0;
+  std::string note;
+};
+
+std::vector<Result>& results() {
+  static std::vector<Result> r;
+  return r;
 }
-BENCHMARK(BM_GfMulAddSlice)->Arg(4096)->Arg(114 * 1024);
 
-void BM_RsEncode(benchmark::State& state) {
-  const std::size_t k = static_cast<std::size_t>(state.range(0));
-  const std::size_t m = static_cast<std::size_t>(state.range(1));
-  const ec::ReedSolomon rs(ec::CodecParams{k, m});
+/// Run fn until the time budget is spent; returns seconds per iteration.
+template <typename Fn>
+double time_op(Fn&& fn) {
+  fn();  // warm-up / first-touch
+  std::uint64_t iters = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (ms >= g_budget_ms || iters > (1ULL << 30)) {
+      return ms / 1e3 / static_cast<double>(iters);
+    }
+    const double target = g_budget_ms * 1.2;
+    const std::uint64_t next =
+        ms <= 0.01 ? iters * 32
+                   : static_cast<std::uint64_t>(
+                         static_cast<double>(iters) * target / ms) +
+                         1;
+    iters = std::max(next, iters + 1);
+  }
+}
+
+template <typename Fn>
+void record(const std::string& bench, const std::string& backend,
+            std::size_t bytes_per_iter, Fn&& fn, std::string note = "") {
+  const double sec = time_op(fn);
+  Result r;
+  r.bench = bench;
+  r.backend = backend;
+  r.bytes = bytes_per_iter;
+  r.mb_per_s = bytes_per_iter == 0
+                   ? 0.0
+                   : static_cast<double>(bytes_per_iter) / sec / 1e6;
+  r.ns_per_op = sec * 1e9;
+  r.note = std::move(note);
+  results().push_back(r);
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes out(n);
+  Rng rng(seed);
+  rng.fill_bytes(out.data(), out.size());
+  return out;
+}
+
+// ------------------------------------------------------------ gf kernels
+
+void bench_kernels() {
+  const std::vector<std::size_t> sizes = {4096, 114 * 1024, 1024 * 1024};
+  for (const gf::Backend b : gf::supported_backends()) {
+    if (!gf::set_backend(b)) continue;
+    const std::string name = gf::backend_name(b);
+    for (const std::size_t n : sizes) {
+      const Bytes src = random_bytes(n, 1);
+      Bytes dst = random_bytes(n, 2);
+      record("mul_slice", name, n,
+             [&] { gf::mul_slice(0x57, src, dst); });
+      record("mul_add_slice", name, n,
+             [&] { gf::mul_add_slice(0x57, src, dst); });
+      record("xor_slice", name, n, [&] { gf::xor_slice(src, dst); });
+
+      // Fused multi-source apply with the paper's k = 9 sources.
+      constexpr std::size_t kSrcs = 9;
+      std::vector<Bytes> srcs;
+      std::vector<BytesView> views;
+      std::vector<std::uint8_t> coeffs;
+      for (std::size_t j = 0; j < kSrcs; ++j) {
+        srcs.push_back(random_bytes(n, 10 + j));
+        coeffs.push_back(static_cast<std::uint8_t>(3 + 2 * j));
+      }
+      for (const auto& s : srcs) views.emplace_back(s);
+      record("mul_add_multi_k9", name, n * kSrcs,
+             [&] { gf::mul_add_multi(coeffs, views, dst); });
+    }
+  }
+  gf::reset_backend();
+}
+
+// --------------------------------------------------------- reed-solomon
+
+void bench_rs() {
   const std::size_t chunk = 114 * 1024;
-  Rng rng(2);
-  std::vector<Bytes> data(k, Bytes(chunk));
-  for (auto& c : data) rng.fill_bytes(c.data(), c.size());
-  std::vector<BytesView> views(data.begin(), data.end());
-  for (auto _ : state) {
-    auto parity = rs.encode(views);
-    benchmark::DoNotOptimize(parity.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(chunk * k));
-}
-BENCHMARK(BM_RsEncode)->Args({9, 3})->Args({6, 3})->Args({4, 2});
-
-void BM_RsDecodeAllData(benchmark::State& state) {
-  // Fast path: every data chunk present (the failure-free read).
   const ec::ReedSolomon rs(ec::CodecParams{9, 3});
-  const std::size_t chunk = 114 * 1024;
-  Rng rng(3);
-  std::vector<Bytes> data(9, Bytes(chunk));
-  for (auto& c : data) rng.fill_bytes(c.data(), c.size());
-  std::vector<std::pair<std::uint32_t, BytesView>> available;
-  for (std::uint32_t i = 0; i < 9; ++i) available.emplace_back(i, data[i]);
-  for (auto _ : state) {
-    auto out = rs.reconstruct_data(available);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(chunk * 9));
-}
-BENCHMARK(BM_RsDecodeAllData);
-
-void BM_RsDecodeWithParity(benchmark::State& state) {
-  // Degraded path: `missing` data chunks replaced by parity.
-  const std::size_t missing = static_cast<std::size_t>(state.range(0));
-  const ec::ReedSolomon rs(ec::CodecParams{9, 3});
-  const std::size_t chunk = 114 * 1024;
-  Rng rng(4);
-  std::vector<Bytes> data(9, Bytes(chunk));
-  for (auto& c : data) rng.fill_bytes(c.data(), c.size());
-  std::vector<BytesView> views(data.begin(), data.end());
+  std::vector<Bytes> data;
+  std::vector<BytesView> views;
+  for (std::size_t i = 0; i < 9; ++i) data.push_back(random_bytes(chunk, 20 + i));
+  for (const auto& d : data) views.emplace_back(d);
   const auto parity = rs.encode(views);
 
-  std::vector<std::pair<std::uint32_t, BytesView>> available;
-  for (std::uint32_t i = static_cast<std::uint32_t>(missing); i < 9; ++i) {
-    available.emplace_back(i, data[i]);
+  for (const gf::Backend b : gf::supported_backends()) {
+    if (!gf::set_backend(b)) continue;
+    const std::string name = gf::backend_name(b);
+    record("rs_encode_9_3", name, chunk * 9,
+           [&] { auto p = rs.encode(views); });
   }
-  for (std::uint32_t p = 0; p < missing; ++p) {
-    available.emplace_back(9 + p, parity[p]);
-  }
-  for (auto _ : state) {
-    auto out = rs.reconstruct_data(available);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(chunk * 9));
-}
-BENCHMARK(BM_RsDecodeWithParity)->Arg(1)->Arg(2)->Arg(3);
+  gf::reset_backend();
 
-void BM_ObjectCodecRoundTrip(benchmark::State& state) {
+  // Decode paths on the active (best) backend.
+  const std::string active = gf::backend_name(gf::active_backend());
+  std::vector<std::pair<std::uint32_t, BytesView>> all_data;
+  for (std::uint32_t i = 0; i < 9; ++i) all_data.emplace_back(i, data[i]);
+  record("rs_decode_all_data", active, chunk * 9,
+         [&] { auto out = rs.reconstruct_data(all_data); });
+
+  for (const std::size_t missing : {std::size_t{1}, std::size_t{3}}) {
+    std::vector<std::pair<std::uint32_t, BytesView>> degraded;
+    for (std::uint32_t i = static_cast<std::uint32_t>(missing); i < 9; ++i) {
+      degraded.emplace_back(i, data[i]);
+    }
+    for (std::uint32_t p = 0; p < missing; ++p) {
+      degraded.emplace_back(9 + p, parity[p]);
+    }
+    const std::string tag = "rs_decode_missing" + std::to_string(missing);
+    record(tag + "_cold_plan", active, chunk * 9, [&] {
+      rs.clear_decode_plan_cache();
+      auto out = rs.reconstruct_data(degraded);
+    });
+    record(tag + "_cached_plan", active, chunk * 9,
+           [&] { auto out = rs.reconstruct_data(degraded); });
+  }
+
+  // Decode-plan setup cost in isolation: 64-byte chunks make the GF work
+  // negligible, so cold-vs-cached is (almost) pure matrix-inversion time.
+  std::vector<Bytes> tiny;
+  std::vector<BytesView> tiny_views;
+  for (std::size_t i = 0; i < 9; ++i) tiny.push_back(random_bytes(64, 40 + i));
+  for (const auto& t : tiny) tiny_views.emplace_back(t);
+  const auto tiny_parity = rs.encode(tiny_views);
+  std::vector<std::pair<std::uint32_t, BytesView>> tiny_degraded;
+  for (std::uint32_t i = 3; i < 9; ++i) tiny_degraded.emplace_back(i, tiny[i]);
+  for (std::uint32_t p = 0; p < 3; ++p) {
+    tiny_degraded.emplace_back(9 + p, tiny_parity[p]);
+  }
+  record("plan_setup_cold", active, 0, [&] {
+    rs.clear_decode_plan_cache();
+    auto out = rs.reconstruct_data(tiny_degraded);
+  }, "64 B chunks: ~pure inversion cost");
+  record("plan_setup_cached", active, 0,
+         [&] { auto out = rs.reconstruct_data(tiny_degraded); },
+         "64 B chunks: inversion memoized");
+}
+
+void bench_codec() {
   const ec::ObjectCodec codec(ec::CodecParams{9, 3});
   const Bytes payload = deterministic_payload("bench", 1_MB);
-  for (auto _ : state) {
+  const std::string active = gf::backend_name(gf::active_backend());
+  record("object_codec_round_trip", active, 1_MB, [&] {
     auto encoded = codec.encode(BytesView(payload));
     auto decoded = codec.decode(encoded.object_size, encoded.chunks);
-    benchmark::DoNotOptimize(decoded.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(1_MB));
+  });
 }
-BENCHMARK(BM_ObjectCodecRoundTrip);
+
+// -------------------------------------------------------------- output
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void print_json() {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < results().size(); ++i) {
+    const Result& r = results()[i];
+    os << "  {\"bench\": \"" << json_escape(r.bench) << "\", \"backend\": \""
+       << json_escape(r.backend) << "\", \"bytes\": " << r.bytes
+       << ", \"mb_per_s\": " << r.mb_per_s
+       << ", \"ns_per_op\": " << r.ns_per_op;
+    if (!r.note.empty()) os << ", \"note\": \"" << json_escape(r.note) << "\"";
+    os << "}" << (i + 1 < results().size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  std::cout << os.str();
+}
+
+void print_table() {
+  std::printf("%-28s %-11s %12s %14s %14s\n", "bench", "backend", "bytes",
+              "MB/s", "ns/op");
+  for (const Result& r : results()) {
+    std::printf("%-28s %-11s %12zu %14.1f %14.1f  %s\n", r.bench.c_str(),
+                r.backend.c_str(), r.bytes, r.mb_per_s, r.ns_per_op,
+                r.note.c_str());
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quick") {
+      g_budget_ms = 10.0;
+    } else {
+      std::cerr << "usage: bench_micro_ec [--json] [--quick]\n";
+      return 2;
+    }
+  }
+
+  if (!json) {
+    std::cout << "gf backend (auto): "
+              << gf::backend_name(gf::active_backend()) << "\n";
+  }
+  bench_kernels();
+  bench_rs();
+  bench_codec();
+  if (json) {
+    print_json();
+  } else {
+    print_table();
+  }
+  return 0;
+}

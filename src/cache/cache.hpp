@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 
 namespace agar::cache {
 
@@ -40,12 +41,16 @@ class CacheEngine {
   CacheEngine(const CacheEngine&) = delete;
   CacheEngine& operator=(const CacheEngine&) = delete;
 
-  /// Look up a key. Engines update recency/frequency state on hit.
-  [[nodiscard]] virtual std::optional<BytesView> get(const std::string& key) = 0;
+  /// Look up a key. Engines update recency/frequency state on hit. The
+  /// returned handle shares the cached buffer (refcount bump, no copy) and
+  /// stays valid even if the entry is evicted afterwards.
+  [[nodiscard]] virtual std::optional<SharedBytes> get(
+      const std::string& key) = 0;
 
-  /// Insert a value. Returns true if the value resides in the cache after
-  /// the call (it may evict others), false if admission declined it.
-  virtual bool put(const std::string& key, Bytes value) = 0;
+  /// Insert a value (Bytes convert implicitly, adopted by move). Returns
+  /// true if the value resides in the cache after the call (it may evict
+  /// others), false if admission declined it.
+  virtual bool put(const std::string& key, SharedBytes value) = 0;
 
   /// Presence check with NO policy side effects (no recency update).
   [[nodiscard]] virtual bool contains(const std::string& key) const = 0;

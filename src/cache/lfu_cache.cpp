@@ -19,7 +19,7 @@ void LfuCache::promote(const std::string& key, Locator& loc) {
   index_[key] = loc;
 }
 
-std::optional<BytesView> LfuCache::get(const std::string& key) {
+std::optional<SharedBytes> LfuCache::get(const std::string& key) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -27,7 +27,7 @@ std::optional<BytesView> LfuCache::get(const std::string& key) {
   }
   promote(key, it->second);
   ++stats_.hits;
-  return BytesView(it->second.entry->value);
+  return it->second.entry->value;  // shared handle, no copy
 }
 
 void LfuCache::remove_entry(const std::string& key, const Locator& loc) {
@@ -48,7 +48,7 @@ void LfuCache::evict_until_fits(std::size_t incoming) {
   }
 }
 
-bool LfuCache::put(const std::string& key, Bytes value) {
+bool LfuCache::put(const std::string& key, SharedBytes value) {
   ++stats_.puts;
   if (value.size() > capacity_bytes_) {
     ++stats_.rejections;

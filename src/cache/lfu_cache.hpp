@@ -19,8 +19,8 @@ class LfuCache final : public CacheEngine {
  public:
   explicit LfuCache(std::size_t capacity_bytes);
 
-  [[nodiscard]] std::optional<BytesView> get(const std::string& key) override;
-  bool put(const std::string& key, Bytes value) override;
+  [[nodiscard]] std::optional<SharedBytes> get(const std::string& key) override;
+  bool put(const std::string& key, SharedBytes value) override;
   [[nodiscard]] bool contains(const std::string& key) const override;
   bool erase(const std::string& key) override;
   void clear() override;
@@ -35,7 +35,7 @@ class LfuCache final : public CacheEngine {
  private:
   struct Entry {
     std::string key;
-    Bytes value;
+    SharedBytes value;
   };
   struct Bucket {
     std::uint64_t freq;

@@ -4,7 +4,7 @@ namespace agar::cache {
 
 LruCache::LruCache(std::size_t capacity_bytes) : CacheEngine(capacity_bytes) {}
 
-std::optional<BytesView> LruCache::get(const std::string& key) {
+std::optional<SharedBytes> LruCache::get(const std::string& key) {
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -13,7 +13,7 @@ std::optional<BytesView> LruCache::get(const std::string& key) {
   // Move to front (most recently used).
   entries_.splice(entries_.begin(), entries_, it->second);
   ++stats_.hits;
-  return BytesView(it->second->value);
+  return it->second->value;  // shared handle, no copy
 }
 
 void LruCache::evict_until_fits(std::size_t incoming) {
@@ -26,7 +26,7 @@ void LruCache::evict_until_fits(std::size_t incoming) {
   }
 }
 
-bool LruCache::put(const std::string& key, Bytes value) {
+bool LruCache::put(const std::string& key, SharedBytes value) {
   ++stats_.puts;
   if (value.size() > capacity_bytes_) {
     ++stats_.rejections;

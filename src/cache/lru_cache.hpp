@@ -15,8 +15,8 @@ class LruCache final : public CacheEngine {
  public:
   explicit LruCache(std::size_t capacity_bytes);
 
-  [[nodiscard]] std::optional<BytesView> get(const std::string& key) override;
-  bool put(const std::string& key, Bytes value) override;
+  [[nodiscard]] std::optional<SharedBytes> get(const std::string& key) override;
+  bool put(const std::string& key, SharedBytes value) override;
   [[nodiscard]] bool contains(const std::string& key) const override;
   bool erase(const std::string& key) override;
   void clear() override;
@@ -28,7 +28,7 @@ class LruCache final : public CacheEngine {
  private:
   struct Entry {
     std::string key;
-    Bytes value;
+    SharedBytes value;
   };
   using List = std::list<Entry>;
 

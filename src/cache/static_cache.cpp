@@ -5,17 +5,17 @@ namespace agar::cache {
 StaticConfigCache::StaticConfigCache(std::size_t capacity_bytes)
     : CacheEngine(capacity_bytes) {}
 
-std::optional<BytesView> StaticConfigCache::get(const std::string& key) {
+std::optional<SharedBytes> StaticConfigCache::get(const std::string& key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.hits;
-  return BytesView(it->second);
+  return it->second;  // shared handle, no copy
 }
 
-bool StaticConfigCache::put(const std::string& key, Bytes value) {
+bool StaticConfigCache::put(const std::string& key, SharedBytes value) {
   ++stats_.puts;
   if (!configured_.contains(key)) {
     ++stats_.rejections;

@@ -25,8 +25,8 @@ class StaticConfigCache final : public CacheEngine {
  public:
   explicit StaticConfigCache(std::size_t capacity_bytes);
 
-  [[nodiscard]] std::optional<BytesView> get(const std::string& key) override;
-  bool put(const std::string& key, Bytes value) override;
+  [[nodiscard]] std::optional<SharedBytes> get(const std::string& key) override;
+  bool put(const std::string& key, SharedBytes value) override;
   [[nodiscard]] bool contains(const std::string& key) const override;
   bool erase(const std::string& key) override;
   void clear() override;
@@ -47,7 +47,7 @@ class StaticConfigCache final : public CacheEngine {
 
  private:
   std::unordered_set<std::string> configured_;
-  std::unordered_map<std::string, Bytes> entries_;
+  std::unordered_map<std::string, SharedBytes> entries_;
   std::uint64_t reconfigurations_ = 0;
 };
 

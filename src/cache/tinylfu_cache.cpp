@@ -7,7 +7,7 @@ TinyLfuCache::TinyLfuCache(std::size_t capacity_bytes, TinyLfuParams params)
       inner_(capacity_bytes),
       sketch_(params.sketch_width, params.sketch_depth, params.aging_window) {}
 
-std::optional<BytesView> TinyLfuCache::get(const std::string& key) {
+std::optional<SharedBytes> TinyLfuCache::get(const std::string& key) {
   sketch_.add(key);
   auto result = inner_.get(key);
   if (result.has_value()) {
@@ -19,7 +19,7 @@ std::optional<BytesView> TinyLfuCache::get(const std::string& key) {
   return result;
 }
 
-bool TinyLfuCache::put(const std::string& key, Bytes value) {
+bool TinyLfuCache::put(const std::string& key, SharedBytes value) {
   ++stats_.puts;
   if (value.size() > capacity_bytes_) {
     ++stats_.rejections;

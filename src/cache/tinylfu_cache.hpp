@@ -25,8 +25,8 @@ class TinyLfuCache final : public CacheEngine {
  public:
   TinyLfuCache(std::size_t capacity_bytes, TinyLfuParams params = {});
 
-  [[nodiscard]] std::optional<BytesView> get(const std::string& key) override;
-  bool put(const std::string& key, Bytes value) override;
+  [[nodiscard]] std::optional<SharedBytes> get(const std::string& key) override;
+  bool put(const std::string& key, SharedBytes value) override;
   [[nodiscard]] bool contains(const std::string& key) const override;
   bool erase(const std::string& key) override;
   void clear() override;

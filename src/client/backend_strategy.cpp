@@ -56,8 +56,7 @@ void BackendStrategy::start_read(const ObjectKey& key, ReadCallback done) {
           for (const ChunkIndex idx : fetched) {
             const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
             if (bytes.has_value()) {
-              chunks.push_back(
-                  ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+              chunks.push_back(ec::Chunk{idx, *bytes});  // shared, no copy
             }
           }
           result.verified = verify_payload(key, chunks);

@@ -78,8 +78,7 @@ void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
         cache_latencies.push_back(ctx_.network->cache_fetch(info.chunk_size));
         ++partial.cache_chunks;
         if (ctx_.verify_data) {
-          collected->push_back(
-              ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
+          collected->push_back(ec::Chunk{idx, *hit});  // shared, no copy
         }
         continue;
       }
@@ -108,7 +107,7 @@ void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
         for (const ChunkIndex idx : *designated) {
           const std::string ck = ChunkId{key, idx}.cache_key();
           if (cache_->contains(ck)) continue;  // hit earlier; recency kept
-          Bytes payload = population_payload(key, idx, info.chunk_size);
+          SharedBytes payload = population_payload(key, idx, info.chunk_size);
           if (ctx_.verify_data && payload.empty()) continue;
           cache_->put(ck, std::move(payload));
         }
@@ -117,8 +116,7 @@ void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
           for (const ChunkIndex idx : fetched) {
             const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
             if (bytes.has_value()) {
-              collected->push_back(
-                  ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+              collected->push_back(ec::Chunk{idx, *bytes});
             }
           }
           result.verified = verify_payload(key, *collected);

@@ -181,7 +181,7 @@ void ReadStrategy::start_plan(const ObjectKey& key, const core::ReadPlan& plan,
     cache_latencies.push_back(ctx_.network->cache_fetch(info.chunk_size));
     ++partial.cache_chunks;
     if (ctx_.verify_data) {
-      collected->push_back(ec::Chunk{idx, Bytes(hit->begin(), hit->end())});
+      collected->push_back(ec::Chunk{idx, *hit});  // shared, no copy
     }
   }
 
@@ -216,7 +216,7 @@ void ReadStrategy::start_plan(const ObjectKey& key, const core::ReadPlan& plan,
         // Populate the cache per plan (asynchronous in the prototype: a
         // separate thread pool performs the writes, so no latency charged).
         for (const ChunkIndex idx : plan.populate_after_read) {
-          Bytes payload = population_payload(key, idx, info.chunk_size);
+          SharedBytes payload = population_payload(key, idx, info.chunk_size);
           if (ctx_.verify_data && payload.empty()) continue;
           cache.put(ChunkId{key, idx}.cache_key(), std::move(payload));
         }
@@ -232,8 +232,7 @@ void ReadStrategy::start_plan(const ObjectKey& key, const core::ReadPlan& plan,
           for (const ChunkIndex idx : fetched) {
             const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
             if (bytes.has_value()) {
-              collected->push_back(
-                  ec::Chunk{idx, Bytes(bytes->begin(), bytes->end())});
+              collected->push_back(ec::Chunk{idx, *bytes});
             }
           }
           result.verified = verify_payload(key, *collected);
@@ -244,16 +243,21 @@ void ReadStrategy::start_plan(const ObjectKey& key, const core::ReadPlan& plan,
 
 // ------------------------------------------------------------- population
 
-Bytes ReadStrategy::population_payload(const ObjectKey& key, ChunkIndex index,
-                                       std::size_t chunk_size) const {
-  Bytes payload;
+SharedBytes ReadStrategy::population_payload(const ObjectKey& key,
+                                             ChunkIndex index,
+                                             std::size_t chunk_size) const {
   if (ctx_.verify_data) {
+    // Share the backend's buffer; empty handle if the bytes were never
+    // materialized (latency-only objects).
     const auto bytes = ctx_.backend->get_chunk(ChunkId{key, index});
-    if (bytes.has_value()) payload.assign(bytes->begin(), bytes->end());
-  } else {
-    payload.assign(chunk_size, 0);
+    return bytes.has_value() ? *bytes : SharedBytes{};
   }
-  return payload;
+  // Latency-only mode: only the size matters to the cache, so every
+  // populated chunk of a given size shares one zero buffer.
+  if (zero_payload_.size() != chunk_size) {
+    zero_payload_ = SharedBytes(Bytes(chunk_size, 0));
+  }
+  return zero_payload_;
 }
 
 void ReadStrategy::populate_chunk_async(const ObjectKey& key, ChunkIndex index,
@@ -268,7 +272,7 @@ void ReadStrategy::populate_chunk_async(const ObjectKey& key, ChunkIndex index,
       [this, key, index, &cache,
        chunk_size = info.chunk_size](std::optional<SimTimeMs> latency) {
         if (!latency.has_value()) return;  // region down; retry next period
-        Bytes payload = population_payload(key, index, chunk_size);
+        SharedBytes payload = population_payload(key, index, chunk_size);
         if (ctx_.verify_data && payload.empty()) return;  // no backend bytes
         cache.put(ChunkId{key, index}.cache_key(), std::move(payload));
       });
@@ -286,7 +290,7 @@ bool ReadStrategy::prefetch_chunk(const ObjectKey& key, ChunkIndex index,
   const auto latency =
       ctx_.network->backend_fetch(ctx_.region, region, info.chunk_size);
   if (!latency.has_value()) return false;  // region down; retry next period
-  Bytes payload = population_payload(key, index, info.chunk_size);
+  SharedBytes payload = population_payload(key, index, info.chunk_size);
   if (ctx_.verify_data && payload.empty()) return false;  // no backend bytes
   return cache.put(ck, std::move(payload));
 }

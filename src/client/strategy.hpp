@@ -130,10 +130,11 @@ class ReadStrategy {
   bool prefetch_chunk(const ObjectKey& key, ChunkIndex index,
                       cache::CacheEngine& cache);
 
-  /// Bytes to install for a populated chunk (real payload in verify mode).
-  [[nodiscard]] Bytes population_payload(const ObjectKey& key,
-                                         ChunkIndex index,
-                                         std::size_t chunk_size) const;
+  /// Payload to install for a populated chunk (in verify mode, a shared
+  /// handle to the backend's buffer — no copy).
+  [[nodiscard]] SharedBytes population_payload(const ObjectKey& key,
+                                               ChunkIndex index,
+                                               std::size_t chunk_size) const;
 
   /// Verify-mode helper: fetch the given chunks' real bytes from the
   /// backend/caches is handled by subclasses; this decodes and checks.
@@ -142,6 +143,9 @@ class ReadStrategy {
 
   ClientContext ctx_;
   core::FetchCoordinator fetcher_;
+  /// Memoized zero buffer for latency-only cache populations: every
+  /// populated chunk of one size shares it (refcount bump per put).
+  mutable SharedBytes zero_payload_;
 
  private:
   struct BatchState;

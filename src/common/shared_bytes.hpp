@@ -1,0 +1,68 @@
+// SharedBytes — a cheaply copyable, immutable, refcounted chunk buffer.
+//
+// Chunk payloads used to be deep-copied std::vectors at every hand-off on
+// the read path (bucket -> backend -> strategy -> cache -> codec). A chunk
+// is written once and then only ever read, so the payload can live in one
+// shared immutable allocation and every layer can hold a refcount instead
+// of a copy. Copying a SharedBytes is a refcount bump; the bytes themselves
+// are never duplicated.
+//
+// Interop: SharedBytes converts implicitly from Bytes (adopting the buffer
+// by move, no byte copy) and to BytesView (a borrowed view into the shared
+// allocation), so codec/kernel code keeps operating on plain spans.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace agar {
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Adopt an owning buffer. Implicit on purpose: call sites that built a
+  /// Bytes and hand it off (`put(key, std::move(payload))`) keep working,
+  /// now moving into shared ownership instead of copying.
+  SharedBytes(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : buf_(std::make_shared<const Bytes>(std::move(bytes))) {}
+
+  /// Deep-copy from a borrowed view (the only constructor that copies).
+  [[nodiscard]] static SharedBytes copy_of(BytesView view) {
+    return SharedBytes(Bytes(view.begin(), view.end()));
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_ ? buf_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return buf_ ? buf_->data() : nullptr;
+  }
+  [[nodiscard]] const std::uint8_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const { return data() + size(); }
+  /// Precondition: i < size() (like vector; never dereferences a null
+  /// handle ahead of the bounds violation itself).
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+
+  /// Borrowed view; valid while any SharedBytes referencing the buffer
+  /// lives.
+  [[nodiscard]] BytesView view() const { return BytesView(data(), size()); }
+  operator BytesView() const { return view(); }  // NOLINT
+
+  /// Number of owners (tests assert hand-offs don't deep-copy).
+  [[nodiscard]] long use_count() const { return buf_.use_count(); }
+
+  /// Value equality: byte-wise content comparison.
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    if (a.size() != b.size()) return false;
+    if (a.data() == b.data()) return true;
+    return std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::shared_ptr<const Bytes> buf_;
+};
+
+}  // namespace agar

@@ -20,30 +20,30 @@ EncodedObject ObjectCodec::encode(BytesView object) const {
   out.object_size = object.size();
   out.chunks.reserve(rs_.total());
 
-  // Data chunks: copy + zero-pad the tail.
+  // Data chunks: copy + zero-pad the tail, then freeze each buffer into
+  // shared ownership (a move, not a byte copy).
   std::vector<BytesView> views;
   views.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    Chunk c;
-    c.index = static_cast<ChunkIndex>(i);
-    c.data.assign(cs, 0);
+    Bytes payload(cs, 0);
     const std::size_t begin = i * cs;
     if (begin < object.size()) {
       const std::size_t len = std::min(cs, object.size() - begin);
       std::copy_n(object.begin() + static_cast<std::ptrdiff_t>(begin), len,
-                  c.data.begin());
+                  payload.begin());
     }
-    out.chunks.push_back(std::move(c));
+    out.chunks.push_back(
+        Chunk{static_cast<ChunkIndex>(i), SharedBytes(std::move(payload))});
   }
-  for (std::size_t i = 0; i < k; ++i) views.emplace_back(out.chunks[i].data);
+  for (std::size_t i = 0; i < k; ++i) {
+    views.emplace_back(out.chunks[i].data.view());
+  }
 
   // Parity chunks.
   std::vector<Bytes> parity = rs_.encode(views);
   for (std::size_t p = 0; p < parity.size(); ++p) {
-    Chunk c;
-    c.index = static_cast<ChunkIndex>(k + p);
-    c.data = std::move(parity[p]);
-    out.chunks.push_back(std::move(c));
+    out.chunks.push_back(Chunk{static_cast<ChunkIndex>(k + p),
+                               SharedBytes(std::move(parity[p]))});
   }
   return out;
 }
@@ -53,7 +53,7 @@ Bytes ObjectCodec::decode(std::size_t object_size,
   std::vector<std::pair<std::uint32_t, BytesView>> available;
   available.reserve(chunks.size());
   for (const auto& c : chunks) {
-    available.emplace_back(c.index, BytesView(c.data));
+    available.emplace_back(c.index, c.data.view());
   }
   const std::vector<Bytes> data = rs_.reconstruct_data(available);
 

@@ -10,15 +10,18 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 #include "common/types.hpp"
 #include "ec/reed_solomon.hpp"
 
 namespace agar::ec {
 
-/// One encoded chunk: stripe position plus payload.
+/// One encoded chunk: stripe position plus payload. The payload is a
+/// refcounted immutable buffer, so chunks are cheap to copy between the
+/// store, caches and the decoder.
 struct Chunk {
   ChunkIndex index = 0;
-  Bytes data;
+  SharedBytes data;
 };
 
 /// A fully encoded object: k data chunks followed by m parity chunks.

@@ -37,10 +37,13 @@ ReedSolomon::ReedSolomon(CodecParams params) : params_(params) {
 void ReedSolomon::apply_row(const Matrix& matrix, std::size_t row,
                             const std::vector<BytesView>& inputs,
                             BytesSpan out) const {
-  std::fill(out.begin(), out.end(), std::uint8_t{0});
-  for (std::size_t j = 0; j < inputs.size(); ++j) {
-    gf::mul_add_slice(matrix.at(row, j), inputs[j], out);
-  }
+  // The first column initializes `out` outright (mul_slice writes every
+  // byte, so no separate zero-fill pass over the buffer); the remaining
+  // columns accumulate through the fused kernel — one pass over `out`.
+  gf::mul_slice(matrix.at(row, 0), inputs[0], out);
+  gf::mul_add_multi(
+      std::span<const std::uint8_t>(matrix.row(row) + 1, inputs.size() - 1),
+      std::span<const BytesView>(inputs.data() + 1, inputs.size() - 1), out);
 }
 
 std::vector<Bytes> ReedSolomon::encode(
@@ -56,6 +59,34 @@ std::vector<Bytes> ReedSolomon::encode(
     apply_row(encode_, params_.k + p, data_chunks, BytesSpan(parity[p]));
   }
   return parity;
+}
+
+const Matrix& ReedSolomon::decode_plan(
+    const std::vector<std::size_t>& rows) const {
+  if (params_.total() > 64) {
+    // Row set doesn't fit a 64-bit mask; invert per call (codes this wide
+    // are outside every experiment in the repo).
+    plan_scratch_ = encode_.select_rows(rows).inverted();
+    ++plan_misses_;
+    return plan_scratch_;
+  }
+  std::uint64_t mask = 0;
+  for (const std::size_t r : rows) mask |= std::uint64_t{1} << r;
+  const auto it = plan_cache_.find(mask);
+  if (it != plan_cache_.end()) {
+    ++plan_hits_;
+    return it->second;
+  }
+  ++plan_misses_;
+  if (plan_cache_.size() >= kMaxCachedPlans) {
+    // Wide codes (total() up to 64) can have astronomically many erasure
+    // patterns; stop memoizing rather than grow without bound. The paper's
+    // RS(9,3) tops out at 219 cached plans, far under the cap.
+    plan_scratch_ = encode_.select_rows(rows).inverted();
+    return plan_scratch_;
+  }
+  return plan_cache_.emplace(mask, encode_.select_rows(rows).inverted())
+      .first->second;
 }
 
 std::vector<Bytes> ReedSolomon::reconstruct_data(
@@ -90,6 +121,13 @@ std::vector<Bytes> ReedSolomon::reconstruct_data(
         "ReedSolomon::reconstruct_data: fewer than k distinct chunks");
   }
 
+  // Canonical order: the decode plan is keyed by the chunk *set*, so the
+  // picked rows must map to matrix columns the same way regardless of the
+  // order `available` arrived in. GF arithmetic is exact — row order never
+  // changes the reconstructed bytes.
+  std::sort(picked.begin(), picked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
   std::vector<BytesView> views;
   views.reserve(params_.k);
   for (const auto& [idx, bytes] : picked) views.push_back(bytes);
@@ -97,9 +135,7 @@ std::vector<Bytes> ReedSolomon::reconstruct_data(
   const std::size_t chunk_size = views.front().size();
 
   // Fast path: all k data chunks present.
-  const bool all_data =
-      std::all_of(picked.begin(), picked.end(),
-                  [&](const auto& p) { return p.first < params_.k; });
+  const bool all_data = picked.back().first < params_.k;
   std::vector<Bytes> out(params_.k, Bytes(chunk_size));
   if (all_data) {
     for (const auto& [idx, bytes] : picked) {
@@ -110,11 +146,11 @@ std::vector<Bytes> ReedSolomon::reconstruct_data(
 
   // General path: rows of the encoding matrix for the picked chunks form an
   // invertible k x k matrix (MDS); its inverse maps picked chunks back to
-  // the original data chunks.
+  // the original data chunks. The inverse is memoized per surviving set.
   std::vector<std::size_t> rows;
   rows.reserve(params_.k);
   for (const auto& [idx, bytes] : picked) rows.push_back(idx);
-  const Matrix decode = encode_.select_rows(rows).inverted();
+  const Matrix& decode = decode_plan(rows);
 
   for (std::size_t d = 0; d < params_.k; ++d) {
     apply_row(decode, d, views, BytesSpan(out[d]));

@@ -5,12 +5,18 @@
 // property). This is the same contract as Longhair, the Cauchy Reed-Solomon
 // library the paper's prototype used.
 //
-// The codec is stateless apart from the precomputed encoding matrix, so one
-// instance can be shared by every region of the simulation.
+// Hot-path structure: every row application runs through the fused
+// gf::mul_add_multi kernel (one pass over the output for all k inputs), and
+// reconstruction memoizes the inverted decode matrix per surviving-chunk
+// set — RS(9,3) has at most C(12,9) = 220 such sets, so after warm-up a
+// degraded read pays zero matrix-inversion cost. Apart from that cache
+// (single-threaded use, like the rest of the simulation) the codec is
+// stateless, so one instance can be shared by every region.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -57,13 +63,42 @@ class ReedSolomon {
       std::uint32_t target,
       const std::vector<std::pair<std::uint32_t, BytesView>>& available) const;
 
+  // ---------------------------------------------- decode-plan cache stats
+  /// Reconstructions that found their inverted decode matrix memoized.
+  [[nodiscard]] std::uint64_t decode_plan_hits() const { return plan_hits_; }
+  /// Reconstructions that had to invert (and then memoized the result).
+  [[nodiscard]] std::uint64_t decode_plan_misses() const {
+    return plan_misses_;
+  }
+  [[nodiscard]] std::size_t decode_plan_cache_size() const {
+    return plan_cache_.size();
+  }
+  /// Drop memoized plans (benchmarks measuring the cold path).
+  void clear_decode_plan_cache() const { plan_cache_.clear(); }
+
  private:
-  /// Rows of the encoding matrix for `index` applied to data columns.
+  /// out = sum_j matrix[row][j] * inputs[j], via the fused kernel.
   void apply_row(const Matrix& matrix, std::size_t row,
                  const std::vector<BytesView>& inputs, BytesSpan out) const;
 
+  /// Inverted decode matrix for this exact (sorted, distinct) row set,
+  /// served from the plan cache when the row set fits a 64-bit mask.
+  [[nodiscard]] const Matrix& decode_plan(
+      const std::vector<std::size_t>& rows) const;
+
   CodecParams params_;
   Matrix encode_;  // (k+m) x k, top square == identity.
+
+  // Memoized inverted decode matrices keyed by the surviving-row bitmask.
+  // Mutable: reconstruction is logically const. Single-threaded by design
+  // (the simulation drives everything from one event loop). Bounded: once
+  // kMaxCachedPlans distinct patterns are cached, further ones invert
+  // without memoizing (only reachable by codes far wider than the paper's).
+  static constexpr std::size_t kMaxCachedPlans = 4096;
+  mutable std::unordered_map<std::uint64_t, Matrix> plan_cache_;
+  mutable Matrix plan_scratch_;  // fallback when total() > 64 (uncacheable)
+  mutable std::uint64_t plan_hits_ = 0;
+  mutable std::uint64_t plan_misses_ = 0;
 };
 
 }  // namespace agar::ec

@@ -1,101 +1,324 @@
 #include "gf/gf256.hpp"
 
-#include <array>
+#include <cstring>
 #include <stdexcept>
 
+#include "gf/gf256_kernels.hpp"
+
 namespace agar::gf {
-namespace {
 
-struct Tables {
-  // exp_ has 512 entries so mul can index log[a]+log[b] without a mod.
-  std::array<std::uint8_t, 512> exp_{};
-  std::array<std::uint8_t, 256> log_{};
-  // 256x256 full multiplication table: 64 KiB, fits in L2 and makes the
-  // bulk slice loops branch-free.
-  std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+namespace detail {
 
-  Tables() {
-    std::uint16_t x = 1;
-    for (int i = 0; i < 255; ++i) {
-      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
-      exp_[static_cast<std::size_t>(i) + 255] = static_cast<std::uint8_t>(x);
-      log_[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
-      x <<= 1;
-      if (x & 0x100) x ^= kPolynomial;
-    }
-    exp_[510] = exp_[0];
-    exp_[511] = exp_[1];
-    log_[0] = 0;  // never consulted for 0; guarded by callers.
+Tables::Tables() {
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    exp_[static_cast<std::size_t>(i) + 255] = static_cast<std::uint8_t>(x);
+    log_[static_cast<std::uint8_t>(x)] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPolynomial;
+  }
+  exp_[510] = exp_[0];
+  exp_[511] = exp_[1];
+  log_[0] = 0;  // never consulted for 0; guarded by callers.
 
-    for (int a = 0; a < 256; ++a) {
-      for (int b = 0; b < 256; ++b) {
-        if (a == 0 || b == 0) {
-          mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 0;
-        } else {
-          mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
-              exp_[static_cast<std::size_t>(log_[static_cast<std::size_t>(a)]) +
-                   static_cast<std::size_t>(log_[static_cast<std::size_t>(b)])];
-        }
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      if (a == 0 || b == 0) {
+        mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 0;
+      } else {
+        mul_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            exp_[static_cast<std::size_t>(log_[static_cast<std::size_t>(a)]) +
+                 static_cast<std::size_t>(log_[static_cast<std::size_t>(b)])];
       }
     }
   }
-};
+
+  // Split-nibble tables derive from the full table: every byte b is
+  // (b & 15) ^ (b & 0xF0), and multiplication is linear over GF(2).
+  for (std::size_t c = 0; c < 256; ++c) {
+    for (std::size_t x4 = 0; x4 < 16; ++x4) {
+      lo_[c][x4] = mul_[c][x4];
+      hi_[c][x4] = mul_[c][x4 << 4];
+    }
+  }
+}
 
 const Tables& tables() {
   static const Tables t;
   return t;
 }
 
+namespace {
+
+// ----------------------------------------------------------- scalar set
+
+void mul_slice_scalar(std::uint8_t c, const std::uint8_t* src,
+                      std::uint8_t* dst, std::size_t n) {
+  const auto& row = tables().mul_[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice_scalar(std::uint8_t c, const std::uint8_t* src,
+                          std::uint8_t* dst, std::size_t n) {
+  const auto& row = tables().mul_[c];
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void xor_slice_scalar(const std::uint8_t* src, std::uint8_t* dst,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_add_multi_scalar(const std::uint8_t* coeffs,
+                          const std::uint8_t* const* srcs, std::size_t nsrc,
+                          std::uint8_t* dst, std::size_t n) {
+  for (std::size_t j = 0; j < nsrc; ++j) {
+    mul_add_slice_scalar(coeffs[j], srcs[j], dst, n);
+  }
+}
+
+// ------------------------------------------------- portable 64-bit set
+//
+// Still table lookups per byte, but eight products are composed into one
+// 64-bit word so loads/stores (and the dst read-modify-write) happen
+// word-at-a-time. This is the fallback when no SIMD unit is available.
+
+inline std::uint64_t mul_word(const std::array<std::uint8_t, 256>& row,
+                              std::uint64_t s) {
+  return static_cast<std::uint64_t>(row[s & 0xFF]) |
+         static_cast<std::uint64_t>(row[(s >> 8) & 0xFF]) << 8 |
+         static_cast<std::uint64_t>(row[(s >> 16) & 0xFF]) << 16 |
+         static_cast<std::uint64_t>(row[(s >> 24) & 0xFF]) << 24 |
+         static_cast<std::uint64_t>(row[(s >> 32) & 0xFF]) << 32 |
+         static_cast<std::uint64_t>(row[(s >> 40) & 0xFF]) << 40 |
+         static_cast<std::uint64_t>(row[(s >> 48) & 0xFF]) << 48 |
+         static_cast<std::uint64_t>(row[(s >> 56) & 0xFF]) << 56;
+}
+
+void mul_slice_portable(std::uint8_t c, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t n) {
+  const auto& row = tables().mul_[c];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t s;
+    std::memcpy(&s, src + i, 8);
+    const std::uint64_t v = mul_word(row, s);
+    std::memcpy(dst + i, &v, 8);
+  }
+  for (; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void mul_add_slice_portable(std::uint8_t c, const std::uint8_t* src,
+                            std::uint8_t* dst, std::size_t n) {
+  const auto& row = tables().mul_[c];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t s, d;
+    std::memcpy(&s, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= mul_word(row, s);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void xor_slice_portable(const std::uint8_t* src, std::uint8_t* dst,
+                        std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t s[4], d[4];
+    std::memcpy(s, src + i, 32);
+    std::memcpy(d, dst + i, 32);
+    d[0] ^= s[0];
+    d[1] ^= s[1];
+    d[2] ^= s[2];
+    d[3] ^= s[3];
+    std::memcpy(dst + i, d, 32);
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t s, d;
+    std::memcpy(&s, src + i, 8);
+    std::memcpy(&d, dst + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void mul_add_multi_portable(const std::uint8_t* coeffs,
+                            const std::uint8_t* const* srcs, std::size_t nsrc,
+                            std::uint8_t* dst, std::size_t n) {
+  const auto& mul = tables().mul_;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t d;
+    std::memcpy(&d, dst + i, 8);
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      std::uint64_t s;
+      std::memcpy(&s, srcs[j] + i, 8);
+      d ^= mul_word(mul[coeffs[j]], s);
+    }
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) {
+    std::uint8_t b = dst[i];
+    for (std::size_t j = 0; j < nsrc; ++j) b ^= mul[coeffs[j]][srcs[j][i]];
+    dst[i] = b;
+  }
+}
+
+}  // namespace
+
+const KernelTable kScalarKernels{mul_slice_scalar, mul_add_slice_scalar,
+                                 xor_slice_scalar, mul_add_multi_scalar};
+const KernelTable kPortable64Kernels{mul_slice_portable,
+                                     mul_add_slice_portable,
+                                     xor_slice_portable,
+                                     mul_add_multi_portable};
+
+}  // namespace detail
+
+// ----------------------------------------------------------- field scalars
+
+namespace {
+
+/// Reduce an exponent modulo 255 without division: 256 == 1 (mod 255), so
+/// folding the high byte onto the low byte preserves the residue. Converges
+/// to < 510 in a handful of iterations, which the 512-entry antilog table
+/// indexes directly.
+inline std::uint64_t fold255(std::uint64_t n) {
+  while (n >= 510) n = (n >> 8) + (n & 0xFF);
+  return n;
+}
+
 }  // namespace
 
 std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
-  return tables().mul_[a][b];
+  return detail::tables().mul_[a][b];
 }
 
 std::uint8_t div(std::uint8_t a, std::uint8_t b) {
   if (b == 0) throw std::domain_error("gf256: division by zero");
   if (a == 0) return 0;
-  const auto& t = tables();
+  const auto& t = detail::tables();
   const int diff = static_cast<int>(t.log_[a]) - static_cast<int>(t.log_[b]);
   return t.exp_[static_cast<std::size_t>(diff < 0 ? diff + 255 : diff)];
 }
 
 std::uint8_t inv(std::uint8_t a) {
   if (a == 0) throw std::domain_error("gf256: inverse of zero");
-  const auto& t = tables();
+  const auto& t = detail::tables();
   return t.exp_[static_cast<std::size_t>(255 - t.log_[a])];
 }
 
 std::uint8_t pow(std::uint8_t a, unsigned n) {
   if (n == 0) return 1;
   if (a == 0) return 0;
-  const auto& t = tables();
-  const unsigned e = (static_cast<unsigned>(t.log_[a]) * n) % 255u;
-  return t.exp_[e];
+  const auto& t = detail::tables();
+  const std::uint64_t e =
+      static_cast<std::uint64_t>(t.log_[a]) * fold255(n);
+  return t.exp_[fold255(e)];
 }
 
-std::uint8_t exp(unsigned n) { return tables().exp_[n % 255u]; }
+std::uint8_t exp(unsigned n) { return detail::tables().exp_[fold255(n)]; }
 
 std::uint8_t log(std::uint8_t a) {
   if (a == 0) throw std::domain_error("gf256: log of zero");
-  return tables().log_[a];
+  return detail::tables().log_[a];
 }
+
+// -------------------------------------------------------------- dispatch
+
+namespace {
+
+const detail::KernelTable* backend_table(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return &detail::kScalarKernels;
+    case Backend::kPortable64:
+      return &detail::kPortable64Kernels;
+    case Backend::kSsse3:
+      return detail::ssse3_kernels();
+    case Backend::kAvx2:
+      return detail::avx2_kernels();
+  }
+  return nullptr;
+}
+
+Backend best_backend() {
+  if (detail::avx2_kernels() != nullptr) return Backend::kAvx2;
+  if (detail::ssse3_kernels() != nullptr) return Backend::kSsse3;
+  return Backend::kPortable64;
+}
+
+struct Dispatch {
+  Backend backend;
+  const detail::KernelTable* table;
+};
+
+Dispatch& dispatch() {
+  static Dispatch d{best_backend(), backend_table(best_backend())};
+  return d;
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kPortable64:
+      return "portable64";
+    case Backend::kSsse3:
+      return "ssse3";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool backend_supported(Backend b) { return backend_table(b) != nullptr; }
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : {Backend::kScalar, Backend::kPortable64,
+                          Backend::kSsse3, Backend::kAvx2}) {
+    if (backend_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+Backend active_backend() { return dispatch().backend; }
+
+bool set_backend(Backend b) {
+  const detail::KernelTable* table = backend_table(b);
+  if (table == nullptr) return false;
+  dispatch() = Dispatch{b, table};
+  return true;
+}
+
+void reset_backend() { (void)set_backend(best_backend()); }
+
+// ---------------------------------------------------------- bulk wrappers
 
 void mul_slice(std::uint8_t c, std::span<const std::uint8_t> src,
                std::span<std::uint8_t> dst) {
   if (src.size() != dst.size()) {
     throw std::invalid_argument("gf256: mul_slice size mismatch");
   }
+  if (dst.empty()) return;
   if (c == 0) {
-    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    std::memset(dst.data(), 0, dst.size());
     return;
   }
   if (c == 1) {
-    std::copy(src.begin(), src.end(), dst.begin());
+    if (src.data() != dst.data()) {
+      std::memcpy(dst.data(), src.data(), dst.size());
+    }
     return;
   }
-  const auto& row = tables().mul_[c];
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = row[src[i]];
+  dispatch().table->mul_slice(c, src.data(), dst.data(), dst.size());
 }
 
 void mul_add_slice(std::uint8_t c, std::span<const std::uint8_t> src,
@@ -103,21 +326,63 @@ void mul_add_slice(std::uint8_t c, std::span<const std::uint8_t> src,
   if (src.size() != dst.size()) {
     throw std::invalid_argument("gf256: mul_add_slice size mismatch");
   }
-  if (c == 0) return;
+  if (dst.empty() || c == 0) return;
   if (c == 1) {
-    add_slice(src, dst);
+    dispatch().table->xor_slice(src.data(), dst.data(), dst.size());
     return;
   }
-  const auto& row = tables().mul_[c];
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= row[src[i]];
+  dispatch().table->mul_add_slice(c, src.data(), dst.data(), dst.size());
 }
 
-void add_slice(std::span<const std::uint8_t> src,
+void xor_slice(std::span<const std::uint8_t> src,
                std::span<std::uint8_t> dst) {
   if (src.size() != dst.size()) {
-    throw std::invalid_argument("gf256: add_slice size mismatch");
+    throw std::invalid_argument("gf256: xor_slice size mismatch");
   }
-  for (std::size_t i = 0; i < src.size(); ++i) dst[i] ^= src[i];
+  if (dst.empty()) return;
+  dispatch().table->xor_slice(src.data(), dst.data(), dst.size());
+}
+
+void mul_add_multi(std::span<const std::uint8_t> coeffs,
+                   std::span<const std::span<const std::uint8_t>> srcs,
+                   std::span<std::uint8_t> dst) {
+  if (coeffs.size() != srcs.size()) {
+    throw std::invalid_argument("gf256: mul_add_multi count mismatch");
+  }
+  for (const auto& s : srcs) {
+    if (s.size() != dst.size()) {
+      throw std::invalid_argument("gf256: mul_add_multi size mismatch");
+    }
+  }
+  if (dst.empty()) return;
+
+  // Strip zero coefficients so kernels never see them.
+  constexpr std::size_t kMaxInline = 32;
+  std::uint8_t coeff_buf[kMaxInline];
+  const std::uint8_t* src_buf[kMaxInline];
+  std::vector<std::uint8_t> coeff_heap;
+  std::vector<const std::uint8_t*> src_heap;
+  std::uint8_t* cs = coeff_buf;
+  const std::uint8_t** ss = src_buf;
+  if (coeffs.size() > kMaxInline) {
+    coeff_heap.resize(coeffs.size());
+    src_heap.resize(coeffs.size());
+    cs = coeff_heap.data();
+    ss = src_heap.data();
+  }
+  std::size_t nsrc = 0;
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    if (coeffs[j] == 0) continue;
+    cs[nsrc] = coeffs[j];
+    ss[nsrc] = srcs[j].data();
+    ++nsrc;
+  }
+  if (nsrc == 0) return;
+  if (nsrc == 1 && cs[0] == 1) {
+    dispatch().table->xor_slice(ss[0], dst.data(), dst.size());
+    return;
+  }
+  dispatch().table->mul_add_multi(cs, ss, nsrc, dst.data(), dst.size());
 }
 
 }  // namespace agar::gf

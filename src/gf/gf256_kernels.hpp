@@ -1,0 +1,58 @@
+// Internal kernel plumbing shared by gf256.cpp (scalar + portable kernels,
+// dispatch) and gf256_simd.cpp (SSSE3/AVX2 kernels). Not part of the public
+// gf:: API — include gf/gf256.hpp instead.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace agar::gf::detail {
+
+/// Raw kernel signatures. Sizes are pre-validated and the c == 0 / c == 1
+/// fast paths are taken by the public wrappers, so kernels only see
+/// c >= 2 (mul kernels) and may assume src.size() == dst.size() == n.
+struct KernelTable {
+  void (*mul_slice)(std::uint8_t c, const std::uint8_t* src,
+                    std::uint8_t* dst, std::size_t n);
+  void (*mul_add_slice)(std::uint8_t c, const std::uint8_t* src,
+                        std::uint8_t* dst, std::size_t n);
+  void (*xor_slice)(const std::uint8_t* src, std::uint8_t* dst,
+                    std::size_t n);
+  /// Fused multi-source apply: dst[i] ^= XOR_j coeffs[j] * srcs[j][i].
+  /// nsrc >= 1 and every coeffs[j] >= 1 (the wrapper strips zeros).
+  void (*mul_add_multi)(const std::uint8_t* coeffs,
+                        const std::uint8_t* const* srcs, std::size_t nsrc,
+                        std::uint8_t* dst, std::size_t n);
+};
+
+/// Precomputed multiplication tables.
+struct Tables {
+  /// exp_ has 512 entries so mul can index log[a]+log[b] without a mod.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+  /// 256x256 full multiplication table: 64 KiB, fits in L2 and makes the
+  /// scalar/portable slice loops branch-free.
+  std::array<std::array<std::uint8_t, 256>, 256> mul_{};
+  /// Split-nibble tables for pshufb kernels (ISA-L gf_vect_mul_init
+  /// layout): lo_[c][x] = c * x, hi_[c][x] = c * (x << 4) for x in
+  /// [0, 16). A byte product is lo_[c][b & 15] ^ hi_[c][b >> 4].
+  alignas(64) std::array<std::array<std::uint8_t, 16>, 256> lo_{};
+  alignas(64) std::array<std::array<std::uint8_t, 16>, 256> hi_{};
+
+  Tables();
+};
+
+const Tables& tables();
+
+// Kernel sets defined in gf256.cpp.
+extern const KernelTable kScalarKernels;
+extern const KernelTable kPortable64Kernels;
+
+// Kernel sets defined in gf256_simd.cpp. Null when the SIMD translation
+// unit is compiled out (AGAR_DISABLE_SIMD or a non-x86 target); when
+// non-null the CPU has been verified to support them at startup.
+const KernelTable* ssse3_kernels();
+const KernelTable* avx2_kernels();
+
+}  // namespace agar::gf::detail

@@ -56,7 +56,7 @@ ObjectInfo BackendCluster::object_info(const ObjectKey& key) const {
   return info;
 }
 
-std::optional<BytesView> BackendCluster::get_chunk(const ChunkId& id) const {
+std::optional<SharedBytes> BackendCluster::get_chunk(const ChunkId& id) const {
   const auto it = objects_.find(id.key);
   if (it == objects_.end()) return std::nullopt;
   const RegionId region = placement_->region_of(id.key, id.index,

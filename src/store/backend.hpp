@@ -55,8 +55,9 @@ class BackendCluster {
   /// Stripe layout for an object. Throws std::out_of_range if unknown.
   [[nodiscard]] ObjectInfo object_info(const ObjectKey& key) const;
 
-  /// Fetch one chunk payload from its region's bucket.
-  [[nodiscard]] std::optional<BytesView> get_chunk(const ChunkId& id) const;
+  /// Fetch one chunk payload from its region's bucket. Shares the stored
+  /// buffer (refcount bump); never copies the bytes.
+  [[nodiscard]] std::optional<SharedBytes> get_chunk(const ChunkId& id) const;
 
   /// Direct bucket access (tests, repair tooling).
   [[nodiscard]] Bucket& bucket(RegionId r) { return buckets_.at(r); }

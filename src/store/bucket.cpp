@@ -2,7 +2,7 @@
 
 namespace agar::store {
 
-void Bucket::put(const ChunkId& id, Bytes data) {
+void Bucket::put(const ChunkId& id, SharedBytes data) {
   ++puts_;
   auto it = chunks_.find(id);
   if (it != chunks_.end()) {
@@ -15,11 +15,11 @@ void Bucket::put(const ChunkId& id, Bytes data) {
   chunks_.emplace(id, std::move(data));
 }
 
-std::optional<BytesView> Bucket::get(const ChunkId& id) const {
+std::optional<SharedBytes> Bucket::get(const ChunkId& id) const {
   ++gets_;
   const auto it = chunks_.find(id);
   if (it == chunks_.end()) return std::nullopt;
-  return BytesView(it->second);
+  return it->second;  // refcount bump, not a byte copy
 }
 
 bool Bucket::contains(const ChunkId& id) const {

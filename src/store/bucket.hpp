@@ -9,17 +9,19 @@
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/shared_bytes.hpp"
 #include "common/types.hpp"
 
 namespace agar::store {
 
 class Bucket {
  public:
-  /// Store (or overwrite) one chunk.
-  void put(const ChunkId& id, Bytes data);
+  /// Store (or overwrite) one chunk. Accepts Bytes too (adopted by move).
+  void put(const ChunkId& id, SharedBytes data);
 
-  /// Fetch a chunk payload; nullopt if absent.
-  [[nodiscard]] std::optional<BytesView> get(const ChunkId& id) const;
+  /// Fetch a chunk payload; nullopt if absent. The returned handle shares
+  /// the stored buffer (no copy) and stays valid past eviction/overwrite.
+  [[nodiscard]] std::optional<SharedBytes> get(const ChunkId& id) const;
 
   [[nodiscard]] bool contains(const ChunkId& id) const;
   bool erase(const ChunkId& id);
@@ -32,7 +34,7 @@ class Bucket {
   [[nodiscard]] std::uint64_t puts() const { return puts_; }
 
  private:
-  std::unordered_map<ChunkId, Bytes> chunks_;
+  std::unordered_map<ChunkId, SharedBytes> chunks_;
   std::size_t total_bytes_ = 0;
   mutable std::uint64_t gets_ = 0;
   std::uint64_t puts_ = 0;
