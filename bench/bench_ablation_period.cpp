@@ -9,37 +9,35 @@
 // workload.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
   client::print_experiment_banner(
       "Ablation", "Agar reconfiguration period sweep",
       "300 x 1 MB, zipf 1.1, Frankfurt, 10 MB cache");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 1000;
-  config.runs = 5;
-  config.client_region = sim::region::kFrankfurt;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"system=agar", "objects=300", "object_bytes=1MB", "workload=zipf:1.1",
+       "ops=1000", "runs=5", "region=frankfurt", "cache_bytes=10MB"});
+
+  const auto specs = api::sweep(
+      base, {{"period_s", {"2", "5", "10", "30", "60", "120"}}});
 
   std::vector<std::vector<std::string>> rows;
-  for (const double period_s : {2.0, 5.0, 10.0, 30.0, 60.0, 120.0}) {
-    config.reconfig_period_ms = period_s * 1000.0;
-    const auto agar = run_experiment(config, StrategySpec::agar(10_MB));
+  for (const auto& spec : specs) {
+    const auto report = api::run(spec);
     std::uint64_t evictions = 0;
-    for (const auto& run : agar.runs) {
+    for (const auto& run : report.result.runs) {
       evictions += run.cache_stats.evictions;
     }
-    rows.push_back({client::fmt_ms(period_s) + " s",
-                    client::fmt_ms(agar.mean_latency_ms()),
-                    client::fmt_pct(agar.hit_ratio()),
-                    std::to_string(evictions / agar.runs.size())});
+    rows.push_back(
+        {client::fmt_ms(spec.experiment.reconfig_period_ms / 1000.0) + " s",
+         client::fmt_ms(report.result.mean_latency_ms()),
+         client::fmt_pct(report.result.hit_ratio()),
+         std::to_string(evictions / report.result.runs.size())});
   }
   std::cout << client::format_table(
       {"period", "avg latency (ms)", "hit ratio", "evictions/run"}, rows);

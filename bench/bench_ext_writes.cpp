@@ -7,9 +7,9 @@
 // on a read workload with a writer mixed in.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/agar_strategy.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 #include "client/writer.hpp"
 
 using namespace agar;
@@ -55,16 +55,13 @@ int main() {
       {"writer region", "write latency (ms)", "consensus", "data path"},
       rows);
 
-  // (b) Reader + writer mix: invalidations force re-population.
-  client::ClientContext rctx;
-  rctx.backend = &deployment.backend();
-  rctx.network = &deployment.network();
-  rctx.region = sim::region::kFrankfurt;
-  core::AgarNodeParams node_params;
-  node_params.region = sim::region::kFrankfurt;
-  node_params.cache_capacity_bytes = 10_MB;
-  node_params.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
-  client::AgarStrategy reader(rctx, node_params);
+  // (b) Reader + writer mix: invalidations force re-population. The Agar
+  // reader comes from the api registry, like every other system.
+  const auto reader_spec = api::ExperimentSpec::from_pairs(
+      {"system=agar", "region=frankfurt", "cache_bytes=10MB"});
+  const auto strategy =
+      api::make_strategy(reader_spec, deployment, sim::region::kFrankfurt);
+  auto& reader = *dynamic_cast<client::AgarStrategy*>(strategy.get());
   reader.warm_up();
   coherence.attach_cache(sim::region::kFrankfurt, &reader.node().cache(), 12);
 

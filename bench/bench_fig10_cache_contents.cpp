@@ -4,11 +4,10 @@
 #include <iostream>
 #include <map>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
   client::print_experiment_banner(
@@ -16,44 +15,40 @@ int main() {
       "300 x 1 MB, zipf 1.1, snapshots of the final configuration after "
       "1000 reads");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 1000;
-  config.runs = 3;
-  config.reconfig_period_ms = 30'000.0;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"system=agar", "objects=300", "object_bytes=1MB", "workload=zipf:1.1",
+       "ops=1000", "runs=3", "period_s=30"});
 
-  const auto topology = sim::aws_six_regions();
+  // Region x cache grid, row-major in the scenario order of the table.
+  const auto specs = api::sweep(
+      base, {{"region", {"frankfurt", "sydney"}},
+             {"cache_bytes", {"10MB", "5MB"}}});
+  const auto reports = api::run_all(specs);
+
   std::vector<std::vector<std::string>> rows;
-  for (const RegionId region :
-       {sim::region::kFrankfurt, sim::region::kSydney}) {
-    for (const std::size_t mb : {10u, 5u}) {
-      config.client_region = region;
-      const auto result =
-          run_experiment(config, StrategySpec::agar(mb * 1_MB));
-
-      // Aggregate chunk counts per weight over the runs' final snapshots.
-      std::map<std::size_t, std::size_t> chunks_by_weight;
-      std::size_t total_chunks = 0;
-      for (const auto& run : result.runs) {
-        for (const auto& [w, objects] : run.weight_histogram) {
-          chunks_by_weight[w] += w * objects;
-          total_chunks += w * objects;
-        }
+  for (const auto& report : reports) {
+    // Aggregate chunk counts per weight over the runs' final snapshots.
+    std::map<std::size_t, std::size_t> chunks_by_weight;
+    std::size_t total_chunks = 0;
+    for (const auto& run : report.result.runs) {
+      for (const auto& [w, objects] : run.weight_histogram) {
+        chunks_by_weight[w] += w * objects;
+        total_chunks += w * objects;
       }
-      std::vector<std::string> row = {
-          topology.name(region) + " " + std::to_string(mb) + " MB"};
-      for (const std::size_t w : {9u, 7u, 5u, 3u, 1u}) {
-        const double fraction =
-            total_chunks == 0
-                ? 0.0
-                : static_cast<double>(chunks_by_weight[w]) /
-                      static_cast<double>(total_chunks);
-        row.push_back(client::fmt_pct(fraction));
-      }
-      rows.push_back(std::move(row));
     }
+    const auto topology = sim::aws_six_regions();
+    std::vector<std::string> row = {
+        topology.name(report.spec.experiment.client_region) + " " +
+        report.spec.params.get_string("cache_bytes", "?")};
+    for (const std::size_t w : {9u, 7u, 5u, 3u, 1u}) {
+      const double fraction =
+          total_chunks == 0
+              ? 0.0
+              : static_cast<double>(chunks_by_weight[w]) /
+                    static_cast<double>(total_chunks);
+      row.push_back(client::fmt_pct(fraction));
+    }
+    rows.push_back(std::move(row));
   }
   std::cout << client::format_table(
       {"scenario", "9 blocks", "7 blocks", "5 blocks", "3 blocks",

@@ -7,11 +7,10 @@
 // read after the first is a (partial) hit with exactly c cached chunks.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
   client::print_experiment_banner(
@@ -19,27 +18,22 @@ int main() {
       "300 x 1 MB objects, RS(9,3), zipf 1.1, 1000 reads x 5 runs, 500 MB "
       "cache");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 1000;
-  config.runs = 5;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=300", "object_bytes=1MB", "workload=zipf:1.1", "ops=1000",
+       "runs=5"});
 
-  const auto topology = sim::aws_six_regions();
-  for (const RegionId region :
-       {sim::region::kFrankfurt, sim::region::kSydney}) {
-    config.client_region = region;
+  for (const std::string region : {"frankfurt", "sydney"}) {
     std::vector<std::vector<std::string>> rows;
-    for (const std::size_t c : {0u, 1u, 3u, 5u, 7u, 9u}) {
-      const auto spec = c == 0 ? StrategySpec::backend()
-                               : StrategySpec::lru(c, 500_MB);
-      const auto result = run_experiment(config, spec);
-      rows.push_back({std::to_string(c),
-                      client::fmt_ms(result.mean_latency_ms()),
-                      client::fmt_pct(result.hit_ratio())});
+    for (const std::string c : {"0", "1", "3", "5", "7", "9"}) {
+      const auto spec =
+          c == "0" ? base.with({"system=backend", "region=" + region})
+                   : base.with({"system=lru", "chunks=" + c,
+                                "cache_bytes=500MB", "region=" + region});
+      const auto report = api::run(spec);
+      rows.push_back({c, client::fmt_ms(report.result.mean_latency_ms()),
+                      client::fmt_pct(report.result.hit_ratio())});
     }
-    std::cout << "client in " << topology.name(region) << ":\n"
+    std::cout << "client in " << region << ":\n"
               << client::format_table(
                      {"chunks cached", "avg latency (ms)", "hit ratio"},
                      rows)

@@ -5,11 +5,10 @@
 // reconfiguration period, averages of 5 runs x 1000 reads.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
   client::print_experiment_banner(
@@ -17,45 +16,40 @@ int main() {
       "300 x 1 MB, RS(9,3), zipf 1.1, 10 MB cache, 30 s reconfig, 5 runs x "
       "1000 reads");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 1000;
-  config.runs = 5;
-  config.reconfig_period_ms = 30'000.0;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=300", "object_bytes=1MB", "workload=zipf:1.1", "ops=1000",
+       "runs=5", "period_s=30"});
 
-  const std::size_t cache = 10_MB;
-  std::vector<StrategySpec> specs = {StrategySpec::agar(cache)};
-  for (const std::size_t c : {1u, 3u, 5u, 7u, 9u}) {
-    specs.push_back(StrategySpec::lru(c, cache));
+  std::vector<api::ExperimentSpec> specs = {
+      base.with({"system=agar", "cache_bytes=10MB"})};
+  for (const std::string system : {"lru", "lfu"}) {
+    for (const std::string c : {"1", "3", "5", "7", "9"}) {
+      specs.push_back(base.with(
+          {"system=" + system, "chunks=" + c, "cache_bytes=10MB"}));
+    }
   }
-  for (const std::size_t c : {1u, 3u, 5u, 7u, 9u}) {
-    specs.push_back(StrategySpec::lfu(c, cache));
-  }
-  specs.push_back(StrategySpec::backend());
+  specs.push_back(base.with({"system=backend"}));
 
-  const auto topology = sim::aws_six_regions();
-  for (const RegionId region :
-       {sim::region::kFrankfurt, sim::region::kSydney}) {
-    config.client_region = region;
-    std::cout << "(" << (region == sim::region::kFrankfurt ? "a" : "b")
-              << ") clients in " << topology.name(region) << ":\n";
-    const auto results = run_comparison(config, specs);
-    client::print_results_table(results);
+  for (const std::string region : {"frankfurt", "sydney"}) {
+    std::cout << "(" << (region == "frankfurt" ? "a" : "b") << ") clients in "
+              << region << ":\n";
+    for (auto& spec : specs) spec.set("region", region);
+    const auto reports = api::run_all(specs);
+    client::print_results_table(api::results_of(reports));
 
     // Headline comparison: Agar vs the best static policy.
-    const auto& agar = results.front();
-    const client::ExperimentResult* best_static = nullptr;
-    for (std::size_t i = 1; i + 1 < results.size(); ++i) {
+    const auto& agar = reports.front();
+    const api::RunReport* best_static = nullptr;
+    for (std::size_t i = 1; i + 1 < reports.size(); ++i) {
       if (best_static == nullptr ||
-          results[i].mean_latency_ms() < best_static->mean_latency_ms()) {
-        best_static = &results[i];
+          reports[i].result.mean_latency_ms() <
+              best_static->result.mean_latency_ms()) {
+        best_static = &reports[i];
       }
     }
-    const double gain = 1.0 - agar.mean_latency_ms() /
-                                  best_static->mean_latency_ms();
-    std::cout << "Agar vs best static (" << best_static->spec.label()
+    const double gain = 1.0 - agar.result.mean_latency_ms() /
+                                  best_static->result.mean_latency_ms();
+    std::cout << "Agar vs best static (" << best_static->label()
               << "): " << client::fmt_pct(gain) << " lower latency\n\n";
   }
 

@@ -2,11 +2,10 @@
 // systems as Fig. 6.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
   client::print_experiment_banner(
@@ -14,35 +13,28 @@ int main() {
       "300 x 1 MB, RS(9,3), zipf 1.1, 10 MB cache, 5 runs x 1000 reads; "
       "hit = all (full) or some (partial) chunks served from cache");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 1000;
-  config.runs = 5;
-  config.reconfig_period_ms = 30'000.0;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=300", "object_bytes=1MB", "workload=zipf:1.1", "ops=1000",
+       "runs=5", "period_s=30", "cache_bytes=10MB"});
 
-  const std::size_t cache = 10_MB;
-  std::vector<StrategySpec> specs = {StrategySpec::agar(cache)};
-  for (const std::size_t c : {1u, 3u, 5u, 7u, 9u}) {
-    specs.push_back(StrategySpec::lru(c, cache));
-  }
-  for (const std::size_t c : {1u, 3u, 5u, 7u, 9u}) {
-    specs.push_back(StrategySpec::lfu(c, cache));
+  std::vector<api::ExperimentSpec> specs = {base.with({"system=agar"})};
+  for (const std::string system : {"lru", "lfu"}) {
+    for (const std::string c : {"1", "3", "5", "7", "9"}) {
+      specs.push_back(base.with({"system=" + system, "chunks=" + c}));
+    }
   }
 
-  const auto topology = sim::aws_six_regions();
-  for (const RegionId region :
-       {sim::region::kFrankfurt, sim::region::kSydney}) {
-    config.client_region = region;
-    std::cout << "(" << (region == sim::region::kFrankfurt ? "a" : "b")
-              << ") clients in " << topology.name(region) << ":\n";
+  for (const std::string region : {"frankfurt", "sydney"}) {
+    std::cout << "(" << (region == "frankfurt" ? "a" : "b") << ") clients in "
+              << region << ":\n";
     std::vector<std::vector<std::string>> rows;
-    for (const auto& spec : specs) {
-      const auto result = run_experiment(config, spec);
-      rows.push_back({spec.label(), client::fmt_pct(result.hit_ratio()),
-                      client::fmt_pct(result.full_hit_ratio()),
-                      client::fmt_ms(result.mean_latency_ms())});
+    for (auto& spec : specs) {
+      spec.set("region", region);
+      const auto report = api::run(spec);
+      rows.push_back({report.label(),
+                      client::fmt_pct(report.result.hit_ratio()),
+                      client::fmt_pct(report.result.full_hit_ratio()),
+                      client::fmt_ms(report.result.mean_latency_ms())});
     }
     std::cout << client::format_table(
                      {"system", "hit ratio", "full hits", "avg ms"}, rows)

@@ -2,11 +2,10 @@
 // (backend only) through 5/10/20/50/100 MB, clients in Frankfurt.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
   client::print_experiment_banner(
@@ -14,42 +13,40 @@ int main() {
       "300 x 1 MB, RS(9,3), zipf 1.1, Frankfurt, cache in {0,5,10,20,50,"
       "100} MB");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 1000;
-  config.runs = 5;
-  config.client_region = sim::region::kFrankfurt;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=300", "object_bytes=1MB", "workload=zipf:1.1", "ops=1000",
+       "runs=5", "region=frankfurt"});
 
   // 0 MB = Backend baseline.
-  const auto backend = run_experiment(config, StrategySpec::backend());
+  const auto backend = api::run(base.with({"system=backend"}));
   std::cout << "0 MB (Backend): "
-            << client::fmt_ms(backend.mean_latency_ms()) << " ms\n\n";
+            << client::fmt_ms(backend.result.mean_latency_ms()) << " ms\n\n";
 
   std::vector<std::vector<std::string>> rows;
-  for (const std::size_t mb : {5u, 10u, 20u, 50u, 100u}) {
-    const std::size_t cache = mb * 1_MB;
-    const std::vector<StrategySpec> specs = {
-        StrategySpec::agar(cache), StrategySpec::lru(5, cache),
-        StrategySpec::lru(9, cache), StrategySpec::lfu(5, cache),
-        StrategySpec::lfu(9, cache)};
-    const auto results = run_comparison(config, specs);
+  for (const std::string size : {"5MB", "10MB", "20MB", "50MB", "100MB"}) {
+    const std::vector<api::ExperimentSpec> grid = {
+        base.with({"system=agar", "cache_bytes=" + size}),
+        base.with({"system=lru", "chunks=5", "cache_bytes=" + size}),
+        base.with({"system=lru", "chunks=9", "cache_bytes=" + size}),
+        base.with({"system=lfu", "chunks=5", "cache_bytes=" + size}),
+        base.with({"system=lfu", "chunks=9", "cache_bytes=" + size}),
+    };
+    const auto reports = api::run_all(grid);
 
-    const double agar = results[0].mean_latency_ms();
-    double best_static = results[1].mean_latency_ms();
-    std::string best_label = results[1].spec.label();
-    for (std::size_t i = 2; i < results.size(); ++i) {
-      if (results[i].mean_latency_ms() < best_static) {
-        best_static = results[i].mean_latency_ms();
-        best_label = results[i].spec.label();
+    const double agar = reports[0].result.mean_latency_ms();
+    double best_static = reports[1].result.mean_latency_ms();
+    std::string best_label = reports[1].label();
+    for (std::size_t i = 2; i < reports.size(); ++i) {
+      if (reports[i].result.mean_latency_ms() < best_static) {
+        best_static = reports[i].result.mean_latency_ms();
+        best_label = reports[i].label();
       }
     }
-    rows.push_back({std::to_string(mb) + " MB", client::fmt_ms(agar),
-                    client::fmt_ms(results[1].mean_latency_ms()),
-                    client::fmt_ms(results[2].mean_latency_ms()),
-                    client::fmt_ms(results[3].mean_latency_ms()),
-                    client::fmt_ms(results[4].mean_latency_ms()),
+    rows.push_back({size, client::fmt_ms(agar),
+                    client::fmt_ms(reports[1].result.mean_latency_ms()),
+                    client::fmt_ms(reports[2].result.mean_latency_ms()),
+                    client::fmt_ms(reports[3].result.mean_latency_ms()),
+                    client::fmt_ms(reports[4].result.mean_latency_ms()),
                     best_label,
                     client::fmt_pct(1.0 - agar / best_static)});
   }

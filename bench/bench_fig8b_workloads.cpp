@@ -1,57 +1,59 @@
 // Fig. 8b: average read latency while the workload varies: uniform, then
 // Zipfian with skews 0.2 / 0.5 / 0.8 / 0.9 / 1.0 / 1.1 / 1.4. Clients in
 // Frankfurt, 10 MB cache.
+//
+// The workload x system grid is one api::sweep call; the workload (first
+// dimension) varies slowest, so reports come back row-major for the table.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
-using client::WorkloadSpec;
 
 int main() {
   client::print_experiment_banner(
       "Fig. 8b", "influence of the workload distribution",
       "300 x 1 MB, RS(9,3), Frankfurt, 10 MB cache, uniform + zipf sweeps");
 
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 300;
-  config.deployment.object_size_bytes = 1_MB;
-  config.ops_per_run = 1000;
-  config.runs = 5;
-  config.client_region = sim::region::kFrankfurt;
-
-  const std::size_t cache = 10_MB;
-  const std::vector<StrategySpec> specs = {
-      StrategySpec::agar(cache), StrategySpec::lru(5, cache),
-      StrategySpec::lru(9, cache), StrategySpec::lfu(5, cache),
-      StrategySpec::lfu(9, cache)};
-
-  std::vector<WorkloadSpec> workloads = {WorkloadSpec::uniform()};
-  for (const double skew : {0.2, 0.5, 0.8, 0.9, 1.0, 1.1, 1.4}) {
-    workloads.push_back(WorkloadSpec::zipfian(skew));
-  }
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=300", "object_bytes=1MB", "ops=1000", "runs=5",
+       "region=frankfurt", "cache_bytes=10MB"});
 
   // Backend reference (workload-independent).
-  const auto backend = run_experiment(config, StrategySpec::backend());
+  const auto backend = api::run(base.with({"system=backend", "cache_bytes="}));
   std::cout << "Backend reference: "
-            << client::fmt_ms(backend.mean_latency_ms()) << " ms\n\n";
+            << client::fmt_ms(backend.result.mean_latency_ms()) << " ms\n\n";
 
+  const std::vector<std::string> workloads = {
+      "uniform",  "zipf:0.2", "zipf:0.5", "zipf:0.8",
+      "zipf:0.9", "zipf:1.0", "zipf:1.1", "zipf:1.4"};
+
+  // Agar carries no `chunks` parameter, so it sweeps separately from the
+  // fixed-chunks systems; both sweeps share the workload dimension order.
+  const auto agar_specs =
+      api::sweep(base.with({"system=agar"}), {{"workload", workloads}});
+  const auto static_specs = api::sweep(
+      base, {{"workload", workloads},
+             {"system", {"lru", "lfu"}},
+             {"chunks", {"5", "9"}}});
+  const auto agar_reports = api::run_all(agar_specs);
+  const auto static_reports = api::run_all(static_specs);
+
+  // static_reports layout per workload: lru-5, lru-9, lfu-5, lfu-9.
   std::vector<std::vector<std::string>> rows;
-  for (const auto& workload : workloads) {
-    config.workload = workload;
-    const auto results = run_comparison(config, specs);
-    const double agar = results[0].mean_latency_ms();
-    double best_static = results[1].mean_latency_ms();
-    for (std::size_t i = 2; i < results.size(); ++i) {
-      best_static = std::min(best_static, results[i].mean_latency_ms());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const double agar = agar_reports[w].result.mean_latency_ms();
+    const auto* block = &static_reports[w * 4];
+    double best_static = block[0].result.mean_latency_ms();
+    for (std::size_t i = 1; i < 4; ++i) {
+      best_static = std::min(best_static, block[i].result.mean_latency_ms());
     }
-    rows.push_back({workload.label(), client::fmt_ms(agar),
-                    client::fmt_ms(results[1].mean_latency_ms()),
-                    client::fmt_ms(results[2].mean_latency_ms()),
-                    client::fmt_ms(results[3].mean_latency_ms()),
-                    client::fmt_ms(results[4].mean_latency_ms()),
+    rows.push_back({workloads[w], client::fmt_ms(agar),
+                    client::fmt_ms(block[0].result.mean_latency_ms()),
+                    client::fmt_ms(block[1].result.mean_latency_ms()),
+                    client::fmt_ms(block[2].result.mean_latency_ms()),
+                    client::fmt_ms(block[3].result.mean_latency_ms()),
                     client::fmt_pct(1.0 - agar / best_static)});
   }
   std::cout << client::format_table(

@@ -1,13 +1,15 @@
-// Cache-engine microbenchmarks: get/put throughput of the LRU, LFU, static
-// and TinyLFU engines under a zipfian key stream.
+// Cache-engine microbenchmarks: get/put throughput of every engine in the
+// api registry under a zipfian key stream, plus the static (Agar) cache.
+//
+// Benchmarks are registered dynamically from api::EngineRegistry, so a
+// newly registered engine (ARC, ...) shows up here with no edits.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <unordered_set>
 
-#include "cache/lfu_cache.hpp"
-#include "cache/lru_cache.hpp"
+#include "api/registry.hpp"
 #include "cache/static_cache.hpp"
-#include "cache/tinylfu_cache.hpp"
 #include "client/workload.hpp"
 
 namespace {
@@ -26,8 +28,7 @@ std::vector<std::string> make_keys() {
   return keys;
 }
 
-template <typename Engine>
-void run_mixed(benchmark::State& state, Engine& engine) {
+void run_mixed(benchmark::State& state, cache::CacheEngine& engine) {
   const auto keys = make_keys();
   client::ZipfianGenerator gen(kUniverse, 1.1);
   Rng rng(42);
@@ -42,26 +43,15 @@ void run_mixed(benchmark::State& state, Engine& engine) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-void BM_LruMixed(benchmark::State& state) {
-  cache::LruCache engine(static_cast<std::size_t>(state.range(0)) * kChunk);
-  run_mixed(state, engine);
+void bm_engine_mixed(benchmark::State& state, const std::string& name) {
+  const auto engine = api::EngineRegistry::instance().create(
+      name,
+      api::EngineContext{static_cast<std::size_t>(state.range(0)) * kChunk},
+      api::ParamMap{});
+  run_mixed(state, *engine);
 }
-BENCHMARK(BM_LruMixed)->Arg(100)->Arg(500);
 
-void BM_LfuMixed(benchmark::State& state) {
-  cache::LfuCache engine(static_cast<std::size_t>(state.range(0)) * kChunk);
-  run_mixed(state, engine);
-}
-BENCHMARK(BM_LfuMixed)->Arg(100)->Arg(500);
-
-void BM_TinyLfuMixed(benchmark::State& state) {
-  cache::TinyLfuCache engine(static_cast<std::size_t>(state.range(0)) *
-                             kChunk);
-  run_mixed(state, engine);
-}
-BENCHMARK(BM_TinyLfuMixed)->Arg(100)->Arg(500);
-
-void BM_StaticCacheMixed(benchmark::State& state) {
+void bm_static_cache_mixed(benchmark::State& state) {
   cache::StaticConfigCache engine(
       static_cast<std::size_t>(state.range(0)) * kChunk);
   // Configure the hot prefix (what the knapsack would pick).
@@ -73,9 +63,8 @@ void BM_StaticCacheMixed(benchmark::State& state) {
   engine.install_configuration(std::move(configured));
   run_mixed(state, engine);
 }
-BENCHMARK(BM_StaticCacheMixed)->Arg(100)->Arg(500);
 
-void BM_StaticCacheReconfigure(benchmark::State& state) {
+void bm_static_cache_reconfigure(benchmark::State& state) {
   // Cost of installing a new configuration over a populated cache.
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   cache::StaticConfigCache engine((n + 1) * kChunk);
@@ -92,8 +81,28 @@ void BM_StaticCacheReconfigure(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_StaticCacheReconfigure)->Arg(100)->Arg(900);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (const auto& name : agar::api::EngineRegistry::instance().names()) {
+    benchmark::RegisterBenchmark(
+        ("BM_EngineMixed/" + name).c_str(),
+        [name](benchmark::State& state) { bm_engine_mixed(state, name); })
+        ->Arg(100)
+        ->Arg(500);
+  }
+  benchmark::RegisterBenchmark("BM_StaticCacheMixed", bm_static_cache_mixed)
+      ->Arg(100)
+      ->Arg(500);
+  benchmark::RegisterBenchmark("BM_StaticCacheReconfigure",
+                               bm_static_cache_reconfigure)
+      ->Arg(100)
+      ->Arg(900);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

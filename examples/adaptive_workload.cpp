@@ -5,9 +5,8 @@
 //   $ ./adaptive_workload
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/agar_strategy.hpp"
-#include "client/runner.hpp"
-#include "sim/event_loop.hpp"
 
 using namespace agar;
 
@@ -28,23 +27,19 @@ void print_config(const core::CacheConfiguration& config,
 int main() {
   std::cout << "Agar adapting to a popularity shift (client: Sydney)\n\n";
 
-  client::DeploymentConfig dep;
-  dep.num_objects = 30;
-  dep.object_size_bytes = 128_KB;
-  dep.seed = 3;
-  dep.store_payloads = false;  // latency-only demo
+  // Latency-only demo: a small working set, cache with room for ~2 full
+  // replicas. Declared through the same spec the CLI would build.
+  const auto spec = api::ExperimentSpec::from_pairs(
+      {"system=agar", "objects=30", "object_bytes=128KB", "seed=3",
+       "region=sydney",
+       "cache_bytes=" + std::to_string(3 * 128_KB)});
+  client::DeploymentConfig dep = spec.experiment.deployment;
+  dep.store_payloads = false;
   client::Deployment deployment(dep);
 
-  client::ClientContext ctx;
-  ctx.backend = &deployment.backend();
-  ctx.network = &deployment.network();
-  ctx.region = sim::region::kSydney;
-
-  core::AgarNodeParams params;
-  params.region = sim::region::kSydney;
-  params.cache_capacity_bytes = 3 * 128_KB;  // room for ~2 full replicas
-  params.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
-  client::AgarStrategy agar(ctx, params);
+  const auto strategy = api::make_strategy(spec, deployment,
+                                           spec.experiment.client_region);
+  auto& agar = *dynamic_cast<client::AgarStrategy*>(strategy.get());
   agar.warm_up();
 
   auto run_phase = [&](const std::string& name,

@@ -1,52 +1,56 @@
-// agar_cli — run a custom experiment from the command line.
+// agar_cli — run experiments against the simulated deployment, driven by
+// the declarative api layer.
 //
 //   $ ./agar_cli --system agar --region sydney --cache-mb 20 --ops 2000
-//   $ ./agar_cli --system lfu --chunks 7 --workload uniform
+//   $ ./agar_cli --system arc --chunks 5            # any registered engine
+//   $ ./agar_cli --spec examples/specs/agar_vs_lfu.json --json
+//   $ ./agar_cli --set workload=zipf:1.4 --set cache_bytes=20MB
 //   $ ./agar_cli --list
 //
-// Every knob of the paper's evaluation is exposed: system (backend, lru,
-// lfu, lfu-eviction, tinylfu, agar), chunks-per-object for the static
-// policies, cache size, client region, workload (uniform or zipf skew),
-// op/run counts, reconfiguration period and seed.
-#include <cstring>
+// Systems, their parameters and their labels all come from the api
+// registries — registering a new cache engine or strategy makes it
+// runnable and listable here with no CLI changes.
 #include <iostream>
-#include <sstream>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 namespace {
 
 void usage() {
   std::cout <<
-      "agar_cli -- run one experiment against the simulated deployment\n"
+      "agar_cli -- run experiments against the simulated deployment\n"
       "\n"
-      "  --system <name>     backend | lru | lfu | lfu-eviction | tinylfu |\n"
-      "                      agar (default: agar)\n"
-      "  --chunks <1..9>     chunks per object for lru/lfu/tinylfu "
-      "(default 5)\n"
-      "  --cache-mb <n>      cache capacity in MB (default 10)\n"
-      "  --region <name>     frankfurt dublin virginia saopaulo tokyo "
-      "sydney\n"
-      "  --client-regions <a,b,..>  client populations in several regions\n"
-      "                      (one cache node per region; overrides --region)\n"
-      "  --arrival-rate <r>  open-loop mode: Poisson arrivals at r reads/s\n"
-      "                      per region (0 = closed-loop clients, default)\n"
-      "  --workload <w>      'uniform' or a zipf skew like '1.1'\n"
-      "  --objects <n>       working-set size (default 300)\n"
-      "  --object-kb <n>     object size in KB (default 1024)\n"
-      "  --ops <n>           reads per run (default 1000)\n"
-      "  --runs <n>          independent runs (default 5)\n"
-      "  --period-s <n>      reconfiguration period seconds (default 30)\n"
-      "  --seed <n>          RNG seed (default 42)\n"
-      "  --max-outstanding <n>  per-region concurrent-fetch cap (0 = off)\n"
-      "  --verify            move real bytes and RS-decode every read\n"
+      "spec-driven interface:\n"
+      "  --spec <file.json>  load experiment spec(s); 'systems' arrays and\n"
+      "                      'sweep' grids expand into comparisons\n"
+      "  --set key=value     set any spec key (repeatable; applies to all\n"
+      "                      loaded specs). Keys: see --list\n"
       "  --json              emit results as JSON (bench harnesses)\n"
-      "  --list              print available systems and regions\n";
+      "  --list              registered systems, engines, parameters,\n"
+      "                      regions and spec keys\n"
+      "\n"
+      "shorthand flags (sugar over --set):\n"
+      "  --system <name>     system under test (default: agar)\n"
+      "  --chunks <1..9>     chunks per object for fixed-chunks systems\n"
+      "  --cache-mb <n>      cache capacity in MB\n"
+      "  --region <name>     client region\n"
+      "  --client-regions <a,b,..>  client populations in several regions\n"
+      "  --arrival-rate <r>  open-loop Poisson arrivals (reads/s/region)\n"
+      "  --workload <w>      'uniform' or a zipf skew like '1.1'\n"
+      "  --objects <n>       working-set size\n"
+      "  --object-kb <n>     object size in KB\n"
+      "  --ops <n>           reads per run\n"
+      "  --runs <n>          independent runs\n"
+      "  --period-s <n>      reconfiguration period in seconds\n"
+      "  --seed <n>          RNG seed\n"
+      "  --max-outstanding <n>  per-region concurrent-fetch cap (0 = off)\n"
+      "  --verify            move real bytes and RS-decode every read\n";
 }
 
 int fail(const std::string& message) {
@@ -54,15 +58,50 @@ int fail(const std::string& message) {
   return 2;
 }
 
+void print_schema(const api::ParamSchema& schema, const std::string& indent) {
+  for (const auto& p : schema.params) {
+    std::cout << indent << p.name << " (" << api::to_string(p.type);
+    if (!p.default_value.empty()) std::cout << ", default " << p.default_value;
+    std::cout << "): " << p.description << "\n";
+  }
+}
+
+/// Registry-derived listing: whatever is registered is what prints.
+void list_everything() {
+  std::cout << "systems (run with --system <name> or system=<name>):\n";
+  const auto& strategies = api::StrategyRegistry::instance();
+  for (const auto& name : strategies.names()) {
+    const auto& entry = strategies.at(name);
+    std::cout << "  " << name << " -- " << entry.description << "\n";
+    print_schema(entry.schema, "      ");
+  }
+  std::cout << "\ncache engines (each also runs as a fixed-chunks system "
+               "under its own name):\n";
+  const auto& engines = api::EngineRegistry::instance();
+  for (const auto& name : engines.names()) {
+    const auto& entry = engines.at(name);
+    std::cout << "  " << name << " -- " << entry.description << "\n";
+    print_schema(entry.schema, "      ");
+  }
+  std::cout << "\nexperiment keys (--set key=value or JSON spec members):\n";
+  print_schema(api::ExperimentSpec::experiment_keys(), "  ");
+  std::cout << "\nregions:";
+  const auto topology = sim::aws_six_regions();
+  for (RegionId r = 0; r < topology.num_regions(); ++r) {
+    std::cout << " " << topology.name(r);
+  }
+  std::cout << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  client::ExperimentConfig config;
-  std::string system = "agar";
-  std::string region = "frankfurt";
-  std::string client_regions;
-  std::size_t chunks = 5;
-  std::size_t cache_mb = 10;
+  std::vector<api::ExperimentSpec> specs;
+  std::vector<std::string> sets;  // applied after --spec, in order
+  // Keys set via shorthand flags (--chunks, --cache-mb). Like the old CLI,
+  // these are dropped silently for systems that do not declare them
+  // (backend takes neither, agar no chunks); --set key=value stays strict.
+  std::set<std::string> soft_keys;
   bool json = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,129 +118,120 @@ int main(int argc, char** argv) {
         usage();
         return 0;
       } else if (arg == "--list") {
-        std::cout << "systems: backend lru lfu lfu-eviction tinylfu agar\n"
-                  << "regions:";
-        const auto topology = sim::aws_six_regions();
-        for (RegionId r = 0; r < topology.num_regions(); ++r) {
-          std::cout << " " << topology.name(r);
-        }
-        std::cout << "\n";
+        list_everything();
         return 0;
-      } else if (arg == "--system") {
-        system = next("--system");
-      } else if (arg == "--chunks") {
-        chunks = std::stoul(next("--chunks"));
-      } else if (arg == "--cache-mb") {
-        cache_mb = std::stoul(next("--cache-mb"));
-      } else if (arg == "--region") {
-        region = next("--region");
-      } else if (arg == "--client-regions") {
-        client_regions = next("--client-regions");
-      } else if (arg == "--arrival-rate") {
-        config.arrival_rate_per_s = std::stod(next("--arrival-rate"));
-      } else if (arg == "--max-outstanding") {
-        config.max_outstanding_per_region =
-            std::stoul(next("--max-outstanding"));
+      } else if (arg == "--spec") {
+        const auto loaded = api::load_spec_file(next("--spec"));
+        specs.insert(specs.end(), loaded.begin(), loaded.end());
+      } else if (arg == "--set") {
+        sets.push_back(next("--set"));
       } else if (arg == "--json") {
         json = true;
-      } else if (arg == "--workload") {
-        const std::string w = next("--workload");
-        config.workload = w == "uniform"
-                              ? client::WorkloadSpec::uniform()
-                              : client::WorkloadSpec::zipfian(std::stod(w));
-      } else if (arg == "--objects") {
-        config.deployment.num_objects = std::stoul(next("--objects"));
-      } else if (arg == "--object-kb") {
-        config.deployment.object_size_bytes =
-            std::stoul(next("--object-kb")) * 1_KB;
-      } else if (arg == "--ops") {
-        config.ops_per_run = std::stoul(next("--ops"));
-      } else if (arg == "--runs") {
-        config.runs = std::stoul(next("--runs"));
-      } else if (arg == "--period-s") {
-        config.reconfig_period_ms = std::stod(next("--period-s")) * 1000.0;
-      } else if (arg == "--seed") {
-        config.deployment.seed = std::stoull(next("--seed"));
       } else if (arg == "--verify") {
-        config.verify_data = true;
+        sets.push_back("verify=true");
+      } else if (arg == "--system") {
+        sets.push_back("system=" + next("--system"));
+      } else if (arg == "--chunks") {
+        sets.push_back("chunks=" + next("--chunks"));
+        soft_keys.insert("chunks");
+      } else if (arg == "--cache-mb") {
+        sets.push_back("cache_bytes=" + next("--cache-mb") + "MB");
+        soft_keys.insert("cache_bytes");
+      } else if (arg == "--region") {
+        sets.push_back("region=" + next("--region"));
+      } else if (arg == "--client-regions") {
+        sets.push_back("regions=" + next("--client-regions"));
+      } else if (arg == "--arrival-rate") {
+        sets.push_back("arrival_rate=" + next("--arrival-rate"));
+      } else if (arg == "--workload") {
+        sets.push_back("workload=" + next("--workload"));
+      } else if (arg == "--objects") {
+        sets.push_back("objects=" + next("--objects"));
+      } else if (arg == "--object-kb") {
+        sets.push_back("object_bytes=" + next("--object-kb") + "KB");
+      } else if (arg == "--ops") {
+        sets.push_back("ops=" + next("--ops"));
+      } else if (arg == "--runs") {
+        sets.push_back("runs=" + next("--runs"));
+      } else if (arg == "--period-s") {
+        sets.push_back("period_s=" + next("--period-s"));
+      } else if (arg == "--seed") {
+        sets.push_back("seed=" + next("--seed"));
+      } else if (arg == "--max-outstanding") {
+        sets.push_back("max_outstanding=" + next("--max-outstanding"));
       } else {
         usage();
         return fail("unknown flag " + arg);
       }
     } catch (const std::exception& e) {
-      return fail("bad value for " + arg + ": " + e.what());
+      return fail(e.what());
     }
   }
 
-  StrategySpec spec;
-  const std::size_t cache_bytes = cache_mb * 1_MB;
-  if (system == "backend") {
-    spec = StrategySpec::backend();
-  } else if (system == "lru") {
-    spec = StrategySpec::lru(chunks, cache_bytes);
-  } else if (system == "lfu") {
-    spec = StrategySpec::lfu(chunks, cache_bytes);
-  } else if (system == "lfu-eviction") {
-    spec = StrategySpec::lfu_eviction(chunks, cache_bytes);
-  } else if (system == "tinylfu") {
-    spec = StrategySpec::tinylfu(chunks, cache_bytes);
-  } else if (system == "agar") {
-    spec = StrategySpec::agar(cache_bytes);
-  } else {
-    return fail("unknown system '" + system + "' (try --list)");
-  }
-
-  const auto topology = sim::aws_six_regions();
   try {
-    config.client_region = topology.id_of(region);
-  } catch (const std::exception&) {
-    return fail("unknown region '" + region + "' (try --list)");
-  }
-  if (!client_regions.empty()) {
-    std::stringstream names(client_regions);
-    std::string name;
-    while (std::getline(names, name, ',')) {
-      if (name.empty()) continue;
-      try {
-        config.client_regions.push_back(topology.id_of(name));
-      } catch (const std::exception&) {
-        return fail("unknown region '" + name + "' (try --list)");
+    const bool from_file = !specs.empty();
+    if (specs.empty()) specs.emplace_back();
+    for (auto& spec : specs) {
+      for (const auto& pair : sets) spec.set_pair(pair);
+      const auto [name, effective] =
+          api::resolve_system(spec.system, spec.params);
+      const auto& schema = api::StrategyRegistry::instance().at(name).schema;
+      for (const auto& key : soft_keys) {
+        if (!schema.has(key)) spec.params.erase(key);
       }
+      if (!from_file) {
+        // Historical CLI defaults, applied only where the chosen system
+        // declares the parameter (backend takes neither; agar only the
+        // cache size). Spec files use the registered schema defaults.
+        if (schema.has("chunks") && !spec.params.has("chunks")) {
+          spec.set("chunks", "5");
+        }
+        if (schema.has("cache_bytes") && !spec.params.has("cache_bytes")) {
+          spec.set("cache_bytes", "10MB");
+        }
+      }
+      spec.validate();
     }
-    if (config.client_regions.empty()) {
-      return fail("--client-regions needs at least one region");
-    }
-    config.client_region = config.client_regions.front();
-  }
 
-  if (!json) {
-    std::cout << "system=" << spec.label() << " regions=";
-    for (std::size_t i = 0;
-         i < config.effective_client_regions().size(); ++i) {
-      if (i > 0) std::cout << ",";
-      std::cout << topology.name(config.effective_client_regions()[i]);
+    if (!json) {
+      const auto topology = sim::aws_six_regions();
+      for (const auto& spec : specs) {
+        const auto& e = spec.experiment;
+        std::cout << "system=" << spec.label() << " regions=";
+        const auto regions = e.effective_client_regions();
+        for (std::size_t i = 0; i < regions.size(); ++i) {
+          if (i > 0) std::cout << ",";
+          std::cout << topology.name(regions[i]);
+        }
+        std::cout << " cache="
+                  << spec.params.get_string("cache_bytes", "(default)")
+                  << " workload=" << e.workload.label() << " objects="
+                  << e.deployment.num_objects << " ops=" << e.ops_per_run
+                  << " x" << e.runs << " runs";
+        if (e.arrival_rate_per_s > 0.0) {
+          std::cout << " open-loop@" << e.arrival_rate_per_s << "/s";
+        }
+        std::cout << "\n";
+      }
+      std::cout << "\n";
     }
-    std::cout << " cache=" << cache_mb << "MB workload="
-              << config.workload.label() << " objects="
-              << config.deployment.num_objects << " ops="
-              << config.ops_per_run << " x" << config.runs << " runs";
-    if (config.arrival_rate_per_s > 0.0) {
-      std::cout << " open-loop@" << config.arrival_rate_per_s << "/s";
-    }
-    std::cout << "\n\n";
-  }
 
-  const auto result = run_experiment(config, spec);
-  if (json) {
-    std::cout << client::results_json({result});
-    return 0;
-  }
-  client::print_results_table({result});
-  if (config.verify_data) {
-    std::uint64_t verified = 0;
-    for (const auto& run : result.runs) verified += run.verified;
-    std::cout << "verified reads: " << verified << "/" << result.total_ops()
-              << "\n";
+    const auto reports = api::run_all(specs);
+    const auto results = api::results_of(reports);
+    if (json) {
+      std::cout << client::results_json(results);
+      return 0;
+    }
+    client::print_results_table(results);
+    for (const auto& report : reports) {
+      if (!report.spec.experiment.verify_data) continue;
+      std::uint64_t verified = 0;
+      for (const auto& run : report.result.runs) verified += run.verified;
+      std::cout << report.label() << " verified reads: " << verified << "/"
+                << report.result.total_ops() << "\n";
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
   }
   return 0;
 }

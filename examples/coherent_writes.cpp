@@ -6,8 +6,8 @@
 //   $ ./coherent_writes
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/agar_strategy.hpp"
-#include "client/runner.hpp"
 #include "client/writer.hpp"
 
 using namespace agar;
@@ -15,24 +15,16 @@ using namespace agar;
 int main() {
   std::cout << "Coherent writes through Paxos (quorum 4 of 6 regions)\n\n";
 
-  client::DeploymentConfig dep;
-  dep.num_objects = 10;
-  dep.object_size_bytes = 90_KB;
-  dep.seed = 5;
-  client::Deployment deployment(dep);
+  const auto spec = api::ExperimentSpec::from_pairs(
+      {"system=agar", "objects=10", "object_bytes=90KB", "seed=5",
+       "verify=true", "region=frankfurt", "cache_bytes=5MB"});
+  client::Deployment deployment(spec.experiment.deployment);
   paxos::CoherenceCoordinator coherence(6, &deployment.network());
 
-  // Reader in Frankfurt with an Agar cache.
-  client::ClientContext rctx;
-  rctx.backend = &deployment.backend();
-  rctx.network = &deployment.network();
-  rctx.region = sim::region::kFrankfurt;
-  rctx.verify_data = true;
-  core::AgarNodeParams node_params;
-  node_params.region = sim::region::kFrankfurt;
-  node_params.cache_capacity_bytes = 5_MB;
-  node_params.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
-  client::AgarStrategy reader(rctx, node_params);
+  // Reader in Frankfurt with an Agar cache, built through the registry.
+  const auto strategy =
+      api::make_strategy(spec, deployment, spec.experiment.client_region);
+  auto& reader = *dynamic_cast<client::AgarStrategy*>(strategy.get());
   reader.warm_up();
   coherence.attach_cache(sim::region::kFrankfurt, &reader.node().cache(), 12);
 

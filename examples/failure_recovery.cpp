@@ -5,7 +5,7 @@
 //   $ ./failure_recovery
 #include <iostream>
 
-#include "client/backend_strategy.hpp"
+#include "api/api.hpp"
 #include "client/runner.hpp"
 
 using namespace agar;
@@ -14,25 +14,18 @@ int main() {
   std::cout << "Reading through region failures (RS(9,3): any 9 of 12 "
                "chunks decode)\n\n";
 
-  client::DeploymentConfig dep;
-  dep.num_objects = 5;
-  dep.object_size_bytes = 45_KB;
-  dep.seed = 21;
-  client::Deployment deployment(dep);
-
-  client::ClientContext ctx;
-  ctx.backend = &deployment.backend();
-  ctx.network = &deployment.network();
-  ctx.region = sim::region::kFrankfurt;
-  ctx.verify_data = true;
-
-  client::BackendStrategy reader(ctx);
+  const auto spec = api::ExperimentSpec::from_pairs(
+      {"system=backend", "objects=5", "object_bytes=45KB", "seed=21",
+       "verify=true", "region=frankfurt"});
+  client::Deployment deployment(spec.experiment.deployment);
+  const auto reader =
+      api::make_strategy(spec, deployment, spec.experiment.client_region);
 
   auto read_all = [&](const std::string& label) {
     std::size_t ok = 0;
     double worst = 0.0;
     for (int i = 0; i < 5; ++i) {
-      const auto r = reader.read("object" + std::to_string(i));
+      const auto r = reader->read("object" + std::to_string(i));
       ok += r.verified ? 1 : 0;
       worst = std::max(worst, r.latency_ms);
     }
@@ -54,7 +47,7 @@ int main() {
   bool any_failed = false;
   try {
     for (int i = 0; i < 5; ++i) {
-      const auto r = reader.read("object" + std::to_string(i));
+      const auto r = reader->read("object" + std::to_string(i));
       if (!r.verified) any_failed = true;
     }
   } catch (const std::exception& e) {

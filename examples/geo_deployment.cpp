@@ -1,50 +1,49 @@
 // Geo-distributed comparison: run the paper's §V-B experiment shape from
 // two vantage points (Frankfurt and Sydney) and print a side-by-side table
-// of Agar vs LRU/LFU vs Backend.
+// of Agar vs LRU/LFU vs Backend — everything declared through the api
+// spec layer.
 //
 //   $ ./geo_deployment
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
-using client::StrategySpec;
 
 int main() {
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 100;
-  config.deployment.object_size_bytes = 256_KB;
-  config.deployment.seed = 11;
-  config.workload = client::WorkloadSpec::zipfian(1.1);
-  config.ops_per_run = 600;
-  config.runs = 2;
-  config.reconfig_period_ms = 15'000.0;
-
-  // Cache sized at ~10% of the working set.
+  // Cache sized at ~10% of the working set (100 x 256 KB objects).
   const std::size_t cache = 100 * 256_KB / 10;
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=100", "object_bytes=256KB", "seed=11", "workload=zipf:1.1",
+       "ops=600", "runs=2", "period_s=15",
+       "cache_bytes=" + std::to_string(cache)});
 
-  const std::vector<StrategySpec> specs = {
-      StrategySpec::agar(cache),     StrategySpec::lru(5, cache),
-      StrategySpec::lru(9, cache),   StrategySpec::lfu(5, cache),
-      StrategySpec::lfu(9, cache),   StrategySpec::backend(),
+  const std::vector<api::ExperimentSpec> specs = {
+      base.with({"system=agar"}),
+      base.with({"system=lru", "chunks=5"}),
+      base.with({"system=lru", "chunks=9"}),
+      base.with({"system=lfu", "chunks=5"}),
+      base.with({"system=lfu", "chunks=9"}),
+      base.with({"system=backend", "cache_bytes="}),
   };
 
-  for (const RegionId region :
-       {sim::region::kFrankfurt, sim::region::kSydney}) {
-    config.client_region = region;
-    const auto topology = sim::aws_six_regions();
-    std::cout << "\n--- clients in " << topology.name(region) << " ---\n";
-    const auto results = client::run_comparison(config, specs);
-    client::print_results_table(results);
+  for (const std::string region : {"frankfurt", "sydney"}) {
+    std::cout << "\n--- clients in " << region << " ---\n";
+    std::vector<api::ExperimentSpec> here;
+    for (const auto& spec : specs) here.push_back(spec.with({"region=" + region}));
+    const auto reports = api::run_all(here);
+    client::print_results_table(api::results_of(reports));
 
     // Who won?
-    const client::ExperimentResult* best = &results[0];
-    for (const auto& r : results) {
-      if (r.mean_latency_ms() < best->mean_latency_ms()) best = &r;
+    const api::RunReport* best = &reports[0];
+    for (const auto& r : reports) {
+      if (r.result.mean_latency_ms() < best->result.mean_latency_ms()) {
+        best = &r;
+      }
     }
-    std::cout << "fastest: " << best->spec.label() << " at "
-              << client::fmt_ms(best->mean_latency_ms()) << " ms\n";
+    std::cout << "fastest: " << best->label() << " at "
+              << client::fmt_ms(best->result.mean_latency_ms()) << " ms\n";
   }
   return 0;
 }

@@ -3,13 +3,13 @@
 //
 //   $ ./quickstart
 //
-// Walks through the public API end to end with real payload verification.
+// Walks the declarative api end to end with real payload verification:
+// every client system is created from the string-keyed registry, exactly
+// like `agar_cli --system <name>` would.
 #include <iostream>
 
+#include "api/api.hpp"
 #include "client/agar_strategy.hpp"
-#include "client/backend_strategy.hpp"
-#include "client/fixed_chunks_strategy.hpp"
-#include "client/runner.hpp"
 
 using namespace agar;
 
@@ -17,59 +17,54 @@ int main() {
   std::cout << "Agar quickstart: RS(9,3) over six regions, client in "
                "Frankfurt\n\n";
 
-  // 1. Deploy the storage system: 20 objects of 90 KB, RS(9, 3), chunks
-  //    spread round-robin over the six AWS-like regions.
-  client::DeploymentConfig dep;
-  dep.num_objects = 20;
-  dep.object_size_bytes = 90_KB;
-  dep.seed = 1;
-  client::Deployment deployment(dep);
-
-  client::ClientContext ctx;
-  ctx.backend = &deployment.backend();
-  ctx.network = &deployment.network();
-  ctx.region = sim::region::kFrankfurt;
-  ctx.verify_data = true;  // move and decode real bytes
+  // 1. One spec describes the deployment every system below shares: 20
+  //    objects of 90 KB, RS(9, 3), chunks spread round-robin over the six
+  //    AWS-like regions, real bytes moved and decoded on every read.
+  const auto base = api::ExperimentSpec::from_pairs(
+      {"objects=20", "object_bytes=90KB", "seed=1", "verify=true",
+       "region=frankfurt"});
+  client::Deployment deployment(base.experiment.deployment);
+  const RegionId region = base.experiment.client_region;
 
   // 2. Read straight from the backend: latency is dominated by the most
   //    distant of the k = 9 chunks the client must fetch.
-  client::BackendStrategy backend(ctx);
-  const auto cold = backend.read("object0");
+  const auto backend =
+      api::make_strategy(base.with({"system=backend"}), deployment, region);
+  const auto cold = backend->read("object0");
   std::cout << "backend read        : " << cold.latency_ms << " ms (decoded "
             << (cold.verified ? "OK" : "FAIL") << ")\n";
 
   // 3. An LRU cache holding full replicas: second read is a local hit.
-  client::FixedChunksParams lru_params;
-  lru_params.policy = client::Policy::kLru;
-  lru_params.chunks_per_object = 9;
-  lru_params.cache_capacity_bytes = 10_MB;
-  client::FixedChunksStrategy lru(ctx, lru_params);
-  (void)lru.read("object0");
-  const auto lru_hit = lru.read("object0");
+  //    ("lru" is a registered cache engine run through the fixed-chunks
+  //    adapter — swap the name for "arc" or "tinylfu" and nothing else
+  //    changes.)
+  const auto lru = api::make_strategy(
+      base.with({"system=lru", "chunks=9", "cache_bytes=10MB"}), deployment,
+      region);
+  (void)lru->read("object0");
+  const auto lru_hit = lru->read("object0");
   std::cout << "LRU-9 second read   : " << lru_hit.latency_ms
             << " ms (full hit: " << (lru_hit.full_hit ? "yes" : "no")
             << ")\n";
 
   // 4. Agar: accesses train the request monitor; a reconfiguration installs
   //    the knapsack-optimal mix of chunks; later reads hit the cache.
-  core::AgarNodeParams agar_params;
-  agar_params.region = sim::region::kFrankfurt;
-  agar_params.cache_capacity_bytes = 10_MB;
-  agar_params.cache_manager.candidate_weights = {1, 3, 5, 7, 9};
-  client::AgarStrategy agar(ctx, agar_params);
-  agar.warm_up();
+  const auto strategy = api::make_strategy(
+      base.with({"system=agar", "cache_bytes=10MB"}), deployment, region);
+  auto* agar_strategy = dynamic_cast<client::AgarStrategy*>(strategy.get());
+  strategy->warm_up();
 
-  for (int i = 0; i < 30; ++i) (void)agar.read("object0");
-  agar.node().reconfigure();
-  (void)agar.read("object0");  // populates the configured chunks
-  const auto agar_hit = agar.read("object0");
+  for (int i = 0; i < 30; ++i) (void)strategy->read("object0");
+  agar_strategy->node().reconfigure();
+  (void)strategy->read("object0");  // populates the configured chunks
+  const auto agar_hit = strategy->read("object0");
   std::cout << "Agar after reconfig : " << agar_hit.latency_ms
             << " ms (chunks from cache: " << agar_hit.cache_chunks
             << "/9, decoded " << (agar_hit.verified ? "OK" : "FAIL")
             << ")\n\n";
 
   // 5. Peek at the configuration the knapsack solver chose.
-  const auto& config = agar.node().cache_manager().current();
+  const auto& config = agar_strategy->node().cache_manager().current();
   std::cout << "installed configuration: " << config.entries.size()
             << " object(s), " << config.total_chunks << " chunks, "
             << format_bytes(config.total_bytes) << "\n";

@@ -1,0 +1,8 @@
+// Umbrella header for the declarative experiment API: registries,
+// ExperimentSpec, and spec-driven execution. See docs/api.md for a tour.
+#pragma once
+
+#include "api/experiment_spec.hpp"  // IWYU pragma: export
+#include "api/param_map.hpp"        // IWYU pragma: export
+#include "api/registry.hpp"         // IWYU pragma: export
+#include "api/run.hpp"              // IWYU pragma: export

@@ -1,0 +1,102 @@
+// Declarative experiment description — subsumes the old StrategySpec +
+// ExperimentConfig + DeploymentConfig triple behind one `key=value`
+// surface. One spec = one system evaluated under one deployment/workload
+// shape; a spec file or a sweep grid expands into several specs.
+//
+// Three equivalent front ends feed the same struct:
+//   * typed field access (tests, library callers):
+//       spec.system = "lru"; spec.params.set("chunks", "5");
+//       spec.experiment.ops_per_run = 1000;
+//   * key=value pairs (CLI --set, bench literals):
+//       auto spec = ExperimentSpec::from_pairs({"system=lru", "chunks=5"});
+//   * JSON spec files (CI, saved experiments):
+//       agar_cli --spec examples/specs/agar_vs_lfu.json
+//
+// The `system` name resolves against api::StrategyRegistry; a name that is
+// only a registered cache engine resolves to the generic "fixed-chunks"
+// adapter with `engine=<name>` — which is what makes a newly registered
+// engine (ARC) a runnable system with zero plumbing edits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/param_map.hpp"
+#include "client/runner.hpp"
+
+namespace agar::api {
+
+struct ExperimentSpec {
+  /// Registry name of the system under test ("agar", "lru", "backend",
+  /// "arc", ...).
+  std::string system = "agar";
+  /// Strategy/engine parameters (chunks, cache_bytes, proxy_ms, engine,
+  /// sketch_width, ...), validated against the registered schema.
+  ParamMap params;
+  /// Deployment + workload + run shape (the old ExperimentConfig, typed).
+  client::ExperimentConfig experiment{};
+
+  /// Route one key=value onto the spec: experiment-level keys (see
+  /// `experiment_keys()`) update `experiment` with full parse diagnostics;
+  /// every other key lands in `params` for schema validation at
+  /// `validate()` time. Throws std::invalid_argument on malformed values.
+  void set(const std::string& key, const std::string& value);
+  /// `set` from one "key=value" string.
+  void set_pair(const std::string& pair);
+
+  [[nodiscard]] static ExperimentSpec from_pairs(
+      const std::vector<std::string>& pairs);
+  /// Copy with extra pairs applied — the bench idiom:
+  ///   base.with({"system=lru", "chunks=5"})
+  [[nodiscard]] ExperimentSpec with(
+      const std::vector<std::string>& pairs) const;
+
+  /// Resolve the system against the registries and validate every param
+  /// against the registered schema. Throws with actionable diagnostics
+  /// (unknown system -> known names; unknown/malformed param -> accepted
+  /// keys).
+  void validate() const;
+
+  /// Display label, derived from the registry name + params in one place —
+  /// bench legends, CLI headers and JSON reports can never disagree.
+  [[nodiscard]] std::string label() const;
+
+  /// Serialize as a JSON object (parseable by `parse_spec_json`).
+  [[nodiscard]] std::string to_json() const;
+
+  /// The experiment-level keys `set` understands, with documentation —
+  /// introspection for --list and error messages.
+  [[nodiscard]] static const ParamSchema& experiment_keys();
+};
+
+/// Resolve a system name to (strategy registry entry name, effective
+/// params): registered strategies pass through; engine-only names become
+/// "fixed-chunks" with engine=<name>. Throws UnknownNameError listing every
+/// runnable system otherwise.
+[[nodiscard]] std::pair<std::string, ParamMap> resolve_system(
+    const std::string& system, const ParamMap& params);
+
+/// Every runnable system name: registered strategies plus registered
+/// engines (through the fixed-chunks adapter), deduplicated, sorted.
+[[nodiscard]] std::vector<std::string> runnable_systems();
+
+/// Parse a spec document: top-level scalar members apply to a base spec;
+/// an optional "systems" array of objects expands into one spec per entry;
+/// an optional "sweep" object of key -> array expands the grid. Scalars
+/// and arrays-of-scalars (joined with commas) are accepted as values.
+[[nodiscard]] std::vector<ExperimentSpec> parse_spec_json(
+    const std::string& text);
+
+/// `parse_spec_json` over a file. Throws std::invalid_argument naming the
+/// path on read failure.
+[[nodiscard]] std::vector<ExperimentSpec> load_spec_file(
+    const std::string& path);
+
+/// Expand a cross-product grid over a base spec; the first grid key is the
+/// outermost (slowest-varying) dimension. Keys may be anything `set`
+/// accepts, including "system".
+[[nodiscard]] std::vector<ExperimentSpec> sweep(
+    const ExperimentSpec& base,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& grid);
+
+}  // namespace agar::api

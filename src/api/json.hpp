@@ -1,0 +1,42 @@
+// Minimal JSON reader for experiment spec files — objects, arrays, strings,
+// numbers, booleans, null; no dependencies. Numbers are kept as the exact
+// text they were written with and handed to the same typed parsers the
+// key=value front end uses, so `"cache_bytes": "10MB"` and
+// `"cache_bytes": 10485760` behave identically.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace agar::api {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  ///< number (verbatim source text) or string payload
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object members (spec keys keep file order).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  /// Object member by key, or nullptr.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  /// String/number/bool rendered back as the flat text the ParamMap parsers
+  /// expect. Throws for arrays/objects/null.
+  [[nodiscard]] std::string as_param_text() const;
+};
+
+/// Parse one JSON document. Throws std::invalid_argument with line/column
+/// on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Escape a string for embedding in JSON output.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace agar::api

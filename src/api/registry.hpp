@@ -1,0 +1,197 @@
+// String-keyed, self-registering factories — the open replacement for the
+// old closed `StrategySpec::Kind` enum.
+//
+// Two registries exist:
+//   * api::Registry<cache::CacheEngine>  — replacement/admission policies
+//     ("lru", "lfu", "tinylfu", "arc", ...), built against a byte capacity;
+//   * api::Registry<client::ReadStrategy> — whole client systems
+//     ("backend", "lfu", "agar", "fixed-chunks", ...), built against a
+//     deployment.
+//
+// Each entry carries a factory, a one-line description, a self-describing
+// ParamSchema, and a label formatter, so `--list` output, bench legends and
+// JSON report labels all derive from the same registration. Entries
+// register themselves from their own translation unit at static-init time:
+//
+//   namespace {
+//   const api::EngineRegistration kArc{{
+//       "arc", "ARC", "adaptive replacement cache (recency+frequency)",
+//       {{"..."}, ...},
+//       [](const api::EngineContext& ctx, const api::ParamMap&) {
+//         return std::make_unique<ArcCache>(ctx.capacity_bytes);
+//       }}};
+//   }  // namespace
+//
+// — no enum to extend, no switch to edit, no CLI/bench plumbing to touch.
+// (The library is linked as a CMake OBJECT library so registration objects
+// in otherwise-unreferenced translation units are never stripped.)
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/param_map.hpp"
+
+namespace agar::cache {
+class CacheEngine;
+}
+namespace agar::client {
+class ReadStrategy;
+struct ClientContext;
+struct ExperimentConfig;
+class Deployment;
+}  // namespace agar::client
+namespace agar::sim {
+class EventLoop;
+}
+
+namespace agar::api {
+
+/// Lookup of a name nobody registered. Carries the sorted known names so
+/// callers (CLI, spec validation) print actionable diagnostics.
+class UnknownNameError : public std::invalid_argument {
+ public:
+  UnknownNameError(const std::string& what, std::vector<std::string> known)
+      : std::invalid_argument(what), known_(std::move(known)) {}
+  [[nodiscard]] const std::vector<std::string>& known_names() const {
+    return known_;
+  }
+
+ private:
+  std::vector<std::string> known_;
+};
+
+/// What an engine factory gets to work with.
+struct EngineContext {
+  std::size_t capacity_bytes = 0;
+};
+
+/// What a strategy factory gets to work with: the per-region client wiring
+/// plus the experiment-level knobs (reconfiguration period, candidate
+/// weights, ...) and the deployment for anything topology-derived.
+struct StrategyContext {
+  const client::ClientContext* client = nullptr;
+  const client::ExperimentConfig* experiment = nullptr;
+  client::Deployment* deployment = nullptr;
+};
+
+namespace detail {
+/// Maps a product type to the context its factories receive.
+template <typename Product>
+struct ContextOf;
+template <>
+struct ContextOf<cache::CacheEngine> {
+  using type = EngineContext;
+};
+template <>
+struct ContextOf<client::ReadStrategy> {
+  using type = StrategyContext;
+};
+}  // namespace detail
+
+template <typename Product>
+class Registry {
+ public:
+  using Context = typename detail::ContextOf<Product>::type;
+  using Factory =
+      std::function<std::unique_ptr<Product>(const Context&, const ParamMap&)>;
+  using LabelFn = std::function<std::string(const ParamMap&)>;
+
+  struct Entry {
+    std::string name;         ///< registry key ("lru", "agar", ...)
+    std::string display;      ///< label stem ("LRU", "Agar", ...)
+    std::string description;  ///< one line for --list
+    ParamSchema schema;
+    Factory factory;
+    /// Full label for a parameterization; null means `display` alone.
+    LabelFn label_fn;
+  };
+
+  /// The process-wide registry (construct-on-first-use, so registrations
+  /// from any translation unit's static initializers are safe).
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  /// Register an entry. Throws on a duplicate name — two policies silently
+  /// shadowing each other is exactly the drift this layer exists to kill.
+  void add(Entry entry) {
+    if (entry.name.empty()) {
+      throw std::invalid_argument("registry: empty name");
+    }
+    if (!entry.factory) {
+      throw std::invalid_argument("registry: '" + entry.name +
+                                  "' has no factory");
+    }
+    const auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+    if (!inserted) {
+      throw std::invalid_argument("registry: duplicate registration of '" +
+                                  it->first + "'");
+    }
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+
+  [[nodiscard]] const Entry& at(const std::string& name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string list;
+      for (const auto& [n, e] : entries_) list += (list.empty() ? "" : " ") + n;
+      throw UnknownNameError("unknown name '" + name + "' (known: " + list +
+                             ")",
+                             names());
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::unique_ptr<Product> create(const std::string& name,
+                                                const Context& context,
+                                                const ParamMap& params) const {
+    return at(name).factory(context, params);
+  }
+
+  /// Label for one parameterization — THE single source every legend, CLI
+  /// listing and JSON report goes through.
+  [[nodiscard]] std::string label(const std::string& name,
+                                  const ParamMap& params) const {
+    const Entry& entry = at(name);
+    if (entry.label_fn) return entry.label_fn(params);
+    return entry.display.empty() ? entry.name : entry.display;
+  }
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+using EngineRegistry = Registry<cache::CacheEngine>;
+using StrategyRegistry = Registry<client::ReadStrategy>;
+
+/// Static-init registration helpers:
+///   namespace { const api::EngineRegistration kReg{{...}}; }
+struct EngineRegistration {
+  explicit EngineRegistration(EngineRegistry::Entry entry) {
+    EngineRegistry::instance().add(std::move(entry));
+  }
+};
+struct StrategyRegistration {
+  explicit StrategyRegistration(StrategyRegistry::Entry entry) {
+    StrategyRegistry::instance().add(std::move(entry));
+  }
+};
+
+}  // namespace agar::api

@@ -1,0 +1,58 @@
+#include "api/run.hpp"
+
+#include "api/registry.hpp"
+
+namespace agar::api {
+
+client::StrategyFactory make_strategy_factory(const ExperimentSpec& spec) {
+  spec.validate();
+  auto [name, effective] = resolve_system(spec.system, spec.params);
+  return [name = std::move(name), params = std::move(effective)](
+             const client::ExperimentConfig& config,
+             client::Deployment& deployment, RegionId region,
+             sim::EventLoop* loop) {
+    client::ClientContext client;
+    client.backend = &deployment.backend();
+    client.network = &deployment.network();
+    client.loop = loop;
+    client.region = region;
+    client.decode_ms_per_mb = config.decode_ms_per_mb;
+    client.verify_data = config.verify_data;
+
+    StrategyContext context;
+    context.client = &client;
+    context.experiment = &config;
+    context.deployment = &deployment;
+    return StrategyRegistry::instance().create(name, context, params);
+  };
+}
+
+std::unique_ptr<client::ReadStrategy> make_strategy(
+    const ExperimentSpec& spec, client::Deployment& deployment,
+    RegionId region) {
+  return make_strategy_factory(spec)(spec.experiment, deployment, region,
+                                     nullptr);
+}
+
+RunReport run(const ExperimentSpec& spec) {
+  const client::StrategyFactory factory = make_strategy_factory(spec);
+  return RunReport{
+      spec, client::run_experiment(spec.experiment, factory, spec.label())};
+}
+
+std::vector<RunReport> run_all(const std::vector<ExperimentSpec>& specs) {
+  std::vector<RunReport> reports;
+  reports.reserve(specs.size());
+  for (const auto& spec : specs) reports.push_back(run(spec));
+  return reports;
+}
+
+std::vector<client::ExperimentResult> results_of(
+    const std::vector<RunReport>& reports) {
+  std::vector<client::ExperimentResult> out;
+  out.reserve(reports.size());
+  for (const auto& report : reports) out.push_back(report.result);
+  return out;
+}
+
+}  // namespace agar::api

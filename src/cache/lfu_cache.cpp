@@ -1,6 +1,31 @@
 #include "cache/lfu_cache.hpp"
 
+#include <memory>
+
+#include "api/registry.hpp"
+
 namespace agar::cache {
+
+namespace {
+
+// Display stem "LFUev": as a fixed-chunks *system* this engine is the
+// eviction-driven (instant-adaptation) LFU of the baseline-strength
+// ablation — the paper's periodic "LFU" baseline is the lfu-config
+// strategy, which owns the bare "LFU-" label.
+const api::EngineRegistration kLfuEngine{{
+    "lfu",
+    "LFUev",
+    "least-frequently-used eviction (O(1) frequency buckets, LRU ties)",
+    api::ParamSchema{{
+        {"proxy_ms", api::ParamType::kDouble, "0.5",
+         "frequency-tracking proxy cost when run as a fixed-chunks system"},
+    }},
+    [](const api::EngineContext& ctx, const api::ParamMap&) {
+      return std::make_unique<LfuCache>(ctx.capacity_bytes);
+    },
+    {}}};
+
+}  // namespace
 
 LfuCache::LfuCache(std::size_t capacity_bytes) : CacheEngine(capacity_bytes) {}
 

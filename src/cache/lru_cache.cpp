@@ -1,6 +1,24 @@
 #include "cache/lru_cache.hpp"
 
+#include <memory>
+
+#include "api/registry.hpp"
+
 namespace agar::cache {
+
+namespace {
+
+const api::EngineRegistration kLruEngine{{
+    "lru",
+    "LRU",
+    "least-recently-used eviction (memcached's default policy)",
+    api::ParamSchema{},
+    [](const api::EngineContext& ctx, const api::ParamMap&) {
+      return std::make_unique<LruCache>(ctx.capacity_bytes);
+    },
+    {}}};
+
+}  // namespace
 
 LruCache::LruCache(std::size_t capacity_bytes) : CacheEngine(capacity_bytes) {}
 

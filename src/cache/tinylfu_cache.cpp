@@ -1,6 +1,38 @@
 #include "cache/tinylfu_cache.hpp"
 
+#include <memory>
+
+#include "api/registry.hpp"
+
 namespace agar::cache {
+
+namespace {
+
+const api::EngineRegistration kTinyLfuEngine{{
+    "tinylfu",
+    "TinyLFU",
+    "count-min-sketch frequency duel gating an LRU cache (W-TinyLFU "
+    "admission)",
+    api::ParamSchema{{
+        {"sketch_width", api::ParamType::kSize, "4096",
+         "count-min sketch width"},
+        {"sketch_depth", api::ParamType::kSize, "4",
+         "count-min sketch depth"},
+        {"aging_window", api::ParamType::kSize, "10000",
+         "halve sketch counters after this many accesses (0 = never)"},
+        {"proxy_ms", api::ParamType::kDouble, "0.5",
+         "frequency-tracking proxy cost when run as a fixed-chunks system"},
+    }},
+    [](const api::EngineContext& ctx, const api::ParamMap& params) {
+      TinyLfuParams p;
+      p.sketch_width = params.get_size("sketch_width", p.sketch_width);
+      p.sketch_depth = params.get_size("sketch_depth", p.sketch_depth);
+      p.aging_window = params.get_size("aging_window", p.aging_window);
+      return std::make_unique<TinyLfuCache>(ctx.capacity_bytes, p);
+    },
+    {}}};
+
+}  // namespace
 
 TinyLfuCache::TinyLfuCache(std::size_t capacity_bytes, TinyLfuParams params)
     : CacheEngine(capacity_bytes),

@@ -1,6 +1,40 @@
 #include "client/agar_strategy.hpp"
 
+#include <memory>
+
+#include "api/registry.hpp"
+#include "client/runner.hpp"
+
 namespace agar::client {
+
+namespace {
+
+const api::StrategyRegistration kAgar{{
+    "agar",
+    "Agar",
+    "knapsack-optimized chunk caching with periodic reconfiguration "
+    "(the paper's system)",
+    api::ParamSchema{{
+        {"cache_bytes", api::ParamType::kSize, "10MB", "cache capacity"},
+        {"probes_per_region", api::ParamType::kSize, "6",
+         "latency probes per region per warm-up/reconfiguration"},
+    }},
+    [](const api::StrategyContext& ctx, const api::ParamMap& params) {
+      core::AgarNodeParams p;
+      p.region = ctx.client->region;
+      p.cache_capacity_bytes = params.get_size("cache_bytes", 10_MB);
+      p.reconfig_period_ms = ctx.experiment->reconfig_period_ms;
+      p.probes_per_region =
+          params.get_size("probes_per_region", p.probes_per_region);
+      p.cache_manager.candidate_weights =
+          ctx.experiment->agar_candidate_weights;
+      p.cache_manager.cache_latency_ms =
+          ctx.deployment->network().model().params().cache_base_ms;
+      return std::make_unique<AgarStrategy>(*ctx.client, p);
+    },
+    {}}};
+
+}  // namespace
 
 AgarStrategy::AgarStrategy(ClientContext ctx, core::AgarNodeParams node_params)
     : ReadStrategy(ctx),

@@ -36,6 +36,14 @@ class AgarStrategy final : public ReadStrategy {
 
   [[nodiscard]] core::AgarNode& node() { return *node_; }
 
+  [[nodiscard]] const cache::CacheEngine* cache_engine() const override {
+    return &node_->cache();
+  }
+  [[nodiscard]] std::unordered_map<std::size_t, std::size_t>
+  config_weight_histogram() const override {
+    return node_->cache_manager().current().weight_histogram();
+  }
+
   /// Cancel handle of the periodic reconfiguration (0 until attached);
   /// pass to EventLoop::cancel to stop the control plane mid-run.
   [[nodiscard]] sim::EventLoop::TimerId reconfig_timer() const {

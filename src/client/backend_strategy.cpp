@@ -1,8 +1,25 @@
 #include "client/backend_strategy.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "api/registry.hpp"
 
 namespace agar::client {
+
+namespace {
+
+const api::StrategyRegistration kBackend{{
+    "backend",
+    "Backend",
+    "no cache: fetch the k cheapest chunks straight from the backend",
+    api::ParamSchema{},
+    [](const api::StrategyContext& ctx, const api::ParamMap&) {
+      return std::make_unique<BackendStrategy>(*ctx.client);
+    },
+    {}}};
+
+}  // namespace
 
 std::vector<std::pair<ChunkIndex, RegionId>> chunks_by_expected_latency(
     const ClientContext& ctx, const ObjectKey& key) {

@@ -3,48 +3,42 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "cache/lfu_cache.hpp"
-#include "cache/lru_cache.hpp"
-#include "cache/tinylfu_cache.hpp"
+#include "api/registry.hpp"
 #include "client/backend_strategy.hpp"
 
 namespace agar::client {
 
 namespace {
 
-std::unique_ptr<cache::CacheEngine> make_engine(const FixedChunksParams& p) {
-  switch (p.policy) {
-    case Policy::kLru:
-      return std::make_unique<cache::LruCache>(p.cache_capacity_bytes);
-    case Policy::kLfu:
-      return std::make_unique<cache::LfuCache>(p.cache_capacity_bytes);
-    case Policy::kTinyLfu:
-      return std::make_unique<cache::TinyLfuCache>(p.cache_capacity_bytes);
-  }
-  throw std::invalid_argument("FixedChunksStrategy: unknown policy");
+/// THE fixed-chunks label derivation: engine display stem + "-" + c. Used
+/// by both the registry label fns and FixedChunksStrategy::name() so the
+/// two can never drift apart.
+std::string fixed_chunks_label(const std::string& engine_name,
+                               std::size_t chunks) {
+  const auto& engines = api::EngineRegistry::instance();
+  const std::string stem = engines.contains(engine_name)
+                               ? engines.at(engine_name).display
+                               : engine_name;
+  return stem + "-" + std::to_string(chunks);
 }
 
 }  // namespace
 
-FixedChunksStrategy::FixedChunksStrategy(ClientContext ctx,
-                                         FixedChunksParams params)
-    : ReadStrategy(ctx), params_(params), cache_(make_engine(params)) {
+FixedChunksStrategy::FixedChunksStrategy(
+    ClientContext ctx, FixedChunksParams params,
+    std::unique_ptr<cache::CacheEngine> engine)
+    : ReadStrategy(ctx), params_(std::move(params)), cache_(std::move(engine)) {
   if (params_.chunks_per_object == 0) {
     throw std::invalid_argument(
         "FixedChunksStrategy: chunks_per_object must be >= 1");
   }
+  if (cache_ == nullptr) {
+    throw std::invalid_argument("FixedChunksStrategy: null cache engine");
+  }
 }
 
 std::string FixedChunksStrategy::name() const {
-  std::string base;
-  switch (params_.policy) {
-    case Policy::kLru: base = "LRU"; break;
-    // "ev" = eviction-driven; the paper's LFU baseline (periodic static
-    // configuration) lives in LfuConfigStrategy and owns the "LFU-" name.
-    case Policy::kLfu: base = "LFUev"; break;
-    case Policy::kTinyLfu: base = "TinyLFU"; break;
-  }
-  return base + "-" + std::to_string(params_.chunks_per_object);
+  return fixed_chunks_label(params_.engine, params_.chunks_per_object);
 }
 
 void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
@@ -124,5 +118,77 @@ void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
         done(result);
       });
 }
+
+// ----------------------------------------------------------- registration
+
+namespace {
+
+/// Shared factory body: build the named engine through the engine registry
+/// and wrap it in a fixed-chunks strategy. The on-path proxy cost defaults
+/// to what the engine's registration declares (0 for plain LRU, 0.5 ms for
+/// the frequency-tracking policies, per §V-A).
+std::unique_ptr<ReadStrategy> make_fixed_chunks(
+    const api::StrategyContext& ctx, const api::ParamMap& params,
+    const std::string& engine_name) {
+  const auto& engines = api::EngineRegistry::instance();
+  const auto& entry = engines.at(engine_name);
+
+  FixedChunksParams p;
+  p.engine = engine_name;
+  p.chunks_per_object = params.get_size("chunks", 9);
+  p.cache_capacity_bytes = params.get_size("cache_bytes", 10_MB);
+  p.proxy_overhead_ms = params.get_double(
+      "proxy_ms", entry.schema.default_double("proxy_ms", 0.0));
+
+  auto engine = engines.create(
+      engine_name, api::EngineContext{p.cache_capacity_bytes}, params);
+  return std::make_unique<FixedChunksStrategy>(*ctx.client, std::move(p),
+                                               std::move(engine));
+}
+
+const api::ParamSchema kFixedChunksSchema{{
+    {"engine", api::ParamType::kString, "lru", "cache-engine registry name"},
+    {"chunks", api::ParamType::kSize, "9",
+     "chunks cached per object (the c in LRU-c)"},
+    {"cache_bytes", api::ParamType::kSize, "10MB", "cache capacity"},
+    {"proxy_ms", api::ParamType::kDouble, "",
+     "on-path proxy cost in ms (default: the engine's declared cost)"},
+}};
+
+const api::StrategyRegistration kFixedChunks{{
+    "fixed-chunks",
+    "FixedChunks",
+    "cache c designated chunks per object under any registered engine",
+    kFixedChunksSchema,
+    [](const api::StrategyContext& ctx, const api::ParamMap& params) {
+      return make_fixed_chunks(ctx, params,
+                               params.get_string("engine", "lru"));
+    },
+    [](const api::ParamMap& params) {
+      return fixed_chunks_label(params.get_string("engine", "lru"),
+                                params.get_size("chunks", 9));
+    }}};
+
+// The baseline-strength ablation's eviction-driven LFU: the plain LFU
+// *engine* under fixed-chunks semantics. ("lfu" the *system* is the
+// paper's periodic frequency-proxy baseline in LfuConfigStrategy.)
+const api::StrategyRegistration kLfuEviction{{
+    "lfu-eviction",
+    "LFUev",
+    "fixed-chunks cache with eviction-driven (instant-adaptation) LFU",
+    api::ParamSchema{{
+        {"chunks", api::ParamType::kSize, "9", "chunks cached per object"},
+        {"cache_bytes", api::ParamType::kSize, "10MB", "cache capacity"},
+        {"proxy_ms", api::ParamType::kDouble, "0.5",
+         "frequency-tracking proxy cost on the read path"},
+    }},
+    [](const api::StrategyContext& ctx, const api::ParamMap& params) {
+      return make_fixed_chunks(ctx, params, "lfu");
+    },
+    [](const api::ParamMap& params) {
+      return fixed_chunks_label("lfu", params.get_size("chunks", 9));
+    }}};
+
+}  // namespace
 
 }  // namespace agar::client

@@ -1,38 +1,48 @@
-// LRU-c / LFU-c strategies (paper §V-A): a cache that "stores a predefined
-// number of erasure-coded chunks for each data record" under a classical
-// replacement policy. The client always designates the c most distant of
-// the k needed chunks (the motivating experiment of §II-C caches most
-// distant first); on a read it serves designated chunks from the cache when
-// resident, fetches the rest from the backend, and (re-)inserts the
-// designated chunks afterwards, letting the policy evict.
+// Fixed-chunks strategies — LRU-c / LFU-c and friends (paper §V-A): a
+// cache that "stores a predefined number of erasure-coded chunks for each
+// data record" under a replacement/admission policy. The client always
+// designates the c most distant of the k needed chunks (the motivating
+// experiment of §II-C caches most distant first); on a read it serves
+// designated chunks from the cache when resident, fetches the rest from
+// the backend, and (re-)inserts the designated chunks afterwards, letting
+// the policy evict.
+//
+// The policy is any engine in api::Registry<cache::CacheEngine>, looked up
+// by name — registering a new engine ("arc", ...) makes it a runnable
+// system with zero edits here or in the runner/CLI/bench plumbing.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "cache/cache.hpp"
 #include "client/strategy.hpp"
 
 namespace agar::client {
 
-enum class Policy { kLru, kLfu, kTinyLfu };
-
 struct FixedChunksParams {
-  Policy policy = Policy::kLru;
+  std::string engine = "lru";         ///< cache-engine registry name
   std::size_t chunks_per_object = 9;  ///< the "c" in LRU-c / LFU-c
   std::size_t cache_capacity_bytes = 10_MB;
-  /// The paper's LFU client adds a frequency-tracking proxy on the request
-  /// path; charge its processing like the Agar request monitor's 0.5 ms.
+  /// Frequency-tracking proxies (the paper's LFU client) sit on the
+  /// request path; charge their processing like Agar's 0.5 ms monitor.
   double proxy_overhead_ms = 0.0;
 };
 
 class FixedChunksStrategy final : public ReadStrategy {
  public:
-  FixedChunksStrategy(ClientContext ctx, FixedChunksParams params);
+  /// `engine` is the already-built cache engine (the api registration
+  /// creates it from the registry; tests may inject any engine directly).
+  FixedChunksStrategy(ClientContext ctx, FixedChunksParams params,
+                      std::unique_ptr<cache::CacheEngine> engine);
 
   void start_read(const ObjectKey& key, ReadCallback done) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] cache::CacheEngine& engine() { return *cache_; }
+  [[nodiscard]] const cache::CacheEngine* cache_engine() const override {
+    return cache_.get();
+  }
   [[nodiscard]] const FixedChunksParams& params() const { return params_; }
 
  private:

@@ -1,10 +1,40 @@
 #include "client/lfu_config_strategy.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "api/registry.hpp"
+#include "client/runner.hpp"
 
 namespace agar::client {
 
 namespace {
+
+const api::StrategyRegistration kLfuConfig{{
+    "lfu",
+    "LFU",
+    "the paper's LFU baseline: frequency proxy + periodic static "
+    "configuration of c chunks per object",
+    api::ParamSchema{{
+        {"chunks", api::ParamType::kSize, "9", "chunks cached per object"},
+        {"cache_bytes", api::ParamType::kSize, "10MB", "cache capacity"},
+        {"ewma_alpha", api::ParamType::kDouble, "0.8",
+         "request-frequency EWMA smoothing"},
+        {"proxy_ms", api::ParamType::kDouble, "0.5",
+         "frequency-tracking proxy cost on the read path"},
+    }},
+    [](const api::StrategyContext& ctx, const api::ParamMap& params) {
+      LfuConfigParams p;
+      p.chunks_per_object = params.get_size("chunks", 9);
+      p.cache_capacity_bytes = params.get_size("cache_bytes", 10_MB);
+      p.reconfig_period_ms = ctx.experiment->reconfig_period_ms;
+      p.ewma_alpha = params.get_double("ewma_alpha", p.ewma_alpha);
+      p.proxy_overhead_ms = params.get_double("proxy_ms", p.proxy_overhead_ms);
+      return std::make_unique<LfuConfigStrategy>(*ctx.client, p);
+    },
+    [](const api::ParamMap& params) {
+      return "LFU-" + std::to_string(params.get_size("chunks", 9));
+    }}};
 
 core::RegionManagerParams region_params(const ClientContext& ctx) {
   core::RegionManagerParams p;

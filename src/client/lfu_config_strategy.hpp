@@ -13,8 +13,8 @@
 // of the optimization itself.
 //
 // (An eviction-driven LFU cache engine — instant adaptation, cumulative
-// frequencies — is available separately via StrategySpec::lfu_eviction for
-// the baseline-strength ablation.)
+// frequencies — is available separately as the registered "lfu-eviction"
+// system for the baseline-strength ablation.)
 #pragma once
 
 #include <memory>
@@ -48,6 +48,9 @@ class LfuConfigStrategy final : public ReadStrategy {
   void reconfigure();
 
   [[nodiscard]] cache::StaticConfigCache& cache() { return cache_; }
+  [[nodiscard]] const cache::CacheEngine* cache_engine() const override {
+    return &cache_;
+  }
   [[nodiscard]] core::RequestMonitor& monitor() { return monitor_; }
   [[nodiscard]] const LfuConfigParams& params() const { return params_; }
 

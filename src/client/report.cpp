@@ -65,7 +65,7 @@ void print_results_table(const std::vector<ExperimentResult>& results) {
   rows.reserve(results.size());
   for (const auto& r : results) {
     rows.push_back({
-        r.spec.label(),
+        r.label,
         fmt_ms(r.mean_latency_ms()),
         fmt_ms(r.stddev_of_means()),
         fmt_ms(r.percentile_ms(50)),
@@ -93,7 +93,7 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     if (i > 0) out << ",";
-    out << "\n  {\"system\": \"" << r.spec.label() << "\""
+    out << "\n  {\"system\": \"" << r.label << "\""
         << ", \"mean_latency_ms\": " << num(r.mean_latency_ms())
         << ", \"stddev_ms\": " << num(r.stddev_of_means())
         << ", \"p50_ms\": " << num(r.percentile_ms(50))
@@ -120,7 +120,19 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"queued_fetches\": " << run.queued_fetches
           << ", \"max_queue_depth\": " << run.max_queue_depth
           << ", \"max_net_in_flight\": " << run.max_net_in_flight
-          << ", \"max_reads_in_flight\": " << run.max_reads_in_flight << "}";
+          << ", \"max_reads_in_flight\": " << run.max_reads_in_flight
+          // Full cache counter set (admission/rejection/eviction telemetry)
+          // plus the codec's decode-plan cache, so bench JSON captures the
+          // whole instrumented data plane.
+          << ", \"cache\": {\"hits\": " << run.cache_stats.hits
+          << ", \"misses\": " << run.cache_stats.misses
+          << ", \"puts\": " << run.cache_stats.puts
+          << ", \"admissions\": " << run.cache_stats.admissions
+          << ", \"rejections\": " << run.cache_stats.rejections
+          << ", \"evictions\": " << run.cache_stats.evictions
+          << ", \"used_bytes\": " << run.cache_used_bytes << "}"
+          << ", \"decode_plan\": {\"hits\": " << run.decode_plan_hits
+          << ", \"misses\": " << run.decode_plan_misses << "}}";
     }
     out << "\n  ]}";
   }

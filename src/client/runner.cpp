@@ -3,10 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "client/agar_strategy.hpp"
-#include "client/backend_strategy.hpp"
-#include "client/fixed_chunks_strategy.hpp"
-#include "client/lfu_config_strategy.hpp"
 #include "common/logging.hpp"
 #include "sim/event_loop.hpp"
 
@@ -31,106 +27,6 @@ Deployment::Deployment(const DeploymentConfig& config) : config_(config) {
   }
 }
 
-StrategySpec StrategySpec::backend() {
-  return StrategySpec{Kind::kBackend, 0, 0};
-}
-StrategySpec StrategySpec::lru(std::size_t chunks, std::size_t cache_bytes) {
-  return StrategySpec{Kind::kLru, chunks, cache_bytes};
-}
-StrategySpec StrategySpec::lfu(std::size_t chunks, std::size_t cache_bytes) {
-  return StrategySpec{Kind::kLfu, chunks, cache_bytes};
-}
-StrategySpec StrategySpec::lfu_eviction(std::size_t chunks,
-                                        std::size_t cache_bytes) {
-  return StrategySpec{Kind::kLfuEviction, chunks, cache_bytes};
-}
-StrategySpec StrategySpec::tinylfu(std::size_t chunks,
-                                   std::size_t cache_bytes) {
-  return StrategySpec{Kind::kTinyLfu, chunks, cache_bytes};
-}
-StrategySpec StrategySpec::agar(std::size_t cache_bytes) {
-  return StrategySpec{Kind::kAgar, 0, cache_bytes};
-}
-
-std::string StrategySpec::label() const {
-  switch (kind) {
-    case Kind::kBackend: return "Backend";
-    case Kind::kLru: return "LRU-" + std::to_string(chunks);
-    case Kind::kLfu: return "LFU-" + std::to_string(chunks);
-    case Kind::kLfuEviction: return "LFUev-" + std::to_string(chunks);
-    case Kind::kTinyLfu: return "TinyLFU-" + std::to_string(chunks);
-    case Kind::kAgar: return "Agar";
-  }
-  return "?";
-}
-
-std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
-                                            const StrategySpec& spec,
-                                            Deployment& deployment) {
-  return make_strategy(config, spec, deployment, config.client_region,
-                       nullptr);
-}
-
-std::unique_ptr<ReadStrategy> make_strategy(const ExperimentConfig& config,
-                                            const StrategySpec& spec,
-                                            Deployment& deployment,
-                                            RegionId client_region,
-                                            sim::EventLoop* loop) {
-  ClientContext ctx;
-  ctx.backend = &deployment.backend();
-  ctx.network = &deployment.network();
-  ctx.loop = loop;
-  ctx.region = client_region;
-  ctx.decode_ms_per_mb = config.decode_ms_per_mb;
-  ctx.verify_data = config.verify_data;
-
-  switch (spec.kind) {
-    case StrategySpec::Kind::kBackend:
-      return std::make_unique<BackendStrategy>(ctx);
-    case StrategySpec::Kind::kLru: {
-      FixedChunksParams p;
-      p.policy = Policy::kLru;
-      p.chunks_per_object = spec.chunks;
-      p.cache_capacity_bytes = spec.cache_bytes;
-      return std::make_unique<FixedChunksStrategy>(ctx, p);
-    }
-    case StrategySpec::Kind::kLfu: {
-      LfuConfigParams p;
-      p.chunks_per_object = spec.chunks;
-      p.cache_capacity_bytes = spec.cache_bytes;
-      p.reconfig_period_ms = config.reconfig_period_ms;
-      return std::make_unique<LfuConfigStrategy>(ctx, p);
-    }
-    case StrategySpec::Kind::kLfuEviction: {
-      FixedChunksParams p;
-      p.policy = Policy::kLfu;
-      p.chunks_per_object = spec.chunks;
-      p.cache_capacity_bytes = spec.cache_bytes;
-      p.proxy_overhead_ms = 0.5;  // frequency-tracking proxy (paper §V-A)
-      return std::make_unique<FixedChunksStrategy>(ctx, p);
-    }
-    case StrategySpec::Kind::kTinyLfu: {
-      FixedChunksParams p;
-      p.policy = Policy::kTinyLfu;
-      p.chunks_per_object = spec.chunks;
-      p.cache_capacity_bytes = spec.cache_bytes;
-      p.proxy_overhead_ms = 0.5;
-      return std::make_unique<FixedChunksStrategy>(ctx, p);
-    }
-    case StrategySpec::Kind::kAgar: {
-      core::AgarNodeParams p;
-      p.region = client_region;
-      p.cache_capacity_bytes = spec.cache_bytes;
-      p.reconfig_period_ms = config.reconfig_period_ms;
-      p.cache_manager.candidate_weights = config.agar_candidate_weights;
-      p.cache_manager.cache_latency_ms =
-          deployment.network().model().params().cache_base_ms;
-      return std::make_unique<AgarStrategy>(ctx, p);
-    }
-  }
-  throw std::invalid_argument("make_strategy: unknown kind");
-}
-
 namespace {
 
 /// Mix a per-(run, region, client) workload seed. Region index 0 client c
@@ -141,8 +37,8 @@ std::uint64_t workload_seed(std::uint64_t run_seed, std::size_t region_index,
   return run_seed * 1315423911ULL + region_index * 1000000007ULL + client;
 }
 
-RunResult run_once(const ExperimentConfig& config, const StrategySpec& spec,
-                   std::uint64_t run_seed) {
+RunResult run_once(const ExperimentConfig& config,
+                   const StrategyFactory& factory, std::uint64_t run_seed) {
   DeploymentConfig dep_config = config.deployment;
   dep_config.seed = run_seed;
   // Latency-only experiments skip payload materialization entirely.
@@ -159,7 +55,7 @@ RunResult run_once(const ExperimentConfig& config, const StrategySpec& spec,
   std::vector<std::unique_ptr<ReadStrategy>> strategies;
   strategies.reserve(regions.size());
   for (const RegionId region : regions) {
-    auto strategy = make_strategy(config, spec, deployment, region, &loop);
+    auto strategy = factory(config, deployment, region, &loop);
     strategy->warm_up();
     strategy->attach_to_loop(loop);
     strategies.push_back(std::move(strategy));
@@ -271,20 +167,18 @@ RunResult run_once(const ExperimentConfig& config, const StrategySpec& spec,
     result.coalesced_fetches += strategy->fetch_coordinator().coalesced();
   }
 
-  // Final snapshots (primary region's strategy, as before).
+  // Final snapshots through the observability hooks every strategy
+  // exposes (primary region's strategy, as before) — the runner needs no
+  // knowledge of concrete strategy types.
   ReadStrategy* primary = strategies.front().get();
-  if (auto* agar = dynamic_cast<AgarStrategy*>(primary)) {
-    result.cache_stats = agar->node().cache().stats();
-    result.cache_used_bytes = agar->node().cache().used_bytes();
-    result.weight_histogram =
-        agar->node().cache_manager().current().weight_histogram();
-  } else if (auto* fixed = dynamic_cast<FixedChunksStrategy*>(primary)) {
-    result.cache_stats = fixed->engine().stats();
-    result.cache_used_bytes = fixed->engine().used_bytes();
-  } else if (auto* lfu = dynamic_cast<LfuConfigStrategy*>(primary)) {
-    result.cache_stats = lfu->cache().stats();
-    result.cache_used_bytes = lfu->cache().used_bytes();
+  if (const cache::CacheEngine* engine = primary->cache_engine()) {
+    result.cache_stats = engine->stats();
+    result.cache_used_bytes = engine->used_bytes();
   }
+  result.weight_histogram = primary->config_weight_histogram();
+  result.decode_plan_hits = deployment.backend().codec().rs().decode_plan_hits();
+  result.decode_plan_misses =
+      deployment.backend().codec().rs().decode_plan_misses();
   return result;
 }
 
@@ -360,29 +254,23 @@ std::uint64_t ExperimentResult::total_wire_fetches() const {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
-                                const StrategySpec& spec) {
+                                const StrategyFactory& factory,
+                                std::string label) {
+  if (!factory) {
+    throw std::invalid_argument("run_experiment: null strategy factory");
+  }
   ExperimentResult result;
-  result.spec = spec;
+  // Reports print/serialize the label verbatim; never leave it blank.
+  result.label = label.empty() ? "experiment" : std::move(label);
   result.runs.reserve(config.runs);
   for (std::size_t r = 0; r < config.runs; ++r) {
     const std::uint64_t run_seed =
         config.deployment.seed + r * 1000003ULL;
-    result.runs.push_back(run_once(config, spec, run_seed));
+    result.runs.push_back(run_once(config, factory, run_seed));
   }
-  log_info("runner") << spec.label() << ": mean "
-                     << result.mean_latency_ms() << " ms, hit ratio "
-                     << result.hit_ratio();
+  log_info("runner") << result.label << ": mean " << result.mean_latency_ms()
+                     << " ms, hit ratio " << result.hit_ratio();
   return result;
-}
-
-std::vector<ExperimentResult> run_comparison(
-    const ExperimentConfig& config, const std::vector<StrategySpec>& specs) {
-  std::vector<ExperimentResult> out;
-  out.reserve(specs.size());
-  for (const auto& spec : specs) {
-    out.push_back(run_experiment(config, spec));
-  }
-  return out;
 }
 
 }  // namespace agar::client

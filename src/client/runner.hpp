@@ -6,7 +6,9 @@
 // YCSB clients per instance, 30 s reconfiguration period).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -53,30 +55,6 @@ class Deployment {
   std::unique_ptr<store::BackendCluster> backend_;
 };
 
-/// Which client/caching system to evaluate.
-struct StrategySpec {
-  /// kLfu is the paper's LFU baseline (frequency proxy + periodic static
-  /// configuration); kLfuEviction is a strictly stronger instant-adaptation
-  /// LFU cache engine kept for the baseline-strength ablation.
-  enum class Kind { kBackend, kLru, kLfu, kLfuEviction, kTinyLfu, kAgar };
-  Kind kind = Kind::kBackend;
-  std::size_t chunks = 9;              ///< c for LRU-c / LFU-c
-  std::size_t cache_bytes = 10_MB;     ///< cache capacity
-
-  [[nodiscard]] static StrategySpec backend();
-  [[nodiscard]] static StrategySpec lru(std::size_t chunks,
-                                        std::size_t cache_bytes);
-  [[nodiscard]] static StrategySpec lfu(std::size_t chunks,
-                                        std::size_t cache_bytes);
-  [[nodiscard]] static StrategySpec lfu_eviction(std::size_t chunks,
-                                                 std::size_t cache_bytes);
-  [[nodiscard]] static StrategySpec tinylfu(std::size_t chunks,
-                                            std::size_t cache_bytes);
-  [[nodiscard]] static StrategySpec agar(std::size_t cache_bytes);
-
-  [[nodiscard]] std::string label() const;
-};
-
 struct ExperimentConfig {
   DeploymentConfig deployment{};
   WorkloadSpec workload = WorkloadSpec::zipfian(1.1);
@@ -117,6 +95,10 @@ struct RunResult {
   std::size_t cache_used_bytes = 0;
   /// Agar only: configured objects per option weight (Fig. 10 data).
   std::unordered_map<std::size_t, std::size_t> weight_histogram;
+  /// Decode-plan cache of the deployment's codec: reconstructions that
+  /// found their inverted decode matrix memoized vs had to invert.
+  std::uint64_t decode_plan_hits = 0;
+  std::uint64_t decode_plan_misses = 0;
 
   // ------------------------- async pipeline observability (all regions)
   SimTimeMs duration_ms = 0.0;        ///< virtual time of the last completion
@@ -143,7 +125,10 @@ struct RunResult {
 
 /// Aggregate over runs.
 struct ExperimentResult {
-  StrategySpec spec;
+  /// Display label of the system under test. Derived in exactly one place
+  /// (the api registries) so tables, bench legends and JSON reports can
+  /// never disagree.
+  std::string label;
   std::vector<RunResult> runs;
 
   [[nodiscard]] double mean_latency_ms() const;
@@ -157,24 +142,18 @@ struct ExperimentResult {
   [[nodiscard]] std::uint64_t total_wire_fetches() const;
 };
 
-/// Build a strategy instance for a spec against a deployment, serving the
-/// config's primary client region.
-[[nodiscard]] std::unique_ptr<ReadStrategy> make_strategy(
-    const ExperimentConfig& config, const StrategySpec& spec,
-    Deployment& deployment);
+/// Builds one strategy instance per client region. The runner owns no
+/// knowledge of concrete systems — api::make_strategy_factory turns a
+/// declarative ExperimentSpec into one of these via the registries, and
+/// tests can hand-roll them. `loop` may be null (the synchronous wrapper
+/// path); the config passed at call time is the experiment being run.
+using StrategyFactory = std::function<std::unique_ptr<ReadStrategy>(
+    const ExperimentConfig& config, Deployment& deployment,
+    RegionId client_region, sim::EventLoop* loop)>;
 
-/// Same, for one specific client region, with reads running as events on
-/// `loop` (may be null for the synchronous wrapper path).
-[[nodiscard]] std::unique_ptr<ReadStrategy> make_strategy(
-    const ExperimentConfig& config, const StrategySpec& spec,
-    Deployment& deployment, RegionId client_region, sim::EventLoop* loop);
-
-/// Run the full experiment (all runs) for one strategy spec.
+/// Run the full experiment (all runs) for one system.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config,
-                                              const StrategySpec& spec);
-
-/// Run several specs under identical conditions (same seeds per run).
-[[nodiscard]] std::vector<ExperimentResult> run_comparison(
-    const ExperimentConfig& config, const std::vector<StrategySpec>& specs);
+                                              const StrategyFactory& factory,
+                                              std::string label = {});
 
 }  // namespace agar::client

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/static_cache.hpp"
@@ -83,6 +84,23 @@ class ReadStrategy {
   /// concurrent reads/populations want it.
   [[nodiscard]] core::FetchCoordinator& fetch_coordinator() {
     return fetcher_;
+  }
+
+  // ------------------------------------------------ observability hooks
+  // The runner snapshots end-of-run state through these instead of
+  // dynamic_casting to concrete types, so strategies added through the
+  // api registry are observable without runner edits.
+
+  /// The cache engine serving this strategy, if any (null: uncached).
+  [[nodiscard]] virtual const cache::CacheEngine* cache_engine() const {
+    return nullptr;
+  }
+
+  /// Configured objects per option weight (Agar's Fig. 10 data); empty for
+  /// strategies without a weighted configuration.
+  [[nodiscard]] virtual std::unordered_map<std::size_t, std::size_t>
+  config_weight_histogram() const {
+    return {};
   }
 
  protected:

@@ -1,0 +1,181 @@
+// Determinism goldens for the api redesign: every configuration the old
+// StrategySpec::Kind enum could express maps to a declarative spec whose
+// seeded RunResults are byte-identical to a hand-rolled construction of
+// the same strategy (the exact wiring the pre-redesign make_strategy
+// switch performed). If a registration drifts from the old defaults —
+// proxy costs, periods, weights — these tests catch it sample-by-sample.
+#include <gtest/gtest.h>
+
+#include "api/api.hpp"
+#include "client/agar_strategy.hpp"
+#include "client/backend_strategy.hpp"
+#include "client/fixed_chunks_strategy.hpp"
+#include "client/lfu_config_strategy.hpp"
+
+namespace agar {
+namespace {
+
+client::ExperimentConfig golden_config() {
+  client::ExperimentConfig c;
+  c.deployment.num_objects = 25;
+  c.deployment.object_size_bytes = 16_KB;
+  c.deployment.seed = 31337;
+  c.ops_per_run = 150;
+  c.runs = 2;
+  c.num_clients = 2;
+  c.reconfig_period_ms = 10'000.0;
+  return c;
+}
+
+constexpr std::size_t kChunks = 5;
+constexpr std::size_t kCacheBytes = 1_MB;
+
+/// The pre-redesign construction, reproduced verbatim: a ClientContext
+/// filled from the config plus the per-kind parameter wiring the old
+/// make_strategy switch hardcoded.
+client::ClientContext legacy_ctx(const client::ExperimentConfig& config,
+                                 client::Deployment& deployment,
+                                 RegionId region, sim::EventLoop* loop) {
+  client::ClientContext ctx;
+  ctx.backend = &deployment.backend();
+  ctx.network = &deployment.network();
+  ctx.loop = loop;
+  ctx.region = region;
+  ctx.decode_ms_per_mb = config.decode_ms_per_mb;
+  ctx.verify_data = config.verify_data;
+  return ctx;
+}
+
+std::unique_ptr<cache::CacheEngine> engine_of(const std::string& name,
+                                              std::size_t capacity) {
+  return api::EngineRegistry::instance().create(
+      name, api::EngineContext{capacity}, api::ParamMap{});
+}
+
+client::StrategyFactory legacy_factory(const std::string& kind) {
+  return [kind](const client::ExperimentConfig& config,
+                client::Deployment& deployment, RegionId region,
+                sim::EventLoop* loop) -> std::unique_ptr<client::ReadStrategy> {
+    const auto ctx = legacy_ctx(config, deployment, region, loop);
+    if (kind == "backend") {
+      return std::make_unique<client::BackendStrategy>(ctx);
+    }
+    if (kind == "lru") {
+      client::FixedChunksParams p;
+      p.engine = "lru";
+      p.chunks_per_object = kChunks;
+      p.cache_capacity_bytes = kCacheBytes;
+      return std::make_unique<client::FixedChunksStrategy>(
+          ctx, p, engine_of("lru", kCacheBytes));
+    }
+    if (kind == "lfu") {
+      client::LfuConfigParams p;
+      p.chunks_per_object = kChunks;
+      p.cache_capacity_bytes = kCacheBytes;
+      p.reconfig_period_ms = config.reconfig_period_ms;
+      return std::make_unique<client::LfuConfigStrategy>(ctx, p);
+    }
+    if (kind == "lfu-eviction") {
+      client::FixedChunksParams p;
+      p.engine = "lfu";
+      p.chunks_per_object = kChunks;
+      p.cache_capacity_bytes = kCacheBytes;
+      p.proxy_overhead_ms = 0.5;  // frequency-tracking proxy (paper §V-A)
+      return std::make_unique<client::FixedChunksStrategy>(
+          ctx, p, engine_of("lfu", kCacheBytes));
+    }
+    if (kind == "tinylfu") {
+      client::FixedChunksParams p;
+      p.engine = "tinylfu";
+      p.chunks_per_object = kChunks;
+      p.cache_capacity_bytes = kCacheBytes;
+      p.proxy_overhead_ms = 0.5;
+      return std::make_unique<client::FixedChunksStrategy>(
+          ctx, p, engine_of("tinylfu", kCacheBytes));
+    }
+    // agar
+    core::AgarNodeParams p;
+    p.region = region;
+    p.cache_capacity_bytes = kCacheBytes;
+    p.reconfig_period_ms = config.reconfig_period_ms;
+    p.cache_manager.candidate_weights = config.agar_candidate_weights;
+    p.cache_manager.cache_latency_ms =
+        deployment.network().model().params().cache_base_ms;
+    return std::make_unique<client::AgarStrategy>(ctx, p);
+  };
+}
+
+/// Spec equivalent of each legacy kind, via the string front end.
+api::ExperimentSpec spec_of(const std::string& kind,
+                            const client::ExperimentConfig& config) {
+  api::ExperimentSpec spec;
+  spec.experiment = config;
+  spec.set("system", kind);
+  if (kind != "backend") {
+    spec.set("cache_bytes", std::to_string(kCacheBytes));
+    if (kind != "agar") spec.set("chunks", std::to_string(kChunks));
+  }
+  return spec;
+}
+
+void expect_byte_identical(const client::RunResult& a,
+                           const client::RunResult& b,
+                           const std::string& kind) {
+  EXPECT_EQ(a.ops, b.ops) << kind;
+  EXPECT_EQ(a.full_hits, b.full_hits) << kind;
+  EXPECT_EQ(a.partial_hits, b.partial_hits) << kind;
+  EXPECT_EQ(a.wire_fetches, b.wire_fetches) << kind;
+  EXPECT_EQ(a.coalesced_fetches, b.coalesced_fetches) << kind;
+  EXPECT_EQ(a.cache_stats.hits, b.cache_stats.hits) << kind;
+  EXPECT_EQ(a.cache_stats.evictions, b.cache_stats.evictions) << kind;
+  EXPECT_EQ(a.cache_used_bytes, b.cache_used_bytes) << kind;
+  EXPECT_EQ(a.duration_ms, b.duration_ms) << kind;
+  const auto& sa = a.latencies.sorted_samples();
+  const auto& sb = b.latencies.sorted_samples();
+  ASSERT_EQ(sa.size(), sb.size()) << kind;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    // Bitwise-equal doubles, not approximately equal.
+    EXPECT_EQ(sa[i], sb[i]) << kind << " sample " << i;
+  }
+}
+
+class ApiGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ApiGolden, SpecMatchesLegacyConstructionByteForByte) {
+  const std::string kind = GetParam();
+  const auto config = golden_config();
+
+  const auto via_spec = api::run(spec_of(kind, config)).result;
+  const auto via_legacy =
+      client::run_experiment(config, legacy_factory(kind), kind);
+
+  ASSERT_EQ(via_spec.runs.size(), via_legacy.runs.size());
+  for (std::size_t r = 0; r < via_spec.runs.size(); ++r) {
+    expect_byte_identical(via_spec.runs[r], via_legacy.runs[r], kind);
+  }
+}
+
+TEST_P(ApiGolden, SpecRunsAreRepeatable) {
+  const std::string kind = GetParam();
+  const auto spec = spec_of(kind, golden_config());
+  const auto a = api::run(spec).result;
+  const auto b = api::run(spec).result;
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    expect_byte_identical(a.runs[r], b.runs[r], kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LegacyKinds, ApiGolden,
+    ::testing::Values("backend", "lru", "lfu", "lfu-eviction", "tinylfu",
+                      "agar"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace agar

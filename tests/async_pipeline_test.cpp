@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "api/api.hpp"
 #include "client/backend_strategy.hpp"
 #include "client/fixed_chunks_strategy.hpp"
 #include "client/runner.hpp"
@@ -98,7 +99,10 @@ TEST_F(AsyncPipelineTest, ReadPathCoalescesWithPopulationFetches) {
   FixedChunksParams p;
   p.chunks_per_object = 9;
   p.cache_capacity_bytes = 100_MB;
-  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p,
+                        api::EngineRegistry::instance().create(
+                            "lru", api::EngineContext{p.cache_capacity_bytes},
+                            api::ParamMap{}));
   std::size_t done = 0;
   s.start_read("object0", [&](const ReadResult&) { ++done; });
   loop_.run_until(1.0);  // first read's fetches now in flight
@@ -203,6 +207,14 @@ ExperimentConfig open_loop_config() {
   return c;
 }
 
+ExperimentResult run_system(const ExperimentConfig& config,
+                            const std::vector<std::string>& pairs) {
+  api::ExperimentSpec spec;
+  spec.experiment = config;
+  for (const auto& pair : pairs) spec.set_pair(pair);
+  return api::run(spec).result;
+}
+
 void expect_identical(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.ops, b.ops);
   EXPECT_EQ(a.full_hits, b.full_hits);
@@ -225,8 +237,8 @@ void expect_identical(const RunResult& a, const RunResult& b) {
 
 TEST(OpenLoopRunner, MultiRegionPoissonRunIsDeterministic) {
   const auto config = open_loop_config();
-  const auto a = run_experiment(config, StrategySpec::agar(10_MB));
-  const auto b = run_experiment(config, StrategySpec::agar(10_MB));
+  const auto a = run_system(config, {"system=agar", "cache_bytes=10MB"});
+  const auto b = run_system(config, {"system=agar", "cache_bytes=10MB"});
   ASSERT_EQ(a.runs.size(), b.runs.size());
   for (std::size_t r = 0; r < a.runs.size(); ++r) {
     expect_identical(a.runs[r], b.runs[r]);
@@ -238,11 +250,11 @@ TEST(OpenLoopRunner, MultiRegionPoissonRunIsDeterministic) {
 
 TEST(OpenLoopRunner, ArrivalsOverlapUnlikeClosedLoop) {
   auto config = open_loop_config();
-  const auto open = run_experiment(config, StrategySpec::backend());
+  const auto open = run_system(config, {"system=backend"});
   // Closed-loop with the same budget: at most num_clients reads in flight.
   config.arrival_rate_per_s = 0.0;
   config.num_clients = 2;
-  const auto closed = run_experiment(config, StrategySpec::backend());
+  const auto closed = run_system(config, {"system=backend"});
   ASSERT_EQ(open.runs.size(), 2u);
   EXPECT_GT(open.runs[0].max_reads_in_flight, 4u);
   EXPECT_LE(closed.runs[0].max_reads_in_flight, 4u);  // 2 clients x 2 regions
@@ -253,9 +265,9 @@ TEST(OpenLoopRunner, ArrivalsOverlapUnlikeClosedLoop) {
 
 TEST(OpenLoopRunner, SeedChangesChangeOpenLoopResults) {
   auto config = open_loop_config();
-  const auto a = run_experiment(config, StrategySpec::lru(9, 10_MB));
+  const auto a = run_system(config, {"system=lru", "chunks=9", "cache_bytes=10MB"});
   config.deployment.seed = 999;
-  const auto b = run_experiment(config, StrategySpec::lru(9, 10_MB));
+  const auto b = run_system(config, {"system=lru", "chunks=9", "cache_bytes=10MB"});
   EXPECT_NE(a.mean_latency_ms(), b.mean_latency_ms());
 }
 
@@ -270,7 +282,7 @@ TEST(ClosedLoopRunner, MultiRegionClientsShareTheDeployment) {
   config.runs = 1;
   config.num_clients = 2;
   config.reconfig_period_ms = 2000.0;
-  const auto result = run_experiment(config, StrategySpec::agar(10_MB));
+  const auto result = run_system(config, {"system=agar", "cache_bytes=10MB"});
   EXPECT_EQ(result.total_ops(), 120u);
   EXPECT_GT(result.runs[0].throughput_ops_per_s(), 0.0);
   // Three regions' worth of closed-loop clients overlap on the timeline.

@@ -1,0 +1,262 @@
+// ExperimentSpec: key=value routing, JSON spec files (round-trip and
+// malformed-input diagnostics), sweep expansion, validation.
+#include "api/experiment_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "api/json.hpp"
+#include "api/registry.hpp"
+
+namespace agar::api {
+namespace {
+
+TEST(ExperimentSpec, KeyValueRoutingReachesTypedFields) {
+  const auto spec = ExperimentSpec::from_pairs(
+      {"system=lru", "chunks=5", "cache_bytes=2MB", "workload=zipf:1.3",
+       "region=sydney", "objects=120", "object_bytes=64KB", "ops=500",
+       "runs=3", "clients=4", "arrival_rate=12.5", "period_s=15",
+       "seed=99", "verify=true", "max_outstanding=8", "decode_ms_per_mb=2",
+       "weights=1,5,9", "rs_k=6", "rs_m=2", "placement_offset=true"});
+  EXPECT_EQ(spec.system, "lru");
+  EXPECT_EQ(spec.params.get_size("chunks", 0), 5u);
+  EXPECT_EQ(spec.params.get_size("cache_bytes", 0), 2_MB);
+  EXPECT_EQ(spec.experiment.workload.kind,
+            client::WorkloadSpec::Kind::kZipfian);
+  EXPECT_DOUBLE_EQ(spec.experiment.workload.zipf_skew, 1.3);
+  EXPECT_EQ(spec.experiment.client_region, sim::region::kSydney);
+  EXPECT_EQ(spec.experiment.deployment.num_objects, 120u);
+  EXPECT_EQ(spec.experiment.deployment.object_size_bytes, 64_KB);
+  EXPECT_EQ(spec.experiment.ops_per_run, 500u);
+  EXPECT_EQ(spec.experiment.runs, 3u);
+  EXPECT_EQ(spec.experiment.num_clients, 4u);
+  EXPECT_DOUBLE_EQ(spec.experiment.arrival_rate_per_s, 12.5);
+  EXPECT_DOUBLE_EQ(spec.experiment.reconfig_period_ms, 15'000.0);
+  EXPECT_EQ(spec.experiment.deployment.seed, 99u);
+  EXPECT_TRUE(spec.experiment.verify_data);
+  EXPECT_EQ(spec.experiment.max_outstanding_per_region, 8u);
+  EXPECT_DOUBLE_EQ(spec.experiment.decode_ms_per_mb, 2.0);
+  EXPECT_EQ(spec.experiment.agar_candidate_weights,
+            (std::vector<std::size_t>{1, 5, 9}));
+  EXPECT_EQ(spec.experiment.deployment.codec.k, 6u);
+  EXPECT_EQ(spec.experiment.deployment.codec.m, 2u);
+  EXPECT_TRUE(spec.experiment.deployment.per_key_placement_offset);
+  spec.validate();
+}
+
+TEST(ExperimentSpec, WithCopiesAndOverrides) {
+  const auto base = ExperimentSpec::from_pairs({"system=agar", "ops=100"});
+  const auto derived = base.with({"system=lru", "chunks=3"});
+  EXPECT_EQ(base.system, "agar");
+  EXPECT_EQ(derived.system, "lru");
+  EXPECT_EQ(derived.experiment.ops_per_run, 100u);
+  EXPECT_EQ(derived.params.get_size("chunks", 0), 3u);
+}
+
+TEST(ExperimentSpec, RegionAfterRegionsWinsAndViceVersa) {
+  // Last writer wins in both directions — a later "region" must not be
+  // silently shadowed by an earlier multi-region list.
+  const auto narrowed = ExperimentSpec::from_pairs(
+      {"regions=dublin,tokyo", "region=sydney"});
+  EXPECT_TRUE(narrowed.experiment.client_regions.empty());
+  EXPECT_EQ(narrowed.experiment.client_region, sim::region::kSydney);
+  EXPECT_EQ(narrowed.experiment.effective_client_regions(),
+            std::vector<RegionId>{sim::region::kSydney});
+
+  const auto widened = ExperimentSpec::from_pairs(
+      {"region=sydney", "regions=dublin,tokyo"});
+  EXPECT_EQ(widened.experiment.effective_client_regions(),
+            (std::vector<RegionId>{sim::region::kDublin,
+                                   sim::region::kTokyo}));
+}
+
+TEST(ExperimentSpec, UnknownEngineFailsAtValidateTime) {
+  EXPECT_THROW(ExperimentSpec::from_pairs(
+                   {"system=fixed-chunks", "engine=arcc"})
+                   .validate(),
+               UnknownNameError);
+}
+
+TEST(ExperimentSpec, EmptyValueClearsAStrategyParam) {
+  auto spec = ExperimentSpec::from_pairs({"system=lru", "cache_bytes=1MB"});
+  EXPECT_TRUE(spec.params.has("cache_bytes"));
+  spec.set_pair("cache_bytes=");
+  EXPECT_FALSE(spec.params.has("cache_bytes"));
+}
+
+TEST(ExperimentSpec, MalformedValuesThrowWithDiagnostics) {
+  EXPECT_THROW((void)ExperimentSpec::from_pairs({"ops=banana"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::from_pairs({"region=atlantis"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::from_pairs({"workload=zipf:fast"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::from_pairs({"not-a-pair"}),
+               std::invalid_argument);
+  try {
+    (void)ExperimentSpec::from_pairs({"region=atlantis"});
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    // Diagnostic lists the known regions.
+    EXPECT_NE(std::string(e.what()).find("frankfurt"), std::string::npos);
+  }
+}
+
+TEST(ExperimentSpec, ValidateRejectsUnknownAndMistypedParams) {
+  EXPECT_THROW(
+      ExperimentSpec::from_pairs({"system=backend", "chunks=5"}).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ExperimentSpec::from_pairs({"system=lru", "chunks=lots"}).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(ExperimentSpec::from_pairs({"system=unheard-of"}).validate(),
+               UnknownNameError);
+  // Engine-specific params ride along through the fixed-chunks adapter.
+  ExperimentSpec::from_pairs({"system=tinylfu", "sketch_width=128"})
+      .validate();
+  EXPECT_THROW(ExperimentSpec::from_pairs({"system=lru", "sketch_width=128"})
+                   .validate(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, JsonRoundTripPreservesEverything) {
+  const auto spec = ExperimentSpec::from_pairs(
+      {"system=tinylfu", "chunks=7", "cache_bytes=3MB", "sketch_width=512",
+       "workload=uniform", "regions=dublin,tokyo", "objects=50",
+       "object_bytes=128KB", "ops=400", "runs=2", "clients=3",
+       "arrival_rate=5", "period_s=20", "seed=123", "verify=true",
+       "max_outstanding=16", "decode_ms_per_mb=1.5", "weights=3,7",
+       "rs_k=9", "rs_m=3", "placement_offset=false"});
+  const auto parsed = parse_spec_json(spec.to_json());
+  ASSERT_EQ(parsed.size(), 1u);
+  const auto& back = parsed[0];
+  EXPECT_EQ(back.system, spec.system);
+  EXPECT_EQ(back.params.entries(), spec.params.entries());
+  EXPECT_EQ(back.experiment.client_regions, spec.experiment.client_regions);
+  EXPECT_EQ(back.experiment.workload.kind, spec.experiment.workload.kind);
+  EXPECT_EQ(back.experiment.deployment.object_size_bytes,
+            spec.experiment.deployment.object_size_bytes);
+  EXPECT_EQ(back.experiment.deployment.seed, spec.experiment.deployment.seed);
+  EXPECT_TRUE(back.experiment.verify_data);
+  EXPECT_EQ(back.experiment.agar_candidate_weights,
+            spec.experiment.agar_candidate_weights);
+  EXPECT_DOUBLE_EQ(back.experiment.reconfig_period_ms,
+                   spec.experiment.reconfig_period_ms);
+  EXPECT_EQ(back.label(), spec.label());
+}
+
+TEST(ExperimentSpec, SystemsArrayExpandsIntoComparison) {
+  const auto specs = parse_spec_json(R"({
+    "objects": 30, "ops": 100,
+    "systems": [
+      {"system": "agar", "cache_bytes": "1MB"},
+      {"system": "lru", "chunks": 5, "cache_bytes": "1MB"},
+      "backend"
+    ]
+  })");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].system, "agar");
+  EXPECT_EQ(specs[1].params.get_size("chunks", 0), 5u);
+  EXPECT_EQ(specs[2].system, "backend");
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.experiment.deployment.num_objects, 30u);
+    EXPECT_EQ(s.experiment.ops_per_run, 100u);
+  }
+}
+
+TEST(ExperimentSpec, SweepSectionExpandsGrid) {
+  const auto specs = parse_spec_json(R"({
+    "system": "lru", "cache_bytes": "1MB",
+    "sweep": {"chunks": [1, 5], "workload": ["uniform", "zipf:1.1"]}
+  })");
+  ASSERT_EQ(specs.size(), 4u);
+  // First sweep key is outermost.
+  EXPECT_EQ(specs[0].params.get_size("chunks", 0), 1u);
+  EXPECT_EQ(specs[1].params.get_size("chunks", 0), 1u);
+  EXPECT_EQ(specs[2].params.get_size("chunks", 0), 5u);
+  EXPECT_EQ(specs[0].experiment.workload.kind,
+            client::WorkloadSpec::Kind::kUniform);
+  EXPECT_EQ(specs[1].experiment.workload.kind,
+            client::WorkloadSpec::Kind::kZipfian);
+}
+
+TEST(ExperimentSpec, MalformedJsonDiagnosticsNamePosition) {
+  try {
+    (void)parse_spec_json("{\n  \"ops\": 10,\n  oops\n}");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_spec_json("[1,2,3]"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec_json(R"({"systems": 5})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_spec_json(R"({"sweep": {"chunks": []}})"),
+               std::invalid_argument);
+  // Spec-level validation runs on every parsed spec.
+  EXPECT_THROW((void)parse_spec_json(R"({"system": "nope"})"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, LoadSpecFileReadsAndNamesThePath) {
+  const std::string path = ::testing::TempDir() + "/spec_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"system": "arc", "chunks": 5, "cache_bytes": "1MB",)"
+        << R"( "objects": 10, "ops": 50})";
+  }
+  const auto specs = load_spec_file(path);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].label(), "ARC-5");
+  std::remove(path.c_str());
+
+  try {
+    (void)load_spec_file("/definitely/not/here.json");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("/definitely/not/here.json"),
+              std::string::npos);
+  }
+}
+
+TEST(Sweep, GridOrderAndBaseInheritance) {
+  const auto base =
+      ExperimentSpec::from_pairs({"system=lru", "cache_bytes=1MB", "ops=10"});
+  const auto specs =
+      sweep(base, {{"chunks", {"1", "9"}}, {"seed", {"1", "2", "3"}}});
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].params.get_size("chunks", 0), 1u);
+  EXPECT_EQ(specs[0].experiment.deployment.seed, 1u);
+  EXPECT_EQ(specs[2].experiment.deployment.seed, 3u);
+  EXPECT_EQ(specs[3].params.get_size("chunks", 0), 9u);
+  for (const auto& s : specs) EXPECT_EQ(s.experiment.ops_per_run, 10u);
+  EXPECT_THROW((void)sweep(base, {{"chunks", {}}}), std::invalid_argument);
+}
+
+TEST(Json, ParserHandlesEscapesAndNesting) {
+  const auto v = parse_json(
+      R"({"a": "x\ny", "b": [1, 2.5, true, null], "c": {"d": "e"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->text, "x\ny");
+  EXPECT_EQ(v.find("b")->array.size(), 4u);
+  EXPECT_EQ(v.find("b")->array[1].text, "2.5");
+  EXPECT_EQ(v.find("c")->find("d")->text, "e");
+  EXPECT_THROW((void)parse_json("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW((void)parse_json("{\"a\": 1} trailing"),
+               std::invalid_argument);
+  // \u escapes: valid Latin-1 passes, non-hex digits fail with the
+  // parser's positioned diagnostic instead of a raw stoul exception.
+  EXPECT_EQ(parse_json(R"({"a": "A"})").find("a")->text, "A");
+  try {
+    (void)parse_json(R"({"a": "\u12g4"})");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_json(R"({"a": "\uzzzz"})"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agar::api

@@ -1,9 +1,11 @@
 // End-to-end integration: the full paper deployment exercised through the
-// public API, with real payload verification, reconfiguration over simulated
-// time, failure injection, and the headline Agar-vs-static-policy ordering
-// on a scaled-down working set.
+// public API (declarative specs + registries), with real payload
+// verification, reconfiguration over simulated time, failure injection,
+// and the headline Agar-vs-static-policy ordering on a scaled-down
+// working set.
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "client/report.hpp"
 #include "client/runner.hpp"
 
@@ -34,37 +36,49 @@ std::size_t cache_for_objects(const ExperimentConfig& c, double objects) {
   return static_cast<std::size_t>(9.0 * objects * static_cast<double>(chunk));
 }
 
+api::ExperimentSpec spec_for(const ExperimentConfig& config,
+                             const std::vector<std::string>& pairs) {
+  api::ExperimentSpec spec;
+  spec.experiment = config;
+  for (const auto& pair : pairs) spec.set_pair(pair);
+  return spec;
+}
+
 TEST(Integration, AgarBeatsStaticPoliciesOnSkewedWorkload) {
   auto config = paper_mini();
-  const std::size_t cache = cache_for_objects(config, 4.0);  // ~10% of data
+  // ~10% of the data set.
+  const std::string cache =
+      "cache_bytes=" + std::to_string(cache_for_objects(config, 4.0));
 
-  const auto results = run_comparison(
-      config, {
-                  StrategySpec::agar(cache),
-                  StrategySpec::lru(1, cache),
-                  StrategySpec::lru(9, cache),
-                  StrategySpec::lfu(5, cache),
-                  StrategySpec::lfu(9, cache),
-                  StrategySpec::backend(),
-              });
+  const auto reports = api::run_all({
+      spec_for(config, {"system=agar", cache}),
+      spec_for(config, {"system=lru", "chunks=1", cache}),
+      spec_for(config, {"system=lru", "chunks=9", cache}),
+      spec_for(config, {"system=lfu", "chunks=5", cache}),
+      spec_for(config, {"system=lfu", "chunks=9", cache}),
+      spec_for(config, {"system=backend"}),
+  });
 
-  const double agar = results[0].mean_latency_ms();
-  const double backend = results.back().mean_latency_ms();
+  const double agar = reports[0].result.mean_latency_ms();
+  const double backend = reports.back().result.mean_latency_ms();
   // Agar must beat the backend massively and every static policy we ran
   // (the paper reports 16-41% over the best static policy; we only assert
   // the ordering, not the magnitude).
   EXPECT_LT(agar, backend);
-  for (std::size_t i = 1; i + 1 < results.size(); ++i) {
-    EXPECT_LT(agar, results[i].mean_latency_ms() * 1.02)
-        << "vs " << results[i].spec.label();
+  for (std::size_t i = 1; i + 1 < reports.size(); ++i) {
+    EXPECT_LT(agar, reports[i].result.mean_latency_ms() * 1.02)
+        << "vs " << reports[i].label();
   }
 }
 
 TEST(Integration, HitRatioOrderingMatchesFig7) {
   auto config = paper_mini();
-  const std::size_t cache = cache_for_objects(config, 4.0);
-  const auto lru1 = run_experiment(config, StrategySpec::lru(1, cache));
-  const auto lru9 = run_experiment(config, StrategySpec::lru(9, cache));
+  const std::string cache =
+      "cache_bytes=" + std::to_string(cache_for_objects(config, 4.0));
+  const auto lru1 =
+      api::run(spec_for(config, {"system=lru", "chunks=1", cache})).result;
+  const auto lru9 =
+      api::run(spec_for(config, {"system=lru", "chunks=9", cache})).result;
   // Fewer chunks per object -> more objects fit -> higher hit ratio.
   EXPECT_GT(lru1.hit_ratio(), lru9.hit_ratio());
 }
@@ -75,7 +89,11 @@ TEST(Integration, VerifiedEndToEndWithRealPayloads) {
   config.ops_per_run = 200;
   config.runs = 1;
   const auto agar =
-      run_experiment(config, StrategySpec::agar(cache_for_objects(config, 4)));
+      api::run(spec_for(config,
+                        {"system=agar",
+                         "cache_bytes=" +
+                             std::to_string(cache_for_objects(config, 4))}))
+          .result;
   EXPECT_EQ(agar.runs[0].verified, agar.runs[0].ops);
 }
 
@@ -84,8 +102,12 @@ TEST(Integration, CacheSizeSweepIsMonotoneForLru) {
   config.ops_per_run = 400;
   double prev = std::numeric_limits<double>::infinity();
   for (const double objects : {1.0, 4.0, 16.0, 40.0}) {
-    const auto r = run_experiment(
-        config, StrategySpec::lru(9, cache_for_objects(config, objects)));
+    const auto r =
+        api::run(spec_for(config,
+                          {"system=lru", "chunks=9",
+                           "cache_bytes=" + std::to_string(cache_for_objects(
+                                                config, objects))}))
+            .result;
     // Larger caches can only help (tolerate small jitter noise).
     EXPECT_LE(r.mean_latency_ms(), prev * 1.05);
     prev = r.mean_latency_ms();
@@ -95,19 +117,11 @@ TEST(Integration, CacheSizeSweepIsMonotoneForLru) {
 TEST(Integration, SkewSweepHelpsCachingSystems) {
   auto config = paper_mini();
   config.ops_per_run = 400;
-  const std::size_t cache = cache_for_objects(config, 4.0);
-  const auto uniform_cfg = [&] {
-    auto c = config;
-    c.workload = WorkloadSpec::uniform();
-    return c;
-  }();
-  const auto skewed_cfg = [&] {
-    auto c = config;
-    c.workload = WorkloadSpec::zipfian(1.4);
-    return c;
-  }();
-  const auto uniform = run_experiment(uniform_cfg, StrategySpec::lfu(9, cache));
-  const auto skewed = run_experiment(skewed_cfg, StrategySpec::lfu(9, cache));
+  const std::string cache =
+      "cache_bytes=" + std::to_string(cache_for_objects(config, 4.0));
+  const auto base = spec_for(config, {"system=lfu", "chunks=9", cache});
+  const auto uniform = api::run(base.with({"workload=uniform"})).result;
+  const auto skewed = api::run(base.with({"workload=zipf:1.4"})).result;
   EXPECT_LT(skewed.mean_latency_ms(), uniform.mean_latency_ms());
   EXPECT_GT(skewed.hit_ratio(), uniform.hit_ratio());
 }
@@ -115,10 +129,9 @@ TEST(Integration, SkewSweepHelpsCachingSystems) {
 TEST(Integration, FrankfurtVsSydneyGeographyMatters) {
   auto config = paper_mini();
   config.ops_per_run = 300;
-  auto sydney_cfg = config;
-  sydney_cfg.client_region = sim::region::kSydney;
-  const auto fra = run_experiment(config, StrategySpec::backend());
-  const auto syd = run_experiment(sydney_cfg, StrategySpec::backend());
+  const auto base = spec_for(config, {"system=backend"});
+  const auto fra = api::run(base.with({"region=frankfurt"})).result;
+  const auto syd = api::run(base.with({"region=sydney"})).result;
   // Both dominated by their furthest needed chunk; Sydney's is further.
   EXPECT_GT(syd.mean_latency_ms(), fra.mean_latency_ms() * 0.9);
 }
@@ -135,9 +148,11 @@ TEST(Integration, AgarSurvivesRegionOutageMidRun) {
   Deployment deployment(dep);
   deployment.network().fail_region(sim::region::kVirginia);
 
-  auto strategy =
-      make_strategy(config, StrategySpec::agar(cache_for_objects(config, 4)),
-                    deployment);
+  const auto spec = spec_for(
+      config, {"system=agar",
+               "cache_bytes=" + std::to_string(cache_for_objects(config, 4))});
+  const auto strategy =
+      api::make_strategy(spec, deployment, config.client_region);
   strategy->warm_up();
   Workload workload(config.workload, dep.num_objects, 99);
   for (int i = 0; i < 150; ++i) {
@@ -150,13 +165,16 @@ TEST(Integration, ReportFormattingSmoke) {
   auto config = paper_mini();
   config.ops_per_run = 100;
   config.runs = 1;
-  const auto results =
-      run_comparison(config, {StrategySpec::backend(),
-                              StrategySpec::agar(cache_for_objects(config, 4))});
+  const auto reports = api::run_all(
+      {spec_for(config, {"system=backend"}),
+       spec_for(config,
+                {"system=agar",
+                 "cache_bytes=" +
+                     std::to_string(cache_for_objects(config, 4))})});
   const std::string table = format_table(
       {"system", "latency"},
-      {{results[0].spec.label(), fmt_ms(results[0].mean_latency_ms())},
-       {results[1].spec.label(), fmt_ms(results[1].mean_latency_ms())}});
+      {{reports[0].label(), fmt_ms(reports[0].result.mean_latency_ms())},
+       {reports[1].label(), fmt_ms(reports[1].result.mean_latency_ms())}});
   EXPECT_NE(table.find("Backend"), std::string::npos);
   EXPECT_NE(table.find("Agar"), std::string::npos);
   EXPECT_EQ(fmt_pct(0.5), "50.0%");

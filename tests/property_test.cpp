@@ -6,10 +6,8 @@
 #include <functional>
 #include <memory>
 
-#include "cache/lfu_cache.hpp"
-#include "cache/lru_cache.hpp"
+#include "api/api.hpp"
 #include "cache/static_cache.hpp"
-#include "cache/tinylfu_cache.hpp"
 #include "client/runner.hpp"
 #include "common/rng.hpp"
 #include "core/option_generator.hpp"
@@ -19,25 +17,31 @@ namespace agar {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Cache-engine invariants, parameterized over (engine kind, capacity).
-
-enum class EngineKind { kLru, kLfu, kTinyLfu };
+// Cache-engine invariants, parameterized over (registered engine name,
+// capacity) — every engine in the api registry is covered automatically,
+// including ones added later (ARC proved this).
 
 struct EngineParam {
-  EngineKind kind;
+  std::string name;
   std::size_t capacity;
 };
 
+std::ostream& operator<<(std::ostream& os, const EngineParam& p) {
+  return os << p.name << "/" << p.capacity;
+}
+
 std::unique_ptr<cache::CacheEngine> make_engine(const EngineParam& p) {
-  switch (p.kind) {
-    case EngineKind::kLru:
-      return std::make_unique<cache::LruCache>(p.capacity);
-    case EngineKind::kLfu:
-      return std::make_unique<cache::LfuCache>(p.capacity);
-    case EngineKind::kTinyLfu:
-      return std::make_unique<cache::TinyLfuCache>(p.capacity);
+  return api::EngineRegistry::instance().create(
+      p.name, api::EngineContext{p.capacity}, api::ParamMap{});
+}
+
+std::vector<EngineParam> all_engine_params() {
+  std::vector<EngineParam> out;
+  for (const auto& name : api::EngineRegistry::instance().names()) {
+    out.push_back(EngineParam{name, 256});
+    out.push_back(EngineParam{name, 4096});
   }
-  return nullptr;
+  return out;
 }
 
 class EngineInvariants : public ::testing::TestWithParam<EngineParam> {};
@@ -104,13 +108,10 @@ TEST_P(EngineInvariants, ClearLeavesEmptyEngine) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Engines, EngineInvariants,
-    ::testing::Values(EngineParam{EngineKind::kLru, 256},
-                      EngineParam{EngineKind::kLru, 4096},
-                      EngineParam{EngineKind::kLfu, 256},
-                      EngineParam{EngineKind::kLfu, 4096},
-                      EngineParam{EngineKind::kTinyLfu, 256},
-                      EngineParam{EngineKind::kTinyLfu, 4096}));
+    Engines, EngineInvariants, ::testing::ValuesIn(all_engine_params()),
+    [](const ::testing::TestParamInfo<EngineParam>& info) {
+      return info.param.name + "_" + std::to_string(info.param.capacity);
+    });
 
 // ---------------------------------------------------------------------------
 // Option-generator invariants over randomized latency landscapes.
@@ -164,28 +165,31 @@ TEST_P(OptionProperties, InvariantsOnRandomLatencies) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OptionProperties, ::testing::Range(0, 4));
 
 // ---------------------------------------------------------------------------
-// End-to-end determinism: identical configs give bit-identical results for
-// every strategy kind.
+// End-to-end determinism: identical specs give bit-identical results for
+// every runnable system — strategies AND engines running through the
+// fixed-chunks adapter, straight from registry introspection.
 
-class Determinism
-    : public ::testing::TestWithParam<client::StrategySpec::Kind> {};
+class Determinism : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(Determinism, RepeatRunsAreIdentical) {
-  client::ExperimentConfig config;
-  config.deployment.num_objects = 25;
-  config.deployment.object_size_bytes = 9000;
-  config.deployment.seed = 31337;
-  config.ops_per_run = 150;
-  config.runs = 1;
-  config.reconfig_period_ms = 10'000.0;
+  api::ExperimentSpec spec;
+  spec.experiment.deployment.num_objects = 25;
+  spec.experiment.deployment.object_size_bytes = 9000;
+  spec.experiment.deployment.seed = 31337;
+  spec.experiment.ops_per_run = 150;
+  spec.experiment.runs = 1;
+  spec.experiment.reconfig_period_ms = 10'000.0;
 
-  client::StrategySpec spec;
-  spec.kind = GetParam();
-  spec.chunks = 5;
-  spec.cache_bytes = 64_KB;
+  spec.system = GetParam();
+  const auto& schema =
+      api::StrategyRegistry::instance()
+          .at(api::resolve_system(spec.system, spec.params).first)
+          .schema;
+  if (schema.has("chunks")) spec.params.set("chunks", "5");
+  if (schema.has("cache_bytes")) spec.params.set("cache_bytes", "64KB");
 
-  const auto a = run_experiment(config, spec);
-  const auto b = run_experiment(config, spec);
+  const auto a = api::run(spec).result;
+  const auto b = api::run(spec).result;
   EXPECT_DOUBLE_EQ(a.mean_latency_ms(), b.mean_latency_ms());
   EXPECT_EQ(a.runs[0].full_hits, b.runs[0].full_hits);
   EXPECT_EQ(a.runs[0].partial_hits, b.runs[0].partial_hits);
@@ -193,13 +197,15 @@ TEST_P(Determinism, RepeatRunsAreIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllStrategies, Determinism,
-    ::testing::Values(client::StrategySpec::Kind::kBackend,
-                      client::StrategySpec::Kind::kLru,
-                      client::StrategySpec::Kind::kLfu,
-                      client::StrategySpec::Kind::kLfuEviction,
-                      client::StrategySpec::Kind::kTinyLfu,
-                      client::StrategySpec::Kind::kAgar));
+    AllSystems, Determinism,
+    ::testing::ValuesIn(api::runnable_systems()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 // ---------------------------------------------------------------------------
 // Random damage + repair: for ANY damage pattern of <= m chunks per object,

@@ -1,0 +1,208 @@
+// The api registries: registration/lookup, unknown-name diagnostics,
+// duplicate rejection, label derivation, engine->fixed-chunks fallback,
+// and the ParamMap typed accessors the whole layer is built on.
+#include "api/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/experiment_spec.hpp"
+#include "cache/cache.hpp"
+#include "client/runner.hpp"
+
+namespace agar::api {
+namespace {
+
+// ------------------------------------------------------------- ParamMap
+
+TEST(ParamMap, TypedGettersParseAndFallBack) {
+  ParamMap params;
+  params.set("cache_bytes", "10MB");
+  params.set("chunks", "5");
+  params.set("rate", "2.5");
+  params.set("verify", "true");
+  params.set("weights", "1,3,9");
+  EXPECT_EQ(params.get_size("cache_bytes", 0), 10_MB);
+  EXPECT_EQ(params.get_size("chunks", 0), 5u);
+  EXPECT_DOUBLE_EQ(params.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(params.get_bool("verify", false));
+  EXPECT_EQ(params.get_size_list("weights", {}),
+            (std::vector<std::size_t>{1, 3, 9}));
+  // Unset keys fall back.
+  EXPECT_EQ(params.get_size("missing", 42), 42u);
+  EXPECT_EQ(params.get_string("missing", "x"), "x");
+}
+
+TEST(ParamMap, SizeSuffixesAndCase) {
+  EXPECT_EQ(parse_size("4096"), 4096u);
+  EXPECT_EQ(parse_size("512KB"), 512_KB);
+  EXPECT_EQ(parse_size("10mb"), 10_MB);
+  EXPECT_EQ(parse_size("1G"), 1024 * 1_MB);
+  EXPECT_THROW((void)parse_size("ten"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size("10XB"), std::invalid_argument);
+  // stoull would happily wrap negatives to huge values; sizes must not.
+  EXPECT_THROW((void)parse_size("-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size("-10MB"), std::invalid_argument);
+  EXPECT_THROW((void)parse_size("+5"), std::invalid_argument);
+}
+
+TEST(ParamMap, MalformedValueNamesTheKey) {
+  ParamMap params;
+  params.set("chunks", "banana");
+  try {
+    (void)params.get_size("chunks", 0);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("chunks"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
+TEST(ParamMap, SplitPairRejectsMalformedInput) {
+  EXPECT_THROW((void)split_pair("no-equals"), std::invalid_argument);
+  EXPECT_THROW((void)split_pair("=value"), std::invalid_argument);
+  const auto [k, v] = split_pair("a=b=c");
+  EXPECT_EQ(k, "a");
+  EXPECT_EQ(v, "b=c");
+}
+
+TEST(ParamMap, ValidateRejectsUnknownKeysWithAcceptedList) {
+  const ParamSchema schema{{{"chunks", ParamType::kSize, "9", ""}}};
+  ParamMap params;
+  params.set("chunkz", "5");
+  try {
+    params.validate(schema, "system 'lru'");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chunkz"), std::string::npos);
+    EXPECT_NE(what.find("chunks"), std::string::npos);  // accepted list
+    EXPECT_NE(what.find("system 'lru'"), std::string::npos);
+  }
+}
+
+TEST(ParamMap, ValidateTypeChecksDeclaredParams) {
+  const ParamSchema schema{{{"chunks", ParamType::kSize, "9", ""}}};
+  ParamMap params;
+  params.set("chunks", "not-a-number");
+  EXPECT_THROW(params.validate(schema, "test"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ registries
+
+TEST(Registry, BuiltinEnginesAreRegistered) {
+  const auto names = EngineRegistry::instance().names();
+  for (const char* expected : {"arc", "lfu", "lru", "tinylfu"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // Sorted for stable --list output.
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, BuiltinStrategiesAreRegistered) {
+  const auto names = StrategyRegistry::instance().names();
+  for (const char* expected :
+       {"agar", "backend", "fixed-chunks", "lfu", "lfu-eviction"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Registry, UnknownNameErrorCarriesKnownNames) {
+  try {
+    (void)EngineRegistry::instance().at("no-such-engine");
+    FAIL() << "expected throw";
+  } catch (const UnknownNameError& e) {
+    EXPECT_NE(std::string(e.what()).find("no-such-engine"),
+              std::string::npos);
+    EXPECT_FALSE(e.known_names().empty());
+  }
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  EngineRegistry::Entry entry;
+  entry.name = "lru";  // already registered by the real LRU engine
+  entry.factory = [](const EngineContext&, const ParamMap&) {
+    return std::unique_ptr<cache::CacheEngine>{};
+  };
+  EXPECT_THROW(EngineRegistry::instance().add(std::move(entry)),
+               std::invalid_argument);
+}
+
+TEST(Registry, EntriesWithoutFactoryAreRejected) {
+  EngineRegistry::Entry entry;
+  entry.name = "broken";
+  EXPECT_THROW(EngineRegistry::instance().add(std::move(entry)),
+               std::invalid_argument);
+}
+
+TEST(Registry, EngineFactoryHonoursCapacity) {
+  const auto engine = EngineRegistry::instance().create(
+      "lru", EngineContext{4096}, ParamMap{});
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->capacity_bytes(), 4096u);
+}
+
+TEST(Registry, LabelsDeriveFromNameAndParams) {
+  ParamMap chunks5;
+  chunks5.set("chunks", "5");
+  EXPECT_EQ(StrategyRegistry::instance().label("lfu", chunks5), "LFU-5");
+  EXPECT_EQ(StrategyRegistry::instance().label("backend", ParamMap{}),
+            "Backend");
+  EXPECT_EQ(StrategyRegistry::instance().label("agar", ParamMap{}), "Agar");
+  // Fixed-chunks labels come from the engine's display stem.
+  ParamMap arc;
+  arc.set("engine", "arc");
+  arc.set("chunks", "7");
+  EXPECT_EQ(StrategyRegistry::instance().label("fixed-chunks", arc), "ARC-7");
+}
+
+// -------------------------------------------- engine fallback resolution
+
+TEST(Resolve, StrategiesPassThrough) {
+  const auto [name, params] = resolve_system("agar", ParamMap{});
+  EXPECT_EQ(name, "agar");
+  EXPECT_TRUE(params.empty());
+}
+
+TEST(Resolve, EngineNamesBecomeFixedChunksSystems) {
+  ParamMap params;
+  params.set("chunks", "3");
+  const auto [name, effective] = resolve_system("arc", params);
+  EXPECT_EQ(name, "fixed-chunks");
+  EXPECT_EQ(effective.get_string("engine", ""), "arc");
+  EXPECT_EQ(effective.get_size("chunks", 0), 3u);
+}
+
+TEST(Resolve, StrategyNameShadowsEngineName) {
+  // "lfu" is both a strategy (periodic baseline) and an engine; the
+  // strategy must win, as it did under the old enum.
+  const auto [name, effective] = resolve_system("lfu", ParamMap{});
+  EXPECT_EQ(name, "lfu");
+  EXPECT_FALSE(effective.has("engine"));
+}
+
+TEST(Resolve, UnknownSystemListsEverythingRunnable) {
+  try {
+    (void)resolve_system("nope", ParamMap{});
+    FAIL() << "expected throw";
+  } catch (const UnknownNameError& e) {
+    const auto& known = e.known_names();
+    // Strategies and engines both runnable.
+    EXPECT_NE(std::find(known.begin(), known.end(), "agar"), known.end());
+    EXPECT_NE(std::find(known.begin(), known.end(), "arc"), known.end());
+  }
+}
+
+TEST(Resolve, RunnableSystemsAreSortedAndDeduplicated) {
+  const auto names = runnable_systems();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+  // "lfu" appears once even though both registries know it.
+  EXPECT_EQ(std::count(names.begin(), names.end(), std::string("lfu")), 1);
+}
+
+}  // namespace
+}  // namespace agar::api

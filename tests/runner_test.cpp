@@ -1,10 +1,12 @@
 // Experiment runner: deployment construction, closed-loop clients,
-// aggregation, determinism.
+// aggregation, determinism — driven through the declarative api layer.
 #include "client/runner.hpp"
 
 #include <gtest/gtest.h>
 
 #include <limits>
+
+#include "api/api.hpp"
 
 namespace agar::client {
 namespace {
@@ -19,6 +21,20 @@ ExperimentConfig small_config() {
   c.num_clients = 2;
   c.reconfig_period_ms = 5000.0;
   return c;
+}
+
+/// One spec = the shared config plus system/params pairs.
+api::ExperimentSpec spec_for(const ExperimentConfig& config,
+                             const std::vector<std::string>& pairs) {
+  api::ExperimentSpec spec;
+  spec.experiment = config;
+  for (const auto& pair : pairs) spec.set_pair(pair);
+  return spec;
+}
+
+ExperimentResult run_system(const ExperimentConfig& config,
+                            const std::vector<std::string>& pairs) {
+  return api::run(spec_for(config, pairs)).result;
 }
 
 TEST(Deployment, BuildsSixRegionCluster) {
@@ -40,17 +56,40 @@ TEST(Deployment, MetadataOnlyModeSkipsPayloads) {
   EXPECT_FALSE(d.backend().get_chunk({"object0", 0}).has_value());
 }
 
-TEST(StrategySpecs, Labels) {
-  EXPECT_EQ(StrategySpec::backend().label(), "Backend");
-  EXPECT_EQ(StrategySpec::lru(3, 10_MB).label(), "LRU-3");
-  EXPECT_EQ(StrategySpec::lfu(9, 10_MB).label(), "LFU-9");
-  EXPECT_EQ(StrategySpec::tinylfu(5, 10_MB).label(), "TinyLFU-5");
-  EXPECT_EQ(StrategySpec::agar(10_MB).label(), "Agar");
+TEST(SpecLabels, DerivedFromRegistryInOnePlace) {
+  // The same derivation feeds bench legends, --list and JSON reports.
+  EXPECT_EQ(api::ExperimentSpec::from_pairs({"system=backend"}).label(),
+            "Backend");
+  EXPECT_EQ(api::ExperimentSpec::from_pairs({"system=lru", "chunks=3"})
+                .label(),
+            "LRU-3");
+  EXPECT_EQ(api::ExperimentSpec::from_pairs({"system=lfu", "chunks=9"})
+                .label(),
+            "LFU-9");
+  EXPECT_EQ(api::ExperimentSpec::from_pairs({"system=tinylfu", "chunks=5"})
+                .label(),
+            "TinyLFU-5");
+  EXPECT_EQ(api::ExperimentSpec::from_pairs(
+                {"system=lfu-eviction", "chunks=5"})
+                .label(),
+            "LFUev-5");
+  EXPECT_EQ(api::ExperimentSpec::from_pairs({"system=arc", "chunks=7"})
+                .label(),
+            "ARC-7");
+  EXPECT_EQ(api::ExperimentSpec::from_pairs({"system=agar"}).label(), "Agar");
+  // And the label the runner attaches to results is the same string.
+  auto config = small_config();
+  config.runs = 1;
+  config.ops_per_run = 10;
+  const auto report = api::run(spec_for(config, {"system=lru", "chunks=3",
+                                                 "cache_bytes=64KB"}));
+  EXPECT_EQ(report.label(), "LRU-3");
+  EXPECT_EQ(report.result.label, "LRU-3");
 }
 
 TEST(Runner, BackendExperimentProducesAllOps) {
   const auto config = small_config();
-  const auto result = run_experiment(config, StrategySpec::backend());
+  const auto result = run_system(config, {"system=backend"});
   EXPECT_EQ(result.runs.size(), 2u);
   EXPECT_EQ(result.total_ops(), 240u);
   EXPECT_GT(result.mean_latency_ms(), 0.0);
@@ -61,21 +100,21 @@ TEST(Runner, LruWithInfiniteCacheHitsAfterColdStart) {
   auto config = small_config();
   config.ops_per_run = 300;
   const auto result =
-      run_experiment(config, StrategySpec::lru(9, 500_MB));
+      run_system(config, {"system=lru", "chunks=9", "cache_bytes=500MB"});
   // 20 objects, 300 zipf reads: nearly everything after the first touch of
   // each object is a full hit.
   EXPECT_GT(result.hit_ratio(), 0.8);
   EXPECT_GT(result.full_hit_ratio(), 0.8);
   // And the average latency is far below backend-only.
-  const auto backend = run_experiment(config, StrategySpec::backend());
+  const auto backend = run_system(config, {"system=backend"});
   EXPECT_LT(result.mean_latency_ms(), backend.mean_latency_ms() * 0.5);
 }
 
 TEST(Runner, AgarRunsAndBeatsBackend) {
   auto config = small_config();
   config.ops_per_run = 400;
-  const auto agar = run_experiment(config, StrategySpec::agar(10_MB));
-  const auto backend = run_experiment(config, StrategySpec::backend());
+  const auto agar = run_system(config, {"system=agar", "cache_bytes=10MB"});
+  const auto backend = run_system(config, {"system=backend"});
   EXPECT_GT(agar.hit_ratio(), 0.0);
   EXPECT_LT(agar.mean_latency_ms(), backend.mean_latency_ms());
   // Agar's final configuration must respect the cache budget.
@@ -86,35 +125,42 @@ TEST(Runner, AgarRunsAndBeatsBackend) {
 
 TEST(Runner, ResultsAreDeterministic) {
   const auto config = small_config();
-  const auto a = run_experiment(config, StrategySpec::lfu(5, 5_MB));
-  const auto b = run_experiment(config, StrategySpec::lfu(5, 5_MB));
+  const auto a =
+      run_system(config, {"system=lfu", "chunks=5", "cache_bytes=5MB"});
+  const auto b =
+      run_system(config, {"system=lfu", "chunks=5", "cache_bytes=5MB"});
   EXPECT_DOUBLE_EQ(a.mean_latency_ms(), b.mean_latency_ms());
   EXPECT_DOUBLE_EQ(a.hit_ratio(), b.hit_ratio());
 }
 
 TEST(Runner, DifferentSeedsChangeResults) {
   auto config = small_config();
-  const auto a = run_experiment(config, StrategySpec::lru(5, 5_MB));
+  const auto a =
+      run_system(config, {"system=lru", "chunks=5", "cache_bytes=5MB"});
   config.deployment.seed = 12345;
-  const auto b = run_experiment(config, StrategySpec::lru(5, 5_MB));
+  const auto b =
+      run_system(config, {"system=lru", "chunks=5", "cache_bytes=5MB"});
   EXPECT_NE(a.mean_latency_ms(), b.mean_latency_ms());
 }
 
 TEST(Runner, PercentilesAreOrdered) {
   const auto config = small_config();
-  const auto r = run_experiment(config, StrategySpec::lru(9, 10_MB));
+  const auto r =
+      run_system(config, {"system=lru", "chunks=9", "cache_bytes=10MB"});
   EXPECT_LE(r.percentile_ms(50), r.percentile_ms(95));
   EXPECT_LE(r.percentile_ms(95), r.percentile_ms(99));
 }
 
-TEST(Runner, ComparisonRunsAllSpecs) {
+TEST(Runner, RunAllRunsEverySpec) {
   const auto config = small_config();
-  const auto results = run_comparison(
-      config, {StrategySpec::backend(), StrategySpec::lru(5, 5_MB),
-               StrategySpec::agar(5_MB)});
-  ASSERT_EQ(results.size(), 3u);
-  EXPECT_EQ(results[0].spec.label(), "Backend");
-  EXPECT_EQ(results[2].spec.label(), "Agar");
+  const auto reports = api::run_all({
+      spec_for(config, {"system=backend"}),
+      spec_for(config, {"system=lru", "chunks=5", "cache_bytes=5MB"}),
+      spec_for(config, {"system=agar", "cache_bytes=5MB"}),
+  });
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].label(), "Backend");
+  EXPECT_EQ(reports[2].label(), "Agar");
 }
 
 TEST(Runner, VerifyModeDecodesEveryRead) {
@@ -122,12 +168,12 @@ TEST(Runner, VerifyModeDecodesEveryRead) {
   config.verify_data = true;
   config.ops_per_run = 60;
   config.runs = 1;
-  for (const auto spec :
-       {StrategySpec::backend(), StrategySpec::lru(5, 5_MB),
-        StrategySpec::agar(5_MB)}) {
-    const auto result = run_experiment(config, spec);
-    EXPECT_EQ(result.runs[0].verified, result.runs[0].ops)
-        << spec.label();
+  for (const std::vector<std::string> pairs :
+       {std::vector<std::string>{"system=backend"},
+        {"system=lru", "chunks=5", "cache_bytes=5MB"},
+        {"system=agar", "cache_bytes=5MB"}}) {
+    const auto result = run_system(config, pairs);
+    EXPECT_EQ(result.runs[0].verified, result.runs[0].ops) << result.label;
   }
 }
 
@@ -136,7 +182,7 @@ TEST(Runner, AgarWeightHistogramPopulated) {
   config.ops_per_run = 500;
   config.runs = 1;
   config.reconfig_period_ms = 2000.0;
-  const auto result = run_experiment(config, StrategySpec::agar(5_MB));
+  const auto result = run_system(config, {"system=agar", "cache_bytes=5MB"});
   std::size_t total = 0;
   for (const auto& [w, count] : result.runs[0].weight_histogram) {
     EXPECT_GE(w, 1u);
@@ -153,8 +199,26 @@ TEST(Runner, UniformWorkloadMakesCachingUseless) {
   config.ops_per_run = 200;
   // 100 KB cache holds ~11 of the 100 objects (9 x 1000-byte chunks each);
   // under uniform access the hit ratio collapses toward that fraction.
-  const auto lru = run_experiment(config, StrategySpec::lru(9, 100_KB));
+  const auto lru =
+      run_system(config, {"system=lru", "chunks=9", "cache_bytes=100KB"});
   EXPECT_LT(lru.hit_ratio(), 0.2);
+}
+
+TEST(Runner, CustomFactoriesRunWithoutRegistry) {
+  // The runner itself stays registry-agnostic: any StrategyFactory works.
+  auto config = small_config();
+  config.runs = 1;
+  const StrategyFactory factory =
+      [](const ExperimentConfig& cfg, Deployment& deployment, RegionId region,
+         sim::EventLoop* loop) {
+        auto spec = api::ExperimentSpec::from_pairs({"system=backend"});
+        spec.experiment = cfg;
+        (void)loop;
+        return api::make_strategy(spec, deployment, region);
+      };
+  const auto result = run_experiment(config, factory, "hand-rolled");
+  EXPECT_EQ(result.label, "hand-rolled");
+  EXPECT_EQ(result.total_ops(), 120u);
 }
 
 }  // namespace

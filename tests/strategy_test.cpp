@@ -9,8 +9,18 @@
 #include "client/fixed_chunks_strategy.hpp"
 #include "client/lfu_config_strategy.hpp"
 
+#include "api/registry.hpp"
+
 namespace agar::client {
 namespace {
+
+/// Build a fixed-chunks strategy with its engine from the api registry.
+std::unique_ptr<FixedChunksStrategy> make_fixed(ClientContext ctx,
+                                                FixedChunksParams p) {
+  auto engine = api::EngineRegistry::instance().create(
+      p.engine, api::EngineContext{p.cache_capacity_bytes}, api::ParamMap{});
+  return std::make_unique<FixedChunksStrategy>(ctx, p, std::move(engine));
+}
 
 class StrategyTest : public ::testing::Test {
  protected:
@@ -90,10 +100,11 @@ TEST_F(StrategyTest, BackendSurvivesMRegionFailures) {
 
 TEST_F(StrategyTest, LruFirstReadMissesThenHits) {
   FixedChunksParams p;
-  p.policy = Policy::kLru;
+  p.engine = "lru";
   p.chunks_per_object = 9;
   p.cache_capacity_bytes = 100_MB;
-  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  auto strategy = make_fixed(ctx(sim::region::kFrankfurt), p);
+  FixedChunksStrategy& s = *strategy;
 
   const ReadResult miss = s.read("object0");
   EXPECT_FALSE(miss.partial_hit);
@@ -108,10 +119,11 @@ TEST_F(StrategyTest, LruFirstReadMissesThenHits) {
 
 TEST_F(StrategyTest, PartialCacheLatencyIsResidualBackend) {
   FixedChunksParams p;
-  p.policy = Policy::kLru;
+  p.engine = "lru";
   p.chunks_per_object = 5;  // cache the 5 most distant needed chunks
   p.cache_capacity_bytes = 100_MB;
-  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  auto strategy = make_fixed(ctx(sim::region::kFrankfurt), p);
+  FixedChunksStrategy& s = *strategy;
   (void)s.read("object0");
   const ReadResult r = s.read("object0");
   EXPECT_TRUE(r.partial_hit);
@@ -125,10 +137,11 @@ TEST_F(StrategyTest, PartialCacheLatencyIsResidualBackend) {
 
 TEST_F(StrategyTest, ChunksPerObjectOneBarelyHelps) {
   FixedChunksParams p;
-  p.policy = Policy::kLru;
+  p.engine = "lru";
   p.chunks_per_object = 1;
   p.cache_capacity_bytes = 100_MB;
-  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  auto strategy = make_fixed(ctx(sim::region::kFrankfurt), p);
+  FixedChunksStrategy& s = *strategy;
   (void)s.read("object0");
   const ReadResult r = s.read("object0");
   // Tokyo chunk cached; Sao Paulo (470 ms) now dominates — the §IV
@@ -138,11 +151,12 @@ TEST_F(StrategyTest, ChunksPerObjectOneBarelyHelps) {
 
 TEST_F(StrategyTest, EvictionLfuChargesProxyOverhead) {
   FixedChunksParams p;
-  p.policy = Policy::kLfu;
+  p.engine = "lfu";
   p.chunks_per_object = 9;
   p.cache_capacity_bytes = 100_MB;
   p.proxy_overhead_ms = 0.5;
-  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  auto strategy = make_fixed(ctx(sim::region::kFrankfurt), p);
+  FixedChunksStrategy& s = *strategy;
   (void)s.read("object0");
   const ReadResult r = s.read("object0");
   EXPECT_DOUBLE_EQ(r.latency_ms, 55.5);
@@ -210,12 +224,13 @@ TEST_F(StrategyTest, PeriodicLfuZeroChunksThrows) {
 
 TEST_F(StrategyTest, LruEvictsUnderPressure) {
   FixedChunksParams p;
-  p.policy = Policy::kLru;
+  p.engine = "lru";
   p.chunks_per_object = 9;
   // Room for ~1 object's 9 chunks only (chunk = 1000 bytes for 9000-byte
   // objects).
   p.cache_capacity_bytes = 9 * 1000 + 500;
-  FixedChunksStrategy s(ctx(sim::region::kFrankfurt), p);
+  auto strategy = make_fixed(ctx(sim::region::kFrankfurt), p);
+  FixedChunksStrategy& s = *strategy;
   (void)s.read("object0");
   (void)s.read("object1");  // evicts object0's chunks
   const ReadResult r = s.read("object0");
@@ -225,10 +240,10 @@ TEST_F(StrategyTest, LruEvictsUnderPressure) {
 TEST_F(StrategyTest, StrategyNames) {
   FixedChunksParams p;
   p.chunks_per_object = 7;
-  EXPECT_EQ(FixedChunksStrategy(ctx(0), p).name(), "LRU-7");
-  p.policy = Policy::kLfu;
+  EXPECT_EQ(make_fixed(ctx(0), p)->name(), "LRU-7");
+  p.engine = "lfu";
   p.chunks_per_object = 3;
-  EXPECT_EQ(FixedChunksStrategy(ctx(0), p).name(), "LFUev-3");
+  EXPECT_EQ(make_fixed(ctx(0), p)->name(), "LFUev-3");
   LfuConfigParams lp;
   lp.chunks_per_object = 3;
   EXPECT_EQ(LfuConfigStrategy(ctx(0), lp).name(), "LFU-3");
@@ -238,7 +253,7 @@ TEST_F(StrategyTest, StrategyNames) {
 TEST_F(StrategyTest, ZeroChunksPerObjectThrows) {
   FixedChunksParams p;
   p.chunks_per_object = 0;
-  EXPECT_THROW(FixedChunksStrategy(ctx(0), p), std::invalid_argument);
+  EXPECT_THROW(make_fixed(ctx(0), p), std::invalid_argument);
 }
 
 core::AgarNodeParams agar_params(std::size_t cache_bytes) {
