@@ -17,6 +17,7 @@
 
 #include "api/api.hpp"
 #include "client/report.hpp"
+#include "scenario/scenario.hpp"
 
 using namespace agar;
 
@@ -31,9 +32,13 @@ void usage() {
       "                      'sweep' grids expand into comparisons\n"
       "  --set key=value     set any spec key (repeatable; applies to all\n"
       "                      loaded specs). Keys: see --list\n"
+      "  --scenario <file>   scripted mid-run events (outages, popularity\n"
+      "                      shifts, rate surges) applied to all specs;\n"
+      "                      JSON array of {at_ms, event, ...} objects\n"
+      "  --window-ms <n>     windowed time-series metrics of this width\n"
       "  --json              emit results as JSON (bench harnesses)\n"
       "  --list              registered systems, engines, parameters,\n"
-      "                      regions and spec keys\n"
+      "                      scenario events, regions and spec keys\n"
       "\n"
       "shorthand flags (sugar over --set):\n"
       "  --system <name>     system under test (default: agar)\n"
@@ -85,6 +90,11 @@ void list_everything() {
   }
   std::cout << "\nexperiment keys (--set key=value or JSON spec members):\n";
   print_schema(api::ExperimentSpec::experiment_keys(), "  ");
+  std::cout << "\nscenario events (--scenario file or scenario= script):\n";
+  for (const auto& kind : scenario::event_kinds()) {
+    std::cout << "  " << kind.name << " -- " << kind.description << "\n";
+    print_schema(kind.schema, "      ");
+  }
   std::cout << "\nregions:";
   const auto topology = sim::aws_six_regions();
   for (RegionId r = 0; r < topology.num_regions(); ++r) {
@@ -98,6 +108,7 @@ void list_everything() {
 int main(int argc, char** argv) {
   std::vector<api::ExperimentSpec> specs;
   std::vector<std::string> sets;  // applied after --spec, in order
+  std::string scenario_file;      // --scenario, applied to all specs
   // Keys set via shorthand flags (--chunks, --cache-mb). Like the old CLI,
   // these are dropped silently for systems that do not declare them
   // (backend takes neither, agar no chunks); --set key=value stays strict.
@@ -125,6 +136,10 @@ int main(int argc, char** argv) {
         specs.insert(specs.end(), loaded.begin(), loaded.end());
       } else if (arg == "--set") {
         sets.push_back(next("--set"));
+      } else if (arg == "--scenario") {
+        scenario_file = next("--scenario");
+      } else if (arg == "--window-ms") {
+        sets.push_back("window_ms=" + next("--window-ms"));
       } else if (arg == "--json") {
         json = true;
       } else if (arg == "--verify") {
@@ -171,8 +186,13 @@ int main(int argc, char** argv) {
   try {
     const bool from_file = !specs.empty();
     if (specs.empty()) specs.emplace_back();
+    scenario::Scenario scripted;
+    if (!scenario_file.empty()) {
+      scripted = scenario::load_scenario_file(scenario_file);
+    }
     for (auto& spec : specs) {
       for (const auto& pair : sets) spec.set_pair(pair);
+      if (!scripted.empty()) spec.experiment.scenario = scripted;
       const auto [name, effective] =
           api::resolve_system(spec.system, spec.params);
       const auto& schema = api::StrategyRegistry::instance().at(name).schema;
@@ -210,6 +230,9 @@ int main(int argc, char** argv) {
                   << " x" << e.runs << " runs";
         if (e.arrival_rate_per_s > 0.0) {
           std::cout << " open-loop@" << e.arrival_rate_per_s << "/s";
+        }
+        if (!e.scenario.empty()) {
+          std::cout << " scenario=" << e.scenario.size() << " events";
         }
         std::cout << "\n";
       }

@@ -8,6 +8,7 @@
 
 #include "api/json.hpp"
 #include "api/registry.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/topology.hpp"
 
 namespace agar::api {
@@ -89,6 +90,11 @@ const ParamSchema& ExperimentSpec::experiment_keys() {
       {"rs_m", ParamType::kSize, "3", "Reed-Solomon parity chunks"},
       {"placement_offset", ParamType::kBool, "false",
        "rotate chunk placement per key"},
+      {"window_ms", ParamType::kDouble, "0",
+       "windowed time-series metric width in ms (0 = off)"},
+      {"scenario", ParamType::kString, "",
+       "mid-run event script: \"at_ms event k=v ...; ...\" (JSON specs "
+       "may use an array of {at_ms, event, ...} objects)"},
   }};
   return schema;
 }
@@ -151,6 +157,12 @@ void ExperimentSpec::set(const std::string& key, const std::string& value) {
     experiment.deployment.codec.m = one.get_size(key, 0);
   } else if (key == "placement_offset") {
     experiment.deployment.per_key_placement_offset = one.get_bool(key, false);
+  } else if (key == "window_ms") {
+    experiment.metric_window_ms = one.get_double(key, 0.0);
+  } else if (key == "scenario") {
+    // Compact text form; "scenario=" clears. JSON spec files may instead
+    // carry an array, which parse_spec_json routes around this setter.
+    experiment.scenario = scenario::parse_scenario_text(value);
   } else if (value.empty()) {
     // "key=" clears a strategy param — lets a sweep/base spec drop a
     // parameter for systems that do not take it ("cache_bytes=" for
@@ -237,6 +249,10 @@ void ExperimentSpec::validate() const {
       experiment.deployment.codec.m == 0) {
     throw std::invalid_argument("rs_k and rs_m must be >= 1");
   }
+  if (experiment.metric_window_ms < 0.0) {
+    throw std::invalid_argument("window_ms must be >= 0");
+  }
+  experiment.scenario.validate();
 }
 
 std::string ExperimentSpec::label() const {
@@ -285,6 +301,12 @@ std::string ExperimentSpec::to_json() const {
       << "  \"rs_m\": " << e.deployment.codec.m << ",\n"
       << "  \"placement_offset\": "
       << (e.deployment.per_key_placement_offset ? "true" : "false");
+  if (e.metric_window_ms > 0.0) {
+    out << ",\n  \"window_ms\": " << fmt_double(e.metric_window_ms);
+  }
+  if (!e.scenario.empty()) {
+    out << ",\n  \"scenario\": " << e.scenario.to_json("  ");
+  }
   if (!params.empty()) {
     out << ",\n  \"params\": {";
     const auto& entries = params.entries();
@@ -312,15 +334,26 @@ std::string value_text(const JsonValue& value) {
   return value.as_param_text();
 }
 
+/// Route one JSON member onto a spec: "params" objects and "scenario"
+/// arrays get structured handling, everything else goes through set().
+void apply_member(ExperimentSpec& spec, const std::string& key,
+                  const JsonValue& value) {
+  if (key == "params" && value.is_object()) {
+    for (const auto& [pk, pv] : value.object) {
+      spec.params.set(pk, value_text(pv));
+    }
+    return;
+  }
+  if (key == "scenario" && value.is_array()) {
+    spec.experiment.scenario = scenario::scenario_from_json(value);
+    return;
+  }
+  spec.set(key, value_text(value));
+}
+
 void apply_members(ExperimentSpec& spec, const JsonValue& object) {
   for (const auto& [key, value] : object.object) {
-    if (key == "params" && value.is_object()) {
-      for (const auto& [pk, pv] : value.object) {
-        spec.params.set(pk, value_text(pv));
-      }
-      continue;
-    }
-    spec.set(key, value_text(value));
+    apply_member(spec, key, value);
   }
 }
 
@@ -335,13 +368,7 @@ std::vector<ExperimentSpec> parse_spec_json(const std::string& text) {
   ExperimentSpec base;
   for (const auto& [key, value] : doc.object) {
     if (key == "systems" || key == "sweep") continue;
-    if (key == "params" && value.is_object()) {
-      for (const auto& [pk, pv] : value.object) {
-        base.params.set(pk, value_text(pv));
-      }
-      continue;
-    }
-    base.set(key, value_text(value));
+    apply_member(base, key, value);
   }
 
   std::vector<ExperimentSpec> specs;

@@ -67,7 +67,7 @@ void BackendStrategy::start_read(const ObjectKey& key, ReadCallback done) {
       [this, key, done = std::move(done)](ReadResult result,
                                           std::vector<ChunkIndex> fetched) {
         result.backend_chunks = fetched.size();
-        if (ctx_.verify_data) {
+        if (ctx_.verify_data && !result.failed) {
           std::vector<ec::Chunk> chunks;
           chunks.reserve(fetched.size());
           for (const ChunkIndex idx : fetched) {

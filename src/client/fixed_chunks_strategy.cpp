@@ -106,7 +106,7 @@ void FixedChunksStrategy::start_read(const ObjectKey& key, ReadCallback done) {
           cache_->put(ck, std::move(payload));
         }
 
-        if (ctx_.verify_data) {
+        if (ctx_.verify_data && !result.failed) {
           for (const ChunkIndex idx : fetched) {
             const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
             if (bytes.has_value()) {

@@ -115,6 +115,8 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"throughput_ops_per_s\": " << num(run.throughput_ops_per_s())
           << ", \"full_hits\": " << run.full_hits
           << ", \"partial_hits\": " << run.partial_hits
+          << ", \"failed_reads\": " << run.failed_reads
+          << ", \"scenario_events\": " << run.scenario_events_fired
           << ", \"wire_fetches\": " << run.wire_fetches
           << ", \"coalesced_fetches\": " << run.coalesced_fetches
           << ", \"queued_fetches\": " << run.queued_fetches
@@ -132,7 +134,28 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"evictions\": " << run.cache_stats.evictions
           << ", \"used_bytes\": " << run.cache_used_bytes << "}"
           << ", \"decode_plan\": {\"hits\": " << run.decode_plan_hits
-          << ", \"misses\": " << run.decode_plan_misses << "}}";
+          << ", \"misses\": " << run.decode_plan_misses << "}";
+      // Windowed time series (scenario runs with window_ms set): the
+      // per-window latency/hit/failure shape adaptation is judged by.
+      if (!run.windows.empty()) {
+        out << ", \"windows\": [";
+        for (std::size_t w = 0; w < run.windows.size(); ++w) {
+          const auto& win = run.windows[w];
+          if (w > 0) out << ",";
+          out << "\n      {\"start_ms\": " << num(win.start_ms)
+              << ", \"end_ms\": " << num(win.end_ms)
+              << ", \"ops\": " << win.ops
+              << ", \"mean_ms\": " << num(win.mean_ms)
+              << ", \"p50_ms\": " << num(win.p50_ms)
+              << ", \"p99_ms\": " << num(win.p99_ms)
+              << ", \"hit_ratio\": " << num(win.hit_ratio())
+              << ", \"full_hits\": " << win.full_hits
+              << ", \"partial_hits\": " << win.partial_hits
+              << ", \"failed_reads\": " << win.failed_reads << "}";
+        }
+        out << "\n    ]";
+      }
+      out << "}";
     }
     out << "\n  ]}";
   }

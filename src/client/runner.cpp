@@ -1,10 +1,13 @@
 #include "client/runner.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "scenario/engine.hpp"
 #include "sim/event_loop.hpp"
+#include "stats/windowed.hpp"
 
 namespace agar::client {
 
@@ -67,12 +70,42 @@ RunResult run_once(const ExperimentConfig& config,
   std::size_t completed = 0;
   std::size_t reads_in_flight = 0;
 
+  // Windowed time series (scenario runs): latency histogram per window plus
+  // the counters a histogram cannot carry.
+  const SimTimeMs window_ms = config.metric_window_ms;
+  struct WindowCounters {
+    std::uint64_t ops = 0, full = 0, partial = 0, failed = 0;
+  };
+  std::unique_ptr<stats::WindowedHistogram> window_latencies;
+  std::vector<WindowCounters> window_counters;
+  if (window_ms > 0.0) {
+    window_latencies = std::make_unique<stats::WindowedHistogram>(window_ms);
+  }
+
   auto record = [&](const ReadResult& r) {
-    result.latencies.add(r.latency_ms);
     ++result.ops;
-    if (r.full_hit) ++result.full_hits;
-    if (r.partial_hit && !r.full_hit) ++result.partial_hits;
-    if (r.verified) ++result.verified;
+    if (r.failed) {
+      ++result.failed_reads;
+    } else {
+      result.latencies.add(r.latency_ms);
+      if (r.full_hit) ++result.full_hits;
+      if (r.partial_hit && !r.full_hit) ++result.partial_hits;
+      if (r.verified) ++result.verified;
+    }
+    if (window_latencies != nullptr) {
+      const std::size_t w = window_latencies->index_of(loop.now());
+      window_latencies->ensure(w);
+      if (window_counters.size() <= w) window_counters.resize(w + 1);
+      WindowCounters& wc = window_counters[w];
+      ++wc.ops;
+      if (r.failed) {
+        ++wc.failed;
+      } else {
+        window_latencies->add(loop.now(), r.latency_ms);
+        if (r.full_hit) ++wc.full;
+        if (r.partial_hit && !r.full_hit) ++wc.partial;
+      }
+    }
     ++completed;
     --reads_in_flight;
     result.duration_ms = std::max(result.duration_ms, loop.now());
@@ -99,6 +132,22 @@ RunResult run_once(const ExperimentConfig& config,
   };
   std::vector<std::unique_ptr<ClientState>> clients;
 
+  // Scenario engine: scripted mid-run events on the same loop. Network
+  // events apply directly; popularity shifts rewrite every client's
+  // rank->object mapping; arrival modulation is sampled below each time an
+  // open-loop gap is drawn. The hook captures `clients` by reference — the
+  // vector is fully populated before the loop (and thus any event) runs.
+  std::unique_ptr<scenario::ScenarioEngine> engine;
+  if (!config.scenario.empty()) {
+    engine = std::make_unique<scenario::ScenarioEngine>(
+        config.scenario, &deployment.network(),
+        [&clients](const scenario::PopularityShift& shift) {
+          for (auto& client : clients) client->workload.apply(shift);
+        });
+    engine->schedule(loop);
+  }
+  scenario::ScenarioEngine* const scenario_engine = engine.get();
+
   if (config.arrival_rate_per_s > 0.0) {
     // Open-loop mode: one Poisson arrival process per region; reads start
     // at exponentially distributed instants regardless of completions, so
@@ -115,13 +164,21 @@ RunResult run_once(const ExperimentConfig& config,
                    workload_seed(run_seed, ri, 0)),
           Rng(workload_seed(run_seed, ri, 7777)), budget, {}}));
       ClientState* state = clients.back().get();
-      state->next = [&, state, mean_gap_ms]() {
+      state->next = [&, state, mean_gap_ms, scenario_engine]() {
         if (state->remaining == 0) return;
         --state->remaining;
         begin_read(state->region_index, state->workload, record);
         if (state->remaining > 0) {
           const double u = state->gaps.next_double();
-          const SimTimeMs gap = -mean_gap_ms * std::log(1.0 - u);
+          // Scenario arrival modulation scales the instantaneous rate:
+          // the mean gap shrinks (surge) or stretches (lull) by the
+          // multiplier in force when this gap is drawn.
+          const double rate_mult =
+              scenario_engine != nullptr
+                  ? scenario_engine->arrival_multiplier(loop.now())
+                  : 1.0;
+          const SimTimeMs gap =
+              -mean_gap_ms * std::log(1.0 - u) / rate_mult;
           loop.schedule_in(gap, state->next);
         }
       };
@@ -157,6 +214,35 @@ RunResult run_once(const ExperimentConfig& config,
   while (!loop.empty() && completed < ops_total) {
     loop.run_until(loop.now() + 1000.0);
   }
+
+  // Materialize the windowed time series: latency stats from the per-window
+  // histograms, counters alongside, empty windows kept so indices map to
+  // virtual time.
+  if (window_latencies != nullptr) {
+    const std::size_t n =
+        std::max(window_latencies->size(), window_counters.size());
+    window_counters.resize(n);
+    result.windows.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      WindowStats ws;
+      ws.start_ms = window_latencies->start_of(w);
+      ws.end_ms = ws.start_ms + window_ms;
+      const WindowCounters& wc = window_counters[w];
+      ws.ops = wc.ops;
+      ws.full_hits = wc.full;
+      ws.partial_hits = wc.partial;
+      ws.failed_reads = wc.failed;
+      if (w < window_latencies->size() &&
+          window_latencies->window(w).count() > 0) {
+        const stats::Histogram& h = window_latencies->window(w);
+        ws.mean_ms = h.mean();
+        ws.p50_ms = h.percentile(50);
+        ws.p99_ms = h.percentile(99);
+      }
+      result.windows.push_back(ws);
+    }
+  }
+  if (engine != nullptr) result.scenario_events_fired = engine->fired();
 
   // Aggregate pipeline gauges: network-wide plus per-strategy coalescing.
   result.wire_fetches = deployment.network().wire_fetches();

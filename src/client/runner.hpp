@@ -16,6 +16,7 @@
 #include "client/strategy.hpp"
 #include "client/workload.hpp"
 #include "ec/reed_solomon.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/network.hpp"
 #include "sim/topology.hpp"
 #include "stats/histogram.hpp"
@@ -77,6 +78,12 @@ struct ExperimentConfig {
   std::size_t max_outstanding_per_region = 64;
   /// Candidate option weights for Agar; the paper enumerates {1,3,5,7,9}.
   std::vector<std::size_t> agar_candidate_weights = {1, 3, 5, 7, 9};
+  /// Scripted mid-run events (popularity shifts, outages, rate changes,
+  /// latency degradation). Empty means a stationary run, as before.
+  scenario::Scenario scenario;
+  /// Width of the windowed time-series metrics in ms; 0 disables windows
+  /// (RunResult::windows stays empty, output byte-identical to before).
+  SimTimeMs metric_window_ms = 0.0;
 
   [[nodiscard]] std::vector<RegionId> effective_client_regions() const {
     return client_regions.empty() ? std::vector<RegionId>{client_region}
@@ -84,13 +91,37 @@ struct ExperimentConfig {
   }
 };
 
+/// One fixed time window of a run's time series — the unit adaptation is
+/// measured in. Latency stats cover successful reads only; failed reads
+/// are counted, not averaged in.
+struct WindowStats {
+  SimTimeMs start_ms = 0.0;
+  SimTimeMs end_ms = 0.0;
+  std::uint64_t ops = 0;          ///< completions in the window (incl. failed)
+  std::uint64_t full_hits = 0;
+  std::uint64_t partial_hits = 0;
+  std::uint64_t failed_reads = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+
+  [[nodiscard]] double hit_ratio() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(full_hits + partial_hits) /
+                          static_cast<double>(ops);
+  }
+};
+
 /// Outcome of one run.
 struct RunResult {
-  stats::Histogram latencies;
-  std::uint64_t ops = 0;
+  stats::Histogram latencies;  ///< successful reads only
+  std::uint64_t ops = 0;       ///< completed reads, including failed ones
   std::uint64_t full_hits = 0;
   std::uint64_t partial_hits = 0;  ///< at least one chunk from cache
   std::uint64_t verified = 0;
+  /// Reads that completed with fewer than k chunks (outage exhausted every
+  /// fallback). Not latency samples — the object was unreadable.
+  std::uint64_t failed_reads = 0;
   cache::CacheStats cache_stats;
   std::size_t cache_used_bytes = 0;
   /// Agar only: configured objects per option weight (Fig. 10 data).
@@ -108,6 +139,11 @@ struct RunResult {
   std::size_t max_queue_depth = 0;    ///< deepest per-region FIFO observed
   std::size_t max_net_in_flight = 0;  ///< peak concurrent wire transfers
   std::size_t max_reads_in_flight = 0;///< peak concurrent reads (open loop)
+  std::uint64_t scenario_events_fired = 0;  ///< scripted events applied
+
+  /// Windowed time series (metric_window_ms > 0), windows with no
+  /// completions included so indices line up with virtual time.
+  std::vector<WindowStats> windows;
 
   [[nodiscard]] double mean_latency_ms() const { return latencies.mean(); }
   [[nodiscard]] double hit_ratio() const {

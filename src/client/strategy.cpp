@@ -150,7 +150,12 @@ void ReadStrategy::batch_arm_done(const std::shared_ptr<BatchState>& st) {
   --st->pending;
   if (st->pending != 0 || !st->issued_all) return;
   sim::EventLoop* const loop = ctx_.loop;
-  loop->schedule_in(st->extra, [loop, st] {
+  // Every fallback exhausted before `want` backend arms landed (a mid-run
+  // outage took out the remaining sources): the read cannot assemble k
+  // chunks. Complete it as a counted failure — no decode happens, so no
+  // decode time is charged and no decoder throws from a completion event.
+  st->result.failed = st->fetched.size() < st->want;
+  loop->schedule_in(st->result.failed ? 0.0 : st->extra, [loop, st] {
     st->result.latency_ms = loop->now() - st->start;
     st->done(std::move(st->result), std::move(st->fetched));
   });
@@ -228,7 +233,7 @@ void ReadStrategy::start_plan(const ObjectKey& key, const core::ReadPlan& plan,
           populate_chunk_async(key, idx, cache);
         }
 
-        if (ctx_.verify_data) {
+        if (ctx_.verify_data && !result.failed) {
           for (const ChunkIndex idx : fetched) {
             const auto bytes = ctx_.backend->get_chunk(ChunkId{key, idx});
             if (bytes.has_value()) {

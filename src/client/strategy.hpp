@@ -34,6 +34,11 @@ struct ReadResult {
   bool full_hit = false;           ///< every chunk came from the cache
   bool partial_hit = false;        ///< at least one chunk came from the cache
   bool verified = false;           ///< payload decoded and checked (verify mode)
+  /// Fewer than k chunks could be assembled (outage exhausted every
+  /// fallback): the object is unreadable right now. No decode happened;
+  /// latency_ms is the time until exhaustion. Runners count these as
+  /// failed reads instead of latency samples.
+  bool failed = false;
 };
 
 /// Shared context every strategy needs.

@@ -73,10 +73,50 @@ Workload::Workload(WorkloadSpec spec, std::size_t universe,
     : spec_(spec),
       generator_(make_generator(spec, universe)),
       rng_(seed),
-      prefix_(std::move(prefix)) {}
+      prefix_(std::move(prefix)) {
+  permutation_.resize(universe);
+  for (std::size_t i = 0; i < universe; ++i) permutation_[i] = i;
+}
 
 ObjectKey Workload::next_key() {
-  return prefix_ + std::to_string(generator_->next_index(rng_));
+  return prefix_ + std::to_string(permutation_[generator_->next_index(rng_)]);
+}
+
+void Workload::apply(const scenario::PopularityShift& shift) {
+  const std::size_t n = permutation_.size();
+  if (n == 0) return;
+  switch (shift.kind) {
+    case scenario::PopularityShift::Kind::kRotate: {
+      const std::size_t by = shift.rotate_by % n;
+      std::rotate(permutation_.begin(),
+                  permutation_.begin() + static_cast<std::ptrdiff_t>(by),
+                  permutation_.end());
+      break;
+    }
+    case scenario::PopularityShift::Kind::kReseed: {
+      // Deterministic Fisher-Yates from the shift's own seed, so every
+      // client in every run sees the same post-shift popularity order.
+      Rng rng(shift.seed);
+      for (std::size_t i = n - 1; i > 0; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.next_below(i + 1));
+        std::swap(permutation_[i], permutation_[j]);
+      }
+      break;
+    }
+    case scenario::PopularityShift::Kind::kFlashCrowd: {
+      const std::size_t count = std::min(shift.crowd_count, n);
+      if (count == 0) break;
+      const std::size_t from =
+          std::min(shift.crowd_from.value_or(n - count), n - count);
+      // Move the block to the front, preserving everyone else's order.
+      std::rotate(permutation_.begin(),
+                  permutation_.begin() + static_cast<std::ptrdiff_t>(from),
+                  permutation_.begin() +
+                      static_cast<std::ptrdiff_t>(from + count));
+      break;
+    }
+  }
 }
 
 }  // namespace agar::client

@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "scenario/scenario.hpp"
 
 namespace agar::client {
 
@@ -78,9 +79,14 @@ struct WorkloadSpec {
 [[nodiscard]] std::unique_ptr<KeyGenerator> make_generator(
     const WorkloadSpec& spec, std::size_t universe);
 
-/// A stream of object keys: maps generator ranks onto key names. Rank 0 is
-/// the most popular object. Keys follow the backend's naming scheme
-/// ("<prefix><i>").
+/// A stream of object keys: maps generator ranks onto key names through a
+/// mutable rank->object permutation. Rank 0 is the most popular object;
+/// initially rank r maps to object r. Keys follow the backend's naming
+/// scheme ("<prefix><i>").
+///
+/// The permutation is what makes the workload non-stationary: scenario
+/// popularity shifts rewrite which objects occupy the hot ranks mid-run
+/// while the generator's rank distribution (the Zipf shape) is untouched.
 class Workload {
  public:
   Workload(WorkloadSpec spec, std::size_t universe, std::uint64_t seed,
@@ -89,11 +95,24 @@ class Workload {
   [[nodiscard]] ObjectKey next_key();
   [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
 
+  /// Apply one scripted popularity shift to the rank->object mapping:
+  ///   * rotate: rank r now yields the object previously at rank r+by;
+  ///   * reseed: deterministic Fisher-Yates reshuffle of the mapping;
+  ///   * flash crowd: a block of `count` objects (default: the coldest
+  ///     tail) jumps to the top ranks, everything else shifts back.
+  void apply(const scenario::PopularityShift& shift);
+
+  /// Object index currently mapped to `rank` (tests/observability).
+  [[nodiscard]] std::size_t object_at_rank(std::size_t rank) const {
+    return permutation_.at(rank);
+  }
+
  private:
   WorkloadSpec spec_;
   std::unique_ptr<KeyGenerator> generator_;
   Rng rng_;
   std::string prefix_;
+  std::vector<std::size_t> permutation_;  ///< rank -> object index
 };
 
 }  // namespace agar::client

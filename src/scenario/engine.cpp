@@ -1,0 +1,72 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace agar::scenario {
+
+ScenarioEngine::ScenarioEngine(Scenario scenario, sim::Network* network,
+                               PopularityHook popularity)
+    : scenario_(std::move(scenario)),
+      network_(network),
+      popularity_(std::move(popularity)) {
+  if (network_ == nullptr) {
+    throw std::invalid_argument("ScenarioEngine: null network");
+  }
+  scenario_.validate();
+  if (!popularity_) {
+    for (const auto& e : scenario_.events) {
+      if (is_popularity_event(e.event)) {
+        throw std::invalid_argument(
+            "ScenarioEngine: scenario contains popularity event '" +
+            e.event + "' but no popularity hook was registered");
+      }
+    }
+  }
+}
+
+void ScenarioEngine::schedule(sim::EventLoop& loop) {
+  for (const ScenarioEvent& e : scenario_.sorted()) {
+    loop.schedule_at(e.at_ms, [this, e, &loop] { apply(e, loop.now()); });
+  }
+}
+
+void ScenarioEngine::apply(const ScenarioEvent& e, SimTimeMs now) {
+  ++fired_;
+  if (e.event == "fail_region") {
+    network_->fail_region(resolve_region(e.params.get_string("region", "")));
+  } else if (e.event == "restore_region") {
+    network_->restore_region(
+        resolve_region(e.params.get_string("region", "")));
+  } else if (e.event == "slow_region") {
+    network_->model().set_region_slowdown(
+        resolve_region(e.params.get_string("region", "")),
+        e.params.get_double("factor", 1.0));
+  } else if (e.event == "arrival_factor") {
+    step_factor_ = e.params.get_double("factor", 1.0);
+  } else if (e.event == "arrival_sine") {
+    sine_amplitude_ = e.params.get_double("amplitude", 0.5);
+    sine_period_ms_ = e.params.get_double("period_s", 60.0) * 1000.0;
+    sine_start_ms_ = now;
+  } else {
+    // Validated vocabulary: anything else is a popularity shift, and the
+    // constructor guaranteed the hook exists for those.
+    popularity_(popularity_shift_of(e));
+  }
+}
+
+double ScenarioEngine::arrival_multiplier(SimTimeMs now) const {
+  double m = step_factor_;
+  if (sine_amplitude_ > 0.0 && sine_period_ms_ > 0.0) {
+    const double phase = 2.0 * std::numbers::pi * (now - sine_start_ms_) /
+                         sine_period_ms_;
+    m *= 1.0 + sine_amplitude_ * std::sin(phase);
+  }
+  // An arrival gap of rate*multiplier must stay drawable.
+  return std::max(m, 0.05);
+}
+
+}  // namespace agar::scenario

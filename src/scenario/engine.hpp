@@ -1,0 +1,55 @@
+// ScenarioEngine — executes a Scenario on the simulation's event loop.
+//
+// Network-facing events (outages, restores, latency slowdowns) are applied
+// straight to the bound Network / LatencyModel. Popularity shifts are
+// delivered through a typed hook the runner registers (it owns the
+// workloads). Arrival-rate modulation is kept as engine state — a
+// piecewise-constant step factor times an optional diurnal sine — which the
+// runner's open-loop arrival process samples via `arrival_multiplier(now)`
+// each time it schedules the next arrival.
+#pragma once
+
+#include <functional>
+
+#include "scenario/scenario.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+
+namespace agar::scenario {
+
+class ScenarioEngine {
+ public:
+  using PopularityHook = std::function<void(const PopularityShift&)>;
+
+  /// `network` is required; `popularity` may be empty only when the
+  /// scenario contains no popularity events (checked at construction, so
+  /// a missing hook fails fast instead of throwing mid-run).
+  ScenarioEngine(Scenario scenario, sim::Network* network,
+                 PopularityHook popularity);
+
+  /// Schedule every event at its absolute `at_ms`; same-instant events fire
+  /// in script order. Call once, before driving the loop.
+  void schedule(sim::EventLoop& loop);
+
+  /// Current arrival-rate multiplier (step factor x sine), clamped away
+  /// from zero so an inter-arrival gap can always be drawn.
+  [[nodiscard]] double arrival_multiplier(SimTimeMs now) const;
+
+  /// Events applied so far (observability for tests).
+  [[nodiscard]] std::size_t fired() const { return fired_; }
+
+ private:
+  void apply(const ScenarioEvent& e, SimTimeMs now);
+
+  Scenario scenario_;
+  sim::Network* network_;  // non-owning
+  PopularityHook popularity_;
+  std::size_t fired_ = 0;
+  // Arrival modulation state.
+  double step_factor_ = 1.0;
+  double sine_amplitude_ = 0.0;
+  SimTimeMs sine_period_ms_ = 0.0;
+  SimTimeMs sine_start_ms_ = 0.0;
+};
+
+}  // namespace agar::scenario

@@ -13,6 +13,14 @@ LatencyModel::LatencyModel(const Topology* topology, LatencyModelParams params,
   if (params_.jitter_fraction < 0 || params_.jitter_fraction >= 1) {
     throw std::invalid_argument("LatencyModel: jitter must be in [0, 1)");
   }
+  slowdown_.assign(topology_->num_regions(), 1.0);
+}
+
+void LatencyModel::set_region_slowdown(RegionId r, double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("LatencyModel: slowdown factor must be > 0");
+  }
+  slowdown_.at(r) = factor;
 }
 
 double LatencyModel::jitter() {
@@ -27,14 +35,16 @@ double LatencyModel::transfer_ms(std::size_t bytes, double mbps) {
 
 SimTimeMs LatencyModel::backend_fetch_ms(RegionId from, RegionId to,
                                          std::size_t bytes) {
-  return topology_->base_latency_ms(from, to) * jitter() +
-         transfer_ms(bytes, params_.wan_bandwidth_mbps);
+  return (topology_->base_latency_ms(from, to) * jitter() +
+          transfer_ms(bytes, params_.wan_bandwidth_mbps)) *
+         slowdown_[to];
 }
 
 SimTimeMs LatencyModel::expected_backend_fetch_ms(RegionId from, RegionId to,
                                                   std::size_t bytes) const {
-  return topology_->base_latency_ms(from, to) +
-         transfer_ms(bytes, params_.wan_bandwidth_mbps);
+  return (topology_->base_latency_ms(from, to) +
+          transfer_ms(bytes, params_.wan_bandwidth_mbps)) *
+         slowdown_[to];
 }
 
 SimTimeMs LatencyModel::cache_fetch_ms(std::size_t bytes) {

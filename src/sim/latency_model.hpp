@@ -11,9 +11,16 @@
 //
 // Cache fetches use a separate, much smaller constant (memcached on a LAN)
 // with the same jitter treatment.
+//
+// A per-region multiplicative slowdown overlay models mid-run latency
+// degradation (a congested or brown-out region): the scenario engine sets
+// it on the fly, and both the sampled and the expected paths honour it —
+// so planners that consult expectations (Agar's knapsack) see the
+// degradation and can steer around it at the next reconfiguration.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -49,6 +56,14 @@ class LatencyModel {
   [[nodiscard]] const Topology& topology() const { return *topology_; }
   [[nodiscard]] const LatencyModelParams& params() const { return params_; }
 
+  /// Multiplicative slowdown overlay on fetches *served by* region `r`
+  /// (scenario latency degradation). 1.0 is nominal; must be > 0. Applies
+  /// to sampled and expected backend fetches alike.
+  void set_region_slowdown(RegionId r, double factor);
+  [[nodiscard]] double region_slowdown(RegionId r) const {
+    return slowdown_.at(r);
+  }
+
  private:
   [[nodiscard]] double jitter();
   [[nodiscard]] static double transfer_ms(std::size_t bytes, double mbps);
@@ -56,6 +71,7 @@ class LatencyModel {
   const Topology* topology_;  // non-owning; outlives the model
   LatencyModelParams params_;
   Rng rng_;
+  std::vector<double> slowdown_;  // per destination region, 1.0 = nominal
 };
 
 }  // namespace agar::sim

@@ -22,7 +22,7 @@ bool Network::begin_fetch(RegionId from, RegionId to, std::size_t bytes,
   RegionState& rs = region_states_[to];
   PendingFetch pending{from, bytes, std::move(cb)};
   if (max_outstanding_per_region_ != 0 &&
-      rs.outstanding >= max_outstanding_per_region_) {
+      rs.wire.size() >= max_outstanding_per_region_) {
     rs.fifo.push_back(std::move(pending));
     ++queued_fetches_;
     max_queue_depth_ = std::max(max_queue_depth_, rs.fifo.size());
@@ -38,38 +38,60 @@ void Network::start_wire(RegionId to, PendingFetch pending) {
   const SimTimeMs latency =
       model_.backend_fetch_ms(pending.from, to, pending.bytes);
   RegionState& rs = region_states_[to];
-  ++rs.outstanding;
+  const std::uint64_t id = next_wire_id_++;
+  rs.wire.emplace(id, std::move(pending.cb));
   ++total_outstanding_;
   ++wire_fetches_;
   max_in_flight_ = std::max(max_in_flight_, total_outstanding_);
-  loop_->schedule_in(latency, [this, to, latency,
-                               cb = std::move(pending.cb)]() mutable {
-    finish_wire(to);
+  loop_->schedule_in(latency, [this, to, id, latency] {
+    RegionState& rs = region_states_[to];
+    const auto it = rs.wire.find(id);
+    if (it == rs.wire.end()) return;  // aborted by fail_region mid-flight
+    FetchCallback cb = std::move(it->second);
+    rs.wire.erase(it);
+    --total_outstanding_;
+    // Hand the freed slot to the queue head before the completion callback
+    // runs, so a callback issuing a new fetch cannot jump the FIFO.
+    drain_queue(to);
     cb(latency);
   });
 }
 
-void Network::finish_wire(RegionId to) {
+void Network::drain_queue(RegionId to) {
+  // Queued entries only exist for up regions: fail_region clears the FIFO
+  // and begin_fetch refuses down destinations, so no down-check is needed.
   RegionState& rs = region_states_[to];
-  --rs.outstanding;
-  --total_outstanding_;
-  // Hand the freed slot to the queue head before the completion callback
-  // runs, so a callback issuing a new fetch cannot jump the FIFO.
   while (!rs.fifo.empty() &&
          (max_outstanding_per_region_ == 0 ||
-          rs.outstanding < max_outstanding_per_region_)) {
+          rs.wire.size() < max_outstanding_per_region_)) {
     PendingFetch next = std::move(rs.fifo.front());
     rs.fifo.pop_front();
-    if (is_down(to)) {
-      // Region failed while the fetch waited; deliver the failure on the
-      // loop so callers observe it asynchronously, like a timeout.
-      loop_->schedule_in(0.0, [cb = std::move(next.cb)]() mutable {
-        cb(std::nullopt);
-      });
-      continue;
-    }
     start_wire(to, std::move(next));
   }
+}
+
+void Network::deliver_failure(FetchCallback cb) {
+  // On the loop, so callers observe the failure asynchronously (like a
+  // timeout), never re-entrantly from inside fail_region.
+  ++failed_fetches_;
+  loop_->schedule_in(0.0,
+                     [cb = std::move(cb)]() mutable { cb(std::nullopt); });
+}
+
+void Network::fail_region(RegionId r) {
+  if (!down_.insert(r).second) return;  // already down
+  RegionState& rs = region_states_[r];
+  if (rs.wire.empty() && rs.fifo.empty()) return;
+  // Transfers die with the region: every in-flight observer hears the
+  // failure now. The already-scheduled completion events find their wire
+  // ids gone and become no-ops — restoring the region cannot resurrect
+  // them. Queued entries fail immediately too, instead of stranding until
+  // an unrelated completion would have drained them.
+  total_outstanding_ -= rs.wire.size();
+  for (auto& [id, cb] : rs.wire) deliver_failure(std::move(cb));
+  rs.wire.clear();
+  for (auto& pending : rs.fifo) deliver_failure(std::move(pending.cb));
+  rs.fifo.clear();
 }
 
 std::optional<SimTimeMs> Network::backend_fetch(RegionId from, RegionId to,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_set>
 #include <vector>
@@ -63,8 +64,14 @@ class Network {
   bool begin_fetch(RegionId from, RegionId to, std::size_t bytes,
                    FetchCallback cb);
 
-  /// Failure injection: a down region refuses fetches until restored.
-  void fail_region(RegionId r) { down_.insert(r); }
+  /// Failure injection: a down region refuses new fetches until restored,
+  /// transfers already on the wire are aborted (their observers hear
+  /// nullopt now, not at the transfer's original completion time), and
+  /// entries waiting in the region's FIFO fail immediately instead of
+  /// stranding until an unrelated completion drains them.
+  void fail_region(RegionId r);
+  /// Bring a region back. Fetches aborted by `fail_region` stay failed —
+  /// their completion events are already dead and cannot resurrect.
   void restore_region(RegionId r) { down_.erase(r); }
   [[nodiscard]] bool is_down(RegionId r) const { return down_.contains(r); }
   [[nodiscard]] std::size_t down_count() const { return down_.size(); }
@@ -95,10 +102,15 @@ class Network {
   [[nodiscard]] std::size_t max_in_flight() const { return max_in_flight_; }
   [[nodiscard]] std::size_t in_flight() const { return total_outstanding_; }
   [[nodiscard]] std::size_t outstanding(RegionId r) const {
-    return region_states_[r].outstanding;
+    return region_states_[r].wire.size();
   }
   [[nodiscard]] std::size_t queue_depth(RegionId r) const {
     return region_states_[r].fifo.size();
+  }
+  /// Fetches that completed with nullopt: aborted on the wire or failed in
+  /// the queue by `fail_region`.
+  [[nodiscard]] std::uint64_t failed_fetches() const {
+    return failed_fetches_;
   }
 
  private:
@@ -108,12 +120,18 @@ class Network {
     FetchCallback cb;
   };
   struct RegionState {
-    std::size_t outstanding = 0;
+    /// In-flight wire transfers by issue id (ordered, so fail_region
+    /// aborts them deterministically in issue order). A completion event
+    /// whose id is gone was aborted and is a no-op.
+    std::map<std::uint64_t, FetchCallback> wire;
     std::deque<PendingFetch> fifo;
   };
 
   void start_wire(RegionId to, PendingFetch pending);
-  void finish_wire(RegionId to);
+  /// Hand freed slots to the FIFO head(s) after a completion.
+  void drain_queue(RegionId to);
+  /// Deliver one failure asynchronously (like a timeout).
+  void deliver_failure(FetchCallback cb);
 
   LatencyModel model_;
   EventLoop* loop_ = nullptr;  // non-owning
@@ -123,8 +141,10 @@ class Network {
   std::size_t total_outstanding_ = 0;
   std::size_t max_in_flight_ = 0;
   std::size_t max_queue_depth_ = 0;
+  std::uint64_t next_wire_id_ = 1;
   std::uint64_t wire_fetches_ = 0;
   std::uint64_t queued_fetches_ = 0;
+  std::uint64_t failed_fetches_ = 0;
 };
 
 }  // namespace agar::sim

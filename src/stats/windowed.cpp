@@ -1,0 +1,30 @@
+#include "stats/windowed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace agar::stats {
+
+WindowedHistogram::WindowedHistogram(double window_ms)
+    : window_ms_(window_ms) {
+  if (!(window_ms > 0.0)) {
+    throw std::invalid_argument("WindowedHistogram: window_ms must be > 0");
+  }
+}
+
+std::size_t WindowedHistogram::index_of(double t) const {
+  if (t <= 0.0) return 0;
+  return static_cast<std::size_t>(std::floor(t / window_ms_));
+}
+
+void WindowedHistogram::ensure(std::size_t index) {
+  if (index >= windows_.size()) windows_.resize(index + 1);
+}
+
+void WindowedHistogram::add(double t, double value) {
+  const std::size_t i = index_of(t);
+  ensure(i);
+  windows_[i].add(value);
+}
+
+}  // namespace agar::stats

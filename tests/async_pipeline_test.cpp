@@ -177,6 +177,75 @@ TEST_F(AsyncPipelineTest, ContendingReadsPayQueueingDelay) {
   EXPECT_GT(network_.queued_fetches(), 0u);
 }
 
+TEST_F(AsyncPipelineTest, CoalescedObserversSeeFailureExactlyOnce) {
+  // Several requesters joined one wire fetch; the destination dies
+  // mid-flight. Every observer must hear nullopt exactly once.
+  core::FetchCoordinator coordinator(&network_);
+  const ChunkId chunk{"object0", 1};
+  const RegionId to = sim::region::kTokyo;
+  std::size_t failures = 0, successes = 0;
+  auto observer = [&](std::optional<SimTimeMs> l) {
+    l.has_value() ? ++successes : ++failures;
+  };
+  ASSERT_EQ(coordinator.fetch(chunk, 0, to, 1000, observer),
+            core::FetchStart::kStarted);
+  ASSERT_EQ(coordinator.fetch(chunk, 0, to, 1000, observer),
+            core::FetchStart::kJoined);
+  ASSERT_EQ(coordinator.fetch(chunk, 0, to, 1000, observer),
+            core::FetchStart::kJoined);
+  loop_.run_until(1.0);
+  network_.fail_region(to);
+  loop_.run();
+  EXPECT_EQ(failures, 3u);
+  EXPECT_EQ(successes, 0u);
+  EXPECT_FALSE(coordinator.in_flight(chunk));
+}
+
+TEST_F(AsyncPipelineTest, ExhaustedFallbacksCompleteAsFailedRead) {
+  // Every region dies while a read's fetches are on the wire: with all
+  // fallbacks exhausted the read must complete as a counted failure, not
+  // crash decoding fewer than k chunks from a completion event.
+  ClientContext c = ctx(sim::region::kFrankfurt);
+  c.verify_data = true;  // pre-fix: decode of < k chunks throws
+  BackendStrategy s(c);
+  ReadResult result;
+  bool done = false;
+  s.start_read("object0", [&](const ReadResult& r) {
+    result = r;
+    done = true;
+  });
+  loop_.run_until(1.0);
+  for (RegionId r = 0; r < topology_.num_regions(); ++r) {
+    network_.fail_region(r);
+  }
+  loop_.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.failed);
+  EXPECT_FALSE(result.verified);
+  EXPECT_LT(result.backend_chunks, 9u);
+}
+
+TEST_F(AsyncPipelineTest, MidReadOutageFallsBackToSurvivingRegions) {
+  // One region dies mid-read; its in-flight arms abort and the batch pulls
+  // parity replacements from live regions — the read still decodes.
+  ClientContext c = ctx(sim::region::kFrankfurt);
+  c.verify_data = true;
+  BackendStrategy s(c);
+  ReadResult result;
+  bool done = false;
+  s.start_read("object0", [&](const ReadResult& r) {
+    result = r;
+    done = true;
+  });
+  loop_.run_until(1.0);
+  network_.fail_region(sim::region::kTokyo);
+  loop_.run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.failed);
+  EXPECT_TRUE(result.verified);
+  EXPECT_EQ(result.backend_chunks, 9u);
+}
+
 TEST_F(AsyncPipelineTest, DownRegionFallsBackAsynchronously) {
   network_.fail_region(sim::region::kTokyo);
   BackendStrategy s(ctx(sim::region::kFrankfurt));

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+
 namespace agar::sim {
 namespace {
 
@@ -47,6 +52,111 @@ TEST_F(NetworkTest, DownCountTracksFailures) {
 TEST_F(NetworkTest, CacheFetchAlwaysSucceeds) {
   network_.fail_region(0);
   EXPECT_GT(network_.cache_fetch(1000), 0.0);
+}
+
+// ------------------------------------------------- mid-run outage semantics
+//
+// Regression tests for the outage path: failing a region must abort the
+// transfers already on the wire (observers hear nullopt at fail time, not a
+// successful completion at the transfer's scheduled time) and must fail
+// queued FIFO entries immediately (not strand them until an unrelated
+// completion drains the queue).
+
+class NetworkOutageTest : public NetworkTest {
+ protected:
+  NetworkOutageTest() { network_.bind_loop(&loop_); }
+
+  EventLoop loop_;
+};
+
+TEST_F(NetworkOutageTest, FailRegionAbortsInFlightFetches) {
+  const RegionId to = region::kTokyo;
+  std::vector<std::optional<SimTimeMs>> outcomes;
+  std::vector<SimTimeMs> at;
+  ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000, [&](auto l) {
+    outcomes.push_back(l);
+    at.push_back(loop_.now());
+  }));
+  ASSERT_EQ(network_.outstanding(to), 1u);
+
+  // The region dies while the transfer is mid-flight.
+  loop_.run_until(1.0);
+  network_.fail_region(to);
+  loop_.run();
+
+  // The observer hears the failure exactly once, at fail time — the
+  // transfer does not complete successfully later.
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].has_value());
+  EXPECT_DOUBLE_EQ(at[0], 1.0);
+  EXPECT_EQ(network_.in_flight(), 0u);
+  EXPECT_EQ(network_.failed_fetches(), 1u);
+}
+
+TEST_F(NetworkOutageTest, FailRegionFailsQueuedFetchesImmediately) {
+  network_.set_max_outstanding_per_region(1);
+  const RegionId to = region::kDublin;
+  std::vector<SimTimeMs> failure_times;
+  std::size_t failures = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        network_.begin_fetch(region::kFrankfurt, to, 1000, [&](auto l) {
+          if (!l.has_value()) {
+            ++failures;
+            failure_times.push_back(loop_.now());
+          }
+        }));
+  }
+  ASSERT_EQ(network_.queue_depth(to), 2u);
+
+  loop_.run_until(1.0);
+  network_.fail_region(to);
+  loop_.run();
+
+  // All three fail at fail time: the wire fetch aborted, and the two queued
+  // entries did not wait for a (never-coming) completion to drain them.
+  EXPECT_EQ(failures, 3u);
+  ASSERT_EQ(failure_times.size(), 3u);
+  for (const SimTimeMs t : failure_times) EXPECT_DOUBLE_EQ(t, 1.0);
+  EXPECT_EQ(network_.queue_depth(to), 0u);
+  EXPECT_EQ(network_.in_flight(), 0u);
+}
+
+TEST_F(NetworkOutageTest, RestoreCannotResurrectAbortedFetches) {
+  const RegionId to = region::kSydney;
+  std::size_t calls = 0;
+  std::optional<SimTimeMs> last = SimTimeMs{-1.0};
+  ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000, [&](auto l) {
+    ++calls;
+    last = l;
+  }));
+  // Fail and immediately restore, all before the transfer would have
+  // landed: the aborted fetch must stay failed, and its stale completion
+  // event must not fire a second callback (or touch the slot accounting).
+  network_.fail_region(to);
+  network_.restore_region(to);
+  loop_.run();
+  EXPECT_EQ(calls, 1u);
+  EXPECT_FALSE(last.has_value());
+  EXPECT_EQ(network_.in_flight(), 0u);
+  // The restored region serves fresh fetches normally.
+  bool ok = false;
+  ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000,
+                                   [&](auto l) { ok = l.has_value(); }));
+  loop_.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(NetworkOutageTest, FailRegionIsIdempotent) {
+  const RegionId to = region::kTokyo;
+  std::size_t calls = 0;
+  ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000,
+                                   [&](auto) { ++calls; }));
+  network_.fail_region(to);
+  network_.fail_region(to);  // duplicate must not double-deliver
+  loop_.run();
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(network_.failed_fetches(), 1u);
 }
 
 TEST(NetworkBatch, EmptyBatchIsZero) {
