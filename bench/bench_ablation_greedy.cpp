@@ -1,14 +1,18 @@
 // Ablation for §II-D's claim that greedy algorithms are a poor fit for the
-// caching-options knapsack: compare the exact DP against a value-density
-// greedy on (a) adversarial instances (greedy can lose ~50%) and (b) the
-// realistic instances Agar's own option generator produces.
+// caching-options knapsack — now registry-driven: every planner registered
+// in api::PlannerRegistry is compared against the exact DP on (a)
+// adversarial instances (greedy can lose ~50%) and (b) the realistic
+// instances Agar's own option generator produces, with per-plan timing.
+// A newly registered planner shows up here with no edits.
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <map>
 
+#include "api/registry.hpp"
 #include "client/report.hpp"
 #include "client/runner.hpp"
-#include "core/knapsack.hpp"
+#include "core/planner.hpp"
 
 using namespace agar;
 using core::CachingOption;
@@ -24,29 +28,60 @@ CachingOption make_opt(const ObjectKey& key, std::size_t w, double v) {
   return o;
 }
 
+std::unique_ptr<core::Planner> make_planner(const std::string& name) {
+  return api::PlannerRegistry::instance().create(name, api::PlannerContext{},
+                                                 api::ParamMap{});
+}
+
+double timed_plan_ms(core::Planner& planner,
+                     const std::vector<std::vector<CachingOption>>& groups,
+                     std::size_t capacity, core::KnapsackResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = planner.plan(groups, capacity);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string fmt_ms3(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
 }  // namespace
 
 int main() {
   client::print_experiment_banner(
-      "Ablation", "exact DP vs greedy knapsack (paper §II-D)",
-      "adversarial instances + realistic zipf-shaped option sets");
+      "Ablation", "registered planners vs the exact DP (paper §II-D)",
+      "adversarial instances + realistic zipf-shaped option sets, "
+      "per-reconfiguration planning time");
+
+  const auto planner_names = api::PlannerRegistry::instance().names();
 
   // (a) Adversarial: one tiny high-density option crowds out the big one.
+  // Small enough for every planner, including the brute-force oracle.
   {
-    std::vector<std::vector<CachingOption>> groups = {
+    const std::vector<std::vector<CachingOption>> groups = {
         {make_opt("small", 1, 10.0)},
         {make_opt("large", 10, 99.0)},
     };
-    const auto dp = core::solve_dp(groups, 10);
-    const auto greedy = core::solve_greedy(groups, 10);
-    std::cout << "adversarial 2-key instance: dp=" << dp.total_value
-              << " greedy=" << greedy.total_value << " (greedy at "
-              << client::fmt_pct(greedy.total_value / dp.total_value)
-              << " of optimal)\n";
+    const double optimal = core::solve_dp(groups, 10).total_value;
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& name : planner_names) {
+      auto planner = make_planner(name);
+      const auto r = planner->plan(groups, 10);
+      rows.push_back({name, std::to_string(r.total_value),
+                      client::fmt_pct(r.total_value / optimal)});
+    }
+    std::cout << "adversarial 2-key instance (greedy's classic failure):\n"
+              << client::format_table({"planner", "value", "of optimal"},
+                                      rows);
   }
 
   // (b) Realistic: Table-I improvement profile, zipf popularity, weights
-  // {1,3,5,7,9}, sweeping the cache size.
+  // {1,3,5,7,9}, sweeping the cache size. Brute force is exponential and
+  // sits this one out.
   const std::vector<double> improvement = {2000, 2800, 3200, 3320, 3345};
   const std::vector<std::size_t> weights = {1, 3, 5, 7, 9};
   std::vector<std::vector<CachingOption>> groups;
@@ -63,23 +98,55 @@ int main() {
 
   std::vector<std::vector<std::string>> rows;
   for (const std::size_t capacity : {9u, 45u, 90u, 180u, 450u, 900u}) {
-    const auto dp = core::solve_dp(groups, capacity);
-    const auto greedy = core::solve_greedy(groups, capacity);
-    rows.push_back(
-        {std::to_string(capacity) + " chunks",
-         std::to_string(static_cast<long long>(dp.total_value)),
-         std::to_string(static_cast<long long>(greedy.total_value)),
-         client::fmt_pct(greedy.total_value / dp.total_value),
-         std::to_string(dp.chosen.size()),
-         std::to_string(greedy.chosen.size())});
+    const double optimal = core::solve_dp(groups, capacity).total_value;
+    for (const auto& name : planner_names) {
+      if (name == "brute-force") continue;  // exponential oracle
+      auto planner = make_planner(name);
+      core::KnapsackResult r;
+      const double ms = timed_plan_ms(*planner, groups, capacity, r);
+      rows.push_back({std::to_string(capacity) + " chunks", name,
+                      std::to_string(static_cast<long long>(r.total_value)),
+                      client::fmt_pct(r.total_value / optimal),
+                      std::to_string(r.chosen.size()), fmt_ms3(ms)});
+    }
   }
-  std::cout << client::format_table({"capacity", "DP value", "greedy value",
-                                     "greedy/optimal", "DP objects",
-                                     "greedy objects"},
+  std::cout << "\nrealistic 300-object instances:\n"
+            << client::format_table({"capacity", "planner", "value",
+                                     "of optimal", "objects", "plan ms"},
                                     rows);
+
+  // (c) The incremental planner's raison d'etre: after a full first plan,
+  // steady-state re-plans with small popularity drift only touch dirty
+  // keys and run far faster than re-running the full DP.
+  {
+    auto dp = make_planner("knapsack-dp");
+    auto inc = make_planner("incremental");
+    core::KnapsackResult r;
+    (void)timed_plan_ms(*inc, groups, 900, r);  // warm start
+    std::vector<std::vector<std::string>> replan_rows;
+    for (int round = 1; round <= 3; ++round) {
+      // ~1% drift per round: well under the 10% dirty threshold.
+      for (auto& group : groups) {
+        for (auto& o : group) o.value *= 1.01;
+      }
+      core::KnapsackResult rd, ri;
+      const double dp_ms = timed_plan_ms(*dp, groups, 900, rd);
+      const double inc_ms = timed_plan_ms(*inc, groups, 900, ri);
+      replan_rows.push_back(
+          {"drift round " + std::to_string(round), fmt_ms3(dp_ms),
+           fmt_ms3(inc_ms),
+           client::fmt_pct(ri.total_value / rd.total_value)});
+    }
+    std::cout << "\nwarm re-plan under 1% popularity drift (capacity 900):\n"
+              << client::format_table({"round", "full DP ms",
+                                       "incremental ms", "value vs DP"},
+                                      replan_rows);
+  }
 
   std::cout << "\ntakeaway: greedy tracks the DP on smooth zipf instances "
                "but collapses on boundary cases; the DP costs O(options x "
-               "capacity) and is exact everywhere.\n";
+               "capacity) and is exact everywhere; incremental re-plans "
+               "only drifted keys and approaches the DP's value at a "
+               "fraction of its steady-state cost.\n";
   return 0;
 }

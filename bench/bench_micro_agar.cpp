@@ -1,23 +1,32 @@
 // §VI microbenchmarks: the paper reports ~0.5 ms request-monitor handling,
 // ~5 ms for the reconfiguration algorithm, and O(C^2) growth in the cache
 // size. Measure our implementations directly.
+//
+// Planner and popularity-estimator benchmarks are registered dynamically
+// from api::PlannerRegistry / api::EstimatorRegistry — per-reconfiguration
+// planning time for a newly registered planner shows up with no edits.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <memory>
 
+#include "api/registry.hpp"
 #include "core/agar_node.hpp"
 #include "core/knapsack.hpp"
 #include "core/option_generator.hpp"
+#include "core/planner.hpp"
+#include "core/popularity_estimator.hpp"
 
 namespace {
 
 using namespace agar;
 
-// --- request monitor path -------------------------------------------------
+// --- request monitor path (every registered estimator) ----------------------
 
-void BM_RequestMonitorRecord(benchmark::State& state) {
-  core::RequestMonitor monitor;
+void bm_monitor_record(benchmark::State& state, const std::string& estimator) {
+  core::RequestMonitorParams params;
+  params.estimator = estimator;
+  core::RequestMonitor monitor(params);
   std::vector<ObjectKey> keys;
   for (int i = 0; i < 300; ++i) keys.push_back("object" + std::to_string(i));
   std::size_t i = 0;
@@ -27,7 +36,6 @@ void BM_RequestMonitorRecord(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_RequestMonitorRecord);
 
 // --- option generation ------------------------------------------------------
 
@@ -73,26 +81,40 @@ std::vector<std::vector<core::CachingOption>> make_groups(std::size_t keys) {
   return groups;
 }
 
-void BM_KnapsackDp(benchmark::State& state) {
-  // capacity in chunks: 45 = 5 MB, 90 = 10 MB, ... 900 = 100 MB.
+// One cold plan per iteration: this IS the per-reconfiguration planning
+// time the control plane charges (capacity in chunks: 45 = 5 MB, 90 =
+// 10 MB, ... 900 = 100 MB).
+void bm_planner_cold(benchmark::State& state, const std::string& planner_name) {
   const auto capacity = static_cast<std::size_t>(state.range(0));
   const auto groups = make_groups(300);
   for (auto _ : state) {
-    auto result = core::solve_dp(groups, capacity);
+    // Fresh planner per plan: stateful planners must not warm-start here.
+    auto planner = api::PlannerRegistry::instance().create(
+        planner_name, api::PlannerContext{}, api::ParamMap{});
+    auto result = planner->plan(groups, capacity);
     benchmark::DoNotOptimize(result.total_value);
   }
 }
-BENCHMARK(BM_KnapsackDp)->Arg(45)->Arg(90)->Arg(180)->Arg(450)->Arg(900);
 
-void BM_KnapsackGreedy(benchmark::State& state) {
+// Steady state of the incremental planner: warm re-plans under a small
+// per-iteration popularity drift (the EWMA's behavior between shifts).
+void bm_planner_warm_replan(benchmark::State& state,
+                            const std::string& planner_name) {
   const auto capacity = static_cast<std::size_t>(state.range(0));
-  const auto groups = make_groups(300);
+  auto groups = make_groups(300);
+  auto planner = api::PlannerRegistry::instance().create(
+      planner_name, api::PlannerContext{}, api::ParamMap{});
+  benchmark::DoNotOptimize(planner->plan(groups, capacity).total_value);
   for (auto _ : state) {
-    auto result = core::solve_greedy(groups, capacity);
+    state.PauseTiming();
+    for (auto& group : groups) {
+      for (auto& o : group) o.value *= 1.001;
+    }
+    state.ResumeTiming();
+    auto result = planner->plan(groups, capacity);
     benchmark::DoNotOptimize(result.total_value);
   }
 }
-BENCHMARK(BM_KnapsackGreedy)->Arg(90)->Arg(900);
 
 // --- a full reconfiguration (probe + roll + solve + install) ---------------
 
@@ -144,4 +166,34 @@ BENCHMARK_F(ReconfigFixture, FullReconfiguration)(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Registry-driven registration: every estimator's record path and every
+  // planner's per-reconfiguration planning time, no per-entry bench code.
+  for (const auto& name : api::EstimatorRegistry::instance().names()) {
+    benchmark::RegisterBenchmark(("BM_MonitorRecord/" + name).c_str(),
+                                 [name](benchmark::State& state) {
+                                   bm_monitor_record(state, name);
+                                 });
+  }
+  for (const auto& name : api::PlannerRegistry::instance().names()) {
+    if (name == "brute-force") continue;  // exponential, test-sized only
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_PlannerCold/" + name).c_str(),
+        [name](benchmark::State& state) { bm_planner_cold(state, name); });
+    for (const int cap : {45, 90, 180, 450, 900}) bench->Arg(cap);
+  }
+  for (const auto& name : {std::string("knapsack-dp"),
+                           std::string("incremental")}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_PlannerWarmReplan/" + name).c_str(),
+        [name](benchmark::State& state) {
+          bm_planner_warm_replan(state, name);
+        });
+    bench->Arg(900);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

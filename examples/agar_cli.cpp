@@ -63,9 +63,11 @@ int fail(const std::string& message) {
   return 2;
 }
 
-void print_schema(const api::ParamSchema& schema, const std::string& indent) {
+void print_schema(const api::ParamSchema& schema, const std::string& indent,
+                  const std::string& name_prefix = "") {
   for (const auto& p : schema.params) {
-    std::cout << indent << p.name << " (" << api::to_string(p.type);
+    std::cout << indent << name_prefix << p.name << " ("
+              << api::to_string(p.type);
     if (!p.default_value.empty()) std::cout << ", default " << p.default_value;
     std::cout << "): " << p.description << "\n";
   }
@@ -87,6 +89,22 @@ void list_everything() {
     const auto& entry = engines.at(name);
     std::cout << "  " << name << " -- " << entry.description << "\n";
     print_schema(entry.schema, "      ");
+  }
+  std::cout << "\nplanners (agar control plane, planner=<name>; sub-params "
+               "as planner.<param>=<value>):\n";
+  const auto& planners = api::PlannerRegistry::instance();
+  for (const auto& name : planners.names()) {
+    const auto& entry = planners.at(name);
+    std::cout << "  " << name << " -- " << entry.description << "\n";
+    print_schema(entry.schema, "      ", "planner.");
+  }
+  std::cout << "\npopularity estimators (request monitor, monitor=<name>; "
+               "sub-params as monitor.<param>=<value>):\n";
+  const auto& estimators = api::EstimatorRegistry::instance();
+  for (const auto& name : estimators.names()) {
+    const auto& entry = estimators.at(name);
+    std::cout << "  " << name << " -- " << entry.description << "\n";
+    print_schema(entry.schema, "      ", "monitor.");
   }
   std::cout << "\nexperiment keys (--set key=value or JSON spec members):\n";
   print_schema(api::ExperimentSpec::experiment_keys(), "  ");

@@ -224,10 +224,46 @@ std::vector<std::string> runnable_systems() {
   return out;
 }
 
+namespace {
+
+/// Validate a control-plane selection (planner= / monitor=) against its
+/// registry: the name must be registered, and the namespaced sub-params
+/// ("planner.threshold") must match the entry's schema. The prefixed names
+/// are appended to `extra` so the strategy-level validation accepts them.
+template <typename Registry>
+void validate_control_plane_pick(const Registry& registry,
+                                 const ParamMap& effective,
+                                 const std::string& key,
+                                 const std::string& default_name,
+                                 std::vector<std::string>& extra) {
+  const std::string name = effective.get_string(key, default_name);
+  if (!registry.contains(name)) {
+    throw UnknownNameError("unknown " + key + " '" + name +
+                               "' (known: " + join(registry.names()) + ")",
+                           registry.names());
+  }
+  const auto& schema = registry.at(name).schema;
+  effective.scoped(key + ".").validate(schema, key + " '" + name + "'");
+  for (const auto& p : schema.params) extra.push_back(key + "." + p.name);
+}
+
+}  // namespace
+
 void ExperimentSpec::validate() const {
   const auto [name, effective] = resolve_system(system, params);
   const auto& entry = StrategyRegistry::instance().at(name);
   std::vector<std::string> extra;
+  // Systems that declare a planner/monitor parameter (Agar's control
+  // plane) get those names resolved against the planner / estimator
+  // registries, with typed validation of the namespaced sub-params.
+  if (const ParamInfo* planner = entry.schema.find("planner")) {
+    validate_control_plane_pick(PlannerRegistry::instance(), effective,
+                                "planner", planner->default_value, extra);
+  }
+  if (const ParamInfo* monitor = entry.schema.find("monitor")) {
+    validate_control_plane_pick(EstimatorRegistry::instance(), effective,
+                                "monitor", monitor->default_value, extra);
+  }
   const auto engine = effective.raw("engine");
   if (engine.has_value()) {
     // Fail at spec time, not mid-comparison: an explicit

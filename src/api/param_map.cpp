@@ -201,6 +201,16 @@ std::vector<std::size_t> ParamMap::get_size_list(
       key, *value, [](const std::string& v) { return parse_size_list(v); });
 }
 
+ParamMap ParamMap::scoped(const std::string& prefix) const {
+  ParamMap out;
+  for (const auto& [key, value] : entries_) {
+    if (key.size() > prefix.size() && key.rfind(prefix, 0) == 0) {
+      out.set(key.substr(prefix.size()), value);
+    }
+  }
+  return out;
+}
+
 void ParamMap::validate(const ParamSchema& schema, const std::string& context,
                         const std::vector<std::string>& extra_allowed) const {
   for (const auto& [key, value] : entries_) {

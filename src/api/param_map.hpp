@@ -94,6 +94,11 @@ class ParamMap {
     return entries_;
   }
 
+  /// The namespaced sub-map under `prefix`, with the prefix stripped:
+  /// scoped("planner.") turns {"planner.threshold": "0.2"} into
+  /// {"threshold": "0.2"}. Insertion order preserved.
+  [[nodiscard]] ParamMap scoped(const std::string& prefix) const;
+
   /// Every key must be declared by `schema` (plus `extra_allowed`), and its
   /// value must parse as the declared type. Throws std::invalid_argument
   /// with a diagnostic naming the bad key and listing the accepted ones.

@@ -1,12 +1,18 @@
 // String-keyed, self-registering factories — the open replacement for the
 // old closed `StrategySpec::Kind` enum.
 //
-// Two registries exist:
+// Four registries exist:
 //   * api::Registry<cache::CacheEngine>  — replacement/admission policies
 //     ("lru", "lfu", "tinylfu", "arc", ...), built against a byte capacity;
 //   * api::Registry<client::ReadStrategy> — whole client systems
 //     ("backend", "lfu", "agar", "fixed-chunks", ...), built against a
-//     deployment.
+//     deployment;
+//   * api::Registry<core::Planner> — reconfiguration solvers
+//     ("knapsack-dp", "greedy", "brute-force", "incremental"), selected
+//     with the `planner=` spec key;
+//   * api::Registry<core::PopularityEstimator> — popularity tracking behind
+//     the request monitor ("exact-ewma", "count-min"), selected with the
+//     `monitor=` spec key.
 //
 // Each entry carries a factory, a one-line description, a self-describing
 // ParamSchema, and a label formatter, so `--list` output, bench legends and
@@ -45,6 +51,10 @@ struct ClientContext;
 struct ExperimentConfig;
 class Deployment;
 }  // namespace agar::client
+namespace agar::core {
+class Planner;
+class PopularityEstimator;
+}  // namespace agar::core
 namespace agar::sim {
 class EventLoop;
 }
@@ -79,6 +89,18 @@ struct StrategyContext {
   client::Deployment* deployment = nullptr;
 };
 
+/// What a planner factory gets to work with. Planners are pure solvers —
+/// everything problem-specific arrives with each plan() call — so the
+/// context is empty today; it exists so new wiring (e.g. a time source)
+/// never changes factory signatures.
+struct PlannerContext {};
+
+/// What a popularity-estimator factory gets to work with: the monitor's
+/// EWMA weighting (an experiment-level knob, not an estimator param).
+struct EstimatorContext {
+  double ewma_alpha = 0.8;
+};
+
 namespace detail {
 /// Maps a product type to the context its factories receive.
 template <typename Product>
@@ -90,6 +112,14 @@ struct ContextOf<cache::CacheEngine> {
 template <>
 struct ContextOf<client::ReadStrategy> {
   using type = StrategyContext;
+};
+template <>
+struct ContextOf<core::Planner> {
+  using type = PlannerContext;
+};
+template <>
+struct ContextOf<core::PopularityEstimator> {
+  using type = EstimatorContext;
 };
 }  // namespace detail
 
@@ -180,6 +210,8 @@ class Registry {
 
 using EngineRegistry = Registry<cache::CacheEngine>;
 using StrategyRegistry = Registry<client::ReadStrategy>;
+using PlannerRegistry = Registry<core::Planner>;
+using EstimatorRegistry = Registry<core::PopularityEstimator>;
 
 /// Static-init registration helpers:
 ///   namespace { const api::EngineRegistration kReg{{...}}; }
@@ -191,6 +223,16 @@ struct EngineRegistration {
 struct StrategyRegistration {
   explicit StrategyRegistration(StrategyRegistry::Entry entry) {
     StrategyRegistry::instance().add(std::move(entry));
+  }
+};
+struct PlannerRegistration {
+  explicit PlannerRegistration(PlannerRegistry::Entry entry) {
+    PlannerRegistry::instance().add(std::move(entry));
+  }
+};
+struct EstimatorRegistration {
+  explicit EstimatorRegistration(EstimatorRegistry::Entry entry) {
+    EstimatorRegistry::instance().add(std::move(entry));
   }
 };
 

@@ -18,6 +18,12 @@ const api::StrategyRegistration kAgar{{
         {"cache_bytes", api::ParamType::kSize, "10MB", "cache capacity"},
         {"probes_per_region", api::ParamType::kSize, "6",
          "latency probes per region per warm-up/reconfiguration"},
+        {"planner", api::ParamType::kString, "knapsack-dp",
+         "planner registry entry solving each reconfiguration "
+         "(planner.<param> passes planner-specific knobs)"},
+        {"monitor", api::ParamType::kString, "exact-ewma",
+         "popularity-estimator registry entry behind the request monitor "
+         "(monitor.<param> passes estimator-specific knobs)"},
     }},
     [](const api::StrategyContext& ctx, const api::ParamMap& params) {
       core::AgarNodeParams p;
@@ -30,9 +36,22 @@ const api::StrategyRegistration kAgar{{
           ctx.experiment->agar_candidate_weights;
       p.cache_manager.cache_latency_ms =
           ctx.deployment->network().model().params().cache_base_ms;
+      p.cache_manager.planner = params.get_string("planner", "knapsack-dp");
+      p.cache_manager.planner_params = params.scoped("planner.");
+      p.monitor.estimator = params.get_string("monitor", "exact-ewma");
+      p.monitor.estimator_params = params.scoped("monitor.");
       return std::make_unique<AgarStrategy>(*ctx.client, p);
     },
-    {}}};
+    [](const api::ParamMap& params) {
+      // Non-default control-plane picks show up in the label so planner /
+      // estimator sweeps stay distinguishable in tables and JSON reports.
+      std::string tags;
+      const auto planner = params.get_string("planner", "knapsack-dp");
+      const auto monitor = params.get_string("monitor", "exact-ewma");
+      if (planner != "knapsack-dp") tags += planner;
+      if (monitor != "exact-ewma") tags += (tags.empty() ? "" : ",") + monitor;
+      return tags.empty() ? std::string("Agar") : "Agar[" + tags + "]";
+    }}};
 
 }  // namespace
 

@@ -43,6 +43,9 @@ class AgarStrategy final : public ReadStrategy {
   config_weight_histogram() const override {
     return node_->cache_manager().current().weight_histogram();
   }
+  [[nodiscard]] core::ControlPlaneStats control_plane_stats() const override {
+    return node_->cache_manager().control_plane_stats();
+  }
 
   /// Cancel handle of the periodic reconfiguration (0 until attached);
   /// pass to EventLoop::cancel to stop the control plane mid-run.

@@ -134,7 +134,14 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"evictions\": " << run.cache_stats.evictions
           << ", \"used_bytes\": " << run.cache_used_bytes << "}"
           << ", \"decode_plan\": {\"hits\": " << run.decode_plan_hits
-          << ", \"misses\": " << run.decode_plan_misses << "}";
+          << ", \"misses\": " << run.decode_plan_misses << "}"
+          // Control-plane telemetry: planner timing (wall clock — CI
+          // normalizes it before cross-build diffs) and config churn.
+          << ", \"control_plane\": {\"reconfigurations\": "
+          << run.reconfigurations
+          << ", \"planning_ms\": " << num(run.planning_ms)
+          << ", \"chunks_installed\": " << run.config_chunks_installed
+          << ", \"chunks_evicted\": " << run.config_chunks_evicted << "}";
       // Windowed time series (scenario runs with window_ms set): the
       // per-window latency/hit/failure shape adaptation is judged by.
       if (!run.windows.empty()) {

@@ -251,6 +251,11 @@ RunResult run_once(const ExperimentConfig& config,
   result.max_net_in_flight = deployment.network().max_in_flight();
   for (const auto& strategy : strategies) {
     result.coalesced_fetches += strategy->fetch_coordinator().coalesced();
+    const core::ControlPlaneStats cp = strategy->control_plane_stats();
+    result.reconfigurations += cp.reconfigurations;
+    result.planning_ms += cp.planning_ms;
+    result.config_chunks_installed += cp.chunks_installed;
+    result.config_chunks_evicted += cp.chunks_evicted;
   }
 
   // Final snapshots through the observability hooks every strategy
@@ -336,6 +341,26 @@ std::uint64_t ExperimentResult::total_coalesced_fetches() const {
 std::uint64_t ExperimentResult::total_wire_fetches() const {
   std::uint64_t acc = 0;
   for (const auto& r : runs) acc += r.wire_fetches;
+  return acc;
+}
+
+std::uint64_t ExperimentResult::total_reconfigurations() const {
+  std::uint64_t acc = 0;
+  for (const auto& r : runs) acc += r.reconfigurations;
+  return acc;
+}
+
+double ExperimentResult::total_planning_ms() const {
+  double acc = 0.0;
+  for (const auto& r : runs) acc += r.planning_ms;
+  return acc;
+}
+
+std::uint64_t ExperimentResult::total_config_churn() const {
+  std::uint64_t acc = 0;
+  for (const auto& r : runs) {
+    acc += r.config_chunks_installed + r.config_chunks_evicted;
+  }
   return acc;
 }
 

@@ -141,6 +141,14 @@ struct RunResult {
   std::size_t max_reads_in_flight = 0;///< peak concurrent reads (open loop)
   std::uint64_t scenario_events_fired = 0;  ///< scripted events applied
 
+  // ------------------------- control-plane observability (all regions)
+  std::uint64_t reconfigurations = 0;  ///< completed reconfigurations
+  double planning_ms = 0.0;            ///< wall-clock spent in the planner
+  /// Config churn: configured chunks added / dropped across all
+  /// reconfigurations (a stable control plane installs and evicts little).
+  std::uint64_t config_chunks_installed = 0;
+  std::uint64_t config_chunks_evicted = 0;
+
   /// Windowed time series (metric_window_ms > 0), windows with no
   /// completions included so indices line up with virtual time.
   std::vector<WindowStats> windows;
@@ -176,6 +184,11 @@ struct ExperimentResult {
   [[nodiscard]] double mean_throughput_ops_per_s() const;
   [[nodiscard]] std::uint64_t total_coalesced_fetches() const;
   [[nodiscard]] std::uint64_t total_wire_fetches() const;
+  [[nodiscard]] std::uint64_t total_reconfigurations() const;
+  [[nodiscard]] double total_planning_ms() const;
+  /// Chunks installed + evicted across all runs — the config-churn scalar
+  /// planner comparisons report.
+  [[nodiscard]] std::uint64_t total_config_churn() const;
 };
 
 /// Builds one strategy instance per client region. The runner owns no

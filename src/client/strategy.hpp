@@ -19,6 +19,7 @@
 #include "cache/static_cache.hpp"
 #include "common/types.hpp"
 #include "core/fetch_coordinator.hpp"
+#include "core/planner.hpp"
 #include "core/read_planner.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
@@ -105,6 +106,12 @@ class ReadStrategy {
   /// strategies without a weighted configuration.
   [[nodiscard]] virtual std::unordered_map<std::size_t, std::size_t>
   config_weight_histogram() const {
+    return {};
+  }
+
+  /// Control-plane telemetry (reconfiguration count, planner time, config
+  /// churn); zeros for strategies without a periodic control plane.
+  [[nodiscard]] virtual core::ControlPlaneStats control_plane_stats() const {
     return {};
   }
 

@@ -1,11 +1,12 @@
 #include "core/cache_manager.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
-#include <unordered_set>
 
+#include "api/registry.hpp"
 #include "common/logging.hpp"
 
 namespace agar::core {
@@ -39,6 +40,8 @@ CacheManager::CacheManager(const store::BackendCluster* backend,
       request_monitor_ == nullptr || cache_ == nullptr) {
     throw std::invalid_argument("CacheManager: null dependency");
   }
+  planner_ = api::PlannerRegistry::instance().create(
+      params_.planner, api::PlannerContext{}, params_.planner_params);
 }
 
 std::size_t CacheManager::weight_quantum_bytes() const {
@@ -65,9 +68,9 @@ std::vector<std::vector<CachingOption>> CacheManager::generate_options()
 
   const std::size_t quantum = weight_quantum_bytes();
 
-  // Sort the snapshot for determinism (hash-map order is arbitrary).
-  auto snapshot = request_monitor_->snapshot();
-  std::sort(snapshot.begin(), snapshot.end());
+  // The snapshot is sorted by key (the estimator contract), so the option
+  // groups — and thus the planner's input — are deterministic.
+  const auto snapshot = request_monitor_->snapshot();
 
   std::vector<std::vector<CachingOption>> groups;
   groups.reserve(snapshot.size());
@@ -99,7 +102,12 @@ const CacheConfiguration& CacheManager::reconfigure() {
   const std::size_t capacity_units = cache_->capacity_bytes() / quantum;
 
   const auto groups = generate_options();
-  KnapsackResult result = solve_dp(groups, capacity_units);
+  const auto plan_start = std::chrono::steady_clock::now();
+  KnapsackResult result = planner_->plan(groups, capacity_units);
+  const double plan_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - plan_start)
+          .count();
 
   CacheConfiguration next;
   std::unordered_set<std::string> configured_keys;
@@ -115,13 +123,31 @@ const CacheConfiguration& CacheManager::reconfigure() {
   }
   next.total_value = result.total_value;
 
+  // Configuration churn relative to the previous installation: chunks the
+  // new plan adds (a-priori downloads ahead) and chunks it drops.
+  std::uint64_t installed = 0;
+  for (const auto& key : configured_keys) {
+    if (installed_chunk_keys_.count(key) == 0) ++installed;
+  }
+  std::uint64_t evicted = 0;
+  for (const auto& key : installed_chunk_keys_) {
+    if (configured_keys.count(key) == 0) ++evicted;
+  }
+  stats_.reconfigurations = reconfigs_;
+  stats_.planning_ms += plan_ms;
+  stats_.chunks_installed += installed;
+  stats_.chunks_evicted += evicted;
+
   config_ = std::move(next);
+  installed_chunk_keys_ = configured_keys;
   cache_->install_configuration(std::move(configured_keys));
 
-  log_info("cache-manager") << "reconfiguration #" << reconfigs_ << ": "
-                            << config_.entries.size() << " objects, "
-                            << config_.total_chunks << " chunks, value "
-                            << config_.total_value;
+  log_info("cache-manager") << "reconfiguration #" << reconfigs_ << " ("
+                            << planner_->name() << ", " << plan_ms
+                            << " ms): " << config_.entries.size()
+                            << " objects, " << config_.total_chunks
+                            << " chunks (+" << installed << "/-" << evicted
+                            << "), value " << config_.total_value;
   return config_;
 }
 

@@ -2,17 +2,25 @@
 // configuration from the request monitor's popularity statistics and the
 // region manager's latency estimates, then installs it into the Agar cache.
 //
-// One reconfiguration = one run of the knapsack DP (§IV-B) over the caching
-// options of every tracked object (§IV-A).
+// One reconfiguration = one run of the configured core::Planner (§IV-B;
+// `knapsack-dp` by default, any api::PlannerRegistry entry via the
+// `planner=` spec key) over the caching options of every tracked object
+// (§IV-A). The manager times every planner run and tracks configuration
+// churn (chunks installed/evicted) as ControlPlaneStats.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "api/param_map.hpp"
 #include "cache/static_cache.hpp"
 #include "core/knapsack.hpp"
 #include "core/option_generator.hpp"
+#include "core/planner.hpp"
 #include "core/region_manager.hpp"
 #include "core/request_monitor.hpp"
 
@@ -24,6 +32,11 @@ struct CacheManagerParams {
   std::vector<std::size_t> candidate_weights;
   /// Expected local-cache fetch latency used in option values.
   double cache_latency_ms = 55.0;
+  /// Planner registry entry solving each reconfiguration.
+  std::string planner = "knapsack-dp";
+  /// Planner-specific parameters (threshold, ... — validated against the
+  /// registered schema by the spec layer).
+  api::ParamMap planner_params;
 };
 
 /// The installed configuration, per object, for inspection (Fig. 10).
@@ -49,14 +62,22 @@ class CacheManager {
                cache::StaticConfigCache* cache, CacheManagerParams params);
 
   /// Run the full reconfiguration: roll the monitor period, regenerate
-  /// caching options, solve the knapsack, install the new configuration.
+  /// caching options, run the planner, install the new configuration.
   /// Returns the installed configuration (also kept internally).
   const CacheConfiguration& reconfigure();
 
   [[nodiscard]] const CacheConfiguration& current() const { return config_; }
   [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
 
-  /// Generate options for every tracked key (exposed for tests/benches).
+  /// Planner timing + configuration churn, cumulative over this manager.
+  [[nodiscard]] const ControlPlaneStats& control_plane_stats() const {
+    return stats_;
+  }
+  [[nodiscard]] const Planner& planner() const { return *planner_; }
+
+  /// Generate options for every tracked key, grouped per key in key-sorted
+  /// order — the monitor snapshot's determinism contract carries through to
+  /// the planner input (exposed for tests/benches).
   [[nodiscard]] std::vector<std::vector<CachingOption>> generate_options()
       const;
 
@@ -69,7 +90,11 @@ class CacheManager {
   RequestMonitor* request_monitor_;       // non-owning
   cache::StaticConfigCache* cache_;       // non-owning
   CacheManagerParams params_;
+  std::unique_ptr<Planner> planner_;
   CacheConfiguration config_;
+  /// Chunk cache-keys of the installed configuration (churn accounting).
+  std::unordered_set<std::string> installed_chunk_keys_;
+  ControlPlaneStats stats_;
   std::uint64_t reconfigs_ = 0;
 };
 

@@ -90,8 +90,13 @@ KnapsackResult solve_greedy(
           Flat{&o, i, o.value / static_cast<double>(o.weight_units)});
     }
   }
+  // Deterministic total order: density first, then key and weight — equal
+  // densities must not fall through to input order, or the chosen
+  // configuration would depend on how the caller assembled the groups.
   std::stable_sort(flat.begin(), flat.end(), [](const Flat& a, const Flat& b) {
-    return a.density > b.density;
+    if (a.density != b.density) return a.density > b.density;
+    if (a.opt->key != b.opt->key) return a.opt->key < b.opt->key;
+    return a.opt->weight_units < b.opt->weight_units;
   });
 
   std::vector<bool> key_used(options_per_key.size(), false);

@@ -1,36 +1,31 @@
 #include "core/request_monitor.hpp"
 
+#include "api/registry.hpp"
+
 namespace agar::core {
 
 RequestMonitor::RequestMonitor(RequestMonitorParams params)
-    : params_(params), tracker_(params.ewma_alpha) {}
+    : params_(std::move(params)) {
+  api::EstimatorContext ctx;
+  ctx.ewma_alpha = params_.ewma_alpha;
+  estimator_ = api::EstimatorRegistry::instance().create(
+      params_.estimator, ctx, params_.estimator_params);
+}
 
 double RequestMonitor::record_access(const ObjectKey& key) {
   ++accesses_;
-  tracker_.record(key);
+  estimator_->record(key);
   return params_.processing_ms;
 }
 
-void RequestMonitor::roll_period() { tracker_.roll_period(); }
+void RequestMonitor::roll_period() { estimator_->roll_period(); }
 
 double RequestMonitor::popularity(const ObjectKey& key) const {
-  // Between periods, popularity blends the running EWMA with the current
-  // period's in-flight count so a cold start (first period) still ranks
-  // keys: this matches the paper's example where the first iteration uses
-  // popularity = alpha * freq + (1 - alpha) * 0.
-  const double base = tracker_.popularity(key);
-  const double current =
-      static_cast<double>(tracker_.current_count(key));
-  return base + params_.ewma_alpha * current;
+  return estimator_->popularity(key);
 }
 
 std::vector<std::pair<ObjectKey, double>> RequestMonitor::snapshot() const {
-  auto snap = tracker_.snapshot();
-  for (auto& [key, pop] : snap) {
-    pop += params_.ewma_alpha *
-           static_cast<double>(tracker_.current_count(key));
-  }
-  return snap;
+  return estimator_->snapshot();
 }
 
 }  // namespace agar::core

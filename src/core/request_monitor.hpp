@@ -1,22 +1,33 @@
 // Request monitor (paper §III-b): listens to client requests, maintains
-// per-object popularity with an EWMA over fixed periods, and serves cache
-// hints. Every client read goes through `record_access`, mirroring the
-// prototype where the monitor is on the path of each operation (the paper
-// measured ~0.5 ms of processing per request; the simulation charges that
-// as `processing_ms`).
+// per-object popularity, and serves cache hints. Every client read goes
+// through `record_access`, mirroring the prototype where the monitor is on
+// the path of each operation (the paper measured ~0.5 ms of processing per
+// request; the simulation charges that as `processing_ms`).
+//
+// Popularity tracking itself is a pluggable core::PopularityEstimator
+// resolved from api::EstimatorRegistry — `exact-ewma` (the paper's EWMA
+// map, default) or `count-min` (sketch-backed, sublinear memory). Selected
+// per experiment with the `monitor=` spec key.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "api/param_map.hpp"
 #include "common/types.hpp"
-#include "stats/freq_tracker.hpp"
+#include "core/popularity_estimator.hpp"
 
 namespace agar::core {
 
 struct RequestMonitorParams {
   double ewma_alpha = 0.8;   ///< paper's weighting coefficient
   double processing_ms = 0.5;///< per-request monitor overhead (paper §VI)
+  /// Popularity-estimator registry entry backing this monitor.
+  std::string estimator = "exact-ewma";
+  /// Estimator-specific parameters (width, depth, ... — validated against
+  /// the registered schema by the spec layer).
+  api::ParamMap estimator_params;
 };
 
 class RequestMonitor {
@@ -28,23 +39,27 @@ class RequestMonitor {
   double record_access(const ObjectKey& key);
 
   /// Close the current period (called by the cache manager at
-  /// reconfiguration time): folds counts into EWMA popularities.
+  /// reconfiguration time): folds counts into smoothed popularities.
   void roll_period();
 
   [[nodiscard]] double popularity(const ObjectKey& key) const;
 
-  /// (key, popularity) snapshot for the cache manager.
+  /// (key, popularity) snapshot for the cache manager, sorted by key —
+  /// planner input never depends on hash-map iteration order.
   [[nodiscard]] std::vector<std::pair<ObjectKey, double>> snapshot() const;
 
   [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
   [[nodiscard]] std::size_t tracked_keys() const {
-    return tracker_.tracked_keys();
+    return estimator_->tracked_keys();
   }
   [[nodiscard]] const RequestMonitorParams& params() const { return params_; }
+  [[nodiscard]] const PopularityEstimator& estimator() const {
+    return *estimator_;
+  }
 
  private:
   RequestMonitorParams params_;
-  stats::FreqTracker tracker_;
+  std::unique_ptr<PopularityEstimator> estimator_;
   std::uint64_t accesses_ = 0;
 };
 

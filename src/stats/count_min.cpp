@@ -57,4 +57,11 @@ void CountMinSketch::halve() {
   }
 }
 
+void CountMinSketch::reset() {
+  for (auto& row : rows_) {
+    std::fill(row.begin(), row.end(), 0);
+  }
+  adds_since_halve_ = 0;
+}
+
 }  // namespace agar::stats

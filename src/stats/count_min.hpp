@@ -30,6 +30,10 @@ class CountMinSketch {
   /// Halve all counters (aging). Called automatically per aging_window.
   void halve();
 
+  /// Zero all counters (a fresh period for per-period users like the
+  /// count-min popularity estimator). `total_adds` stays monotonic.
+  void reset();
+
   [[nodiscard]] std::size_t width() const { return width_; }
   [[nodiscard]] std::size_t depth() const { return rows_.size(); }
 

@@ -130,6 +130,13 @@ void expect_byte_identical(const client::RunResult& a,
   EXPECT_EQ(a.cache_stats.evictions, b.cache_stats.evictions) << kind;
   EXPECT_EQ(a.cache_used_bytes, b.cache_used_bytes) << kind;
   EXPECT_EQ(a.duration_ms, b.duration_ms) << kind;
+  // Control-plane counters are deterministic (only planning_ms is wall
+  // clock): the installed configurations themselves must match, not just
+  // the latencies they produce.
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations) << kind;
+  EXPECT_EQ(a.config_chunks_installed, b.config_chunks_installed) << kind;
+  EXPECT_EQ(a.config_chunks_evicted, b.config_chunks_evicted) << kind;
+  EXPECT_EQ(a.weight_histogram, b.weight_histogram) << kind;
   const auto& sa = a.latencies.sorted_samples();
   const auto& sb = b.latencies.sorted_samples();
   ASSERT_EQ(sa.size(), sb.size()) << kind;
@@ -176,6 +183,66 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Control-plane goldens: the planner/estimator registries must not move the
+// default path by a single byte, and the non-default entries must run end
+// to end through the same spec surface.
+
+TEST(ApiGoldenControlPlane, ExplicitDefaultsMatchImplicitDefaultsByteForByte) {
+  // `planner=knapsack-dp monitor=exact-ewma` spelled out must reproduce
+  // the spec that says nothing — proving the registry decomposition left
+  // the pre-refactor control plane byte-identical.
+  const auto config = golden_config();
+  const auto implicit = api::run(spec_of("agar", config)).result;
+  auto spec = spec_of("agar", config);
+  spec.set("planner", "knapsack-dp");
+  spec.set("monitor", "exact-ewma");
+  const auto explicit_run = api::run(spec).result;
+  ASSERT_EQ(implicit.runs.size(), explicit_run.runs.size());
+  for (std::size_t r = 0; r < implicit.runs.size(); ++r) {
+    expect_byte_identical(implicit.runs[r], explicit_run.runs[r],
+                          "explicit-defaults");
+  }
+  // The registry-derived label must not change for the default picks.
+  EXPECT_EQ(spec.label(), "Agar");
+}
+
+TEST(ApiGoldenControlPlane, DefaultRunReportsControlPlaneTelemetry) {
+  const auto result = api::run(spec_of("agar", golden_config())).result;
+  for (const auto& run : result.runs) {
+    EXPECT_GT(run.reconfigurations, 0u);
+    EXPECT_GT(run.config_chunks_installed, 0u);
+    EXPECT_GE(run.planning_ms, 0.0);
+  }
+}
+
+TEST(ApiGoldenControlPlane, IncrementalCountMinRunsEndToEnd) {
+  auto spec = spec_of("agar", golden_config());
+  spec.set("planner", "incremental");
+  spec.set("planner.threshold", "0.2");
+  spec.set("monitor", "count-min");
+  spec.set("monitor.width", "512");
+  const auto result = api::run(spec).result;
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const auto& run : result.runs) {
+    EXPECT_EQ(run.ops, 150u);
+    EXPECT_EQ(run.failed_reads, 0u);
+    EXPECT_GT(run.reconfigurations, 0u);
+  }
+  EXPECT_EQ(result.label, "Agar[incremental,count-min]");
+}
+
+TEST(ApiGoldenControlPlane, NonDefaultPlannerRunsAreRepeatable) {
+  auto spec = spec_of("agar", golden_config());
+  spec.set("planner", "incremental");
+  const auto a = api::run(spec).result;
+  const auto b = api::run(spec).result;
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t r = 0; r < a.runs.size(); ++r) {
+    expect_byte_identical(a.runs[r], b.runs[r], "incremental");
+  }
+}
 
 }  // namespace
 }  // namespace agar

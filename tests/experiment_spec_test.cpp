@@ -79,6 +79,69 @@ TEST(ExperimentSpec, UnknownEngineFailsAtValidateTime) {
                UnknownNameError);
 }
 
+TEST(ExperimentSpec, ControlPlaneKeysValidateAgainstTheirRegistries) {
+  // A fully specified control plane passes validation.
+  ExperimentSpec::from_pairs(
+      {"system=agar", "planner=incremental", "planner.threshold=0.2",
+       "planner.full_every=10", "monitor=count-min", "monitor.width=512",
+       "monitor.depth=4"})
+      .validate();
+  // Defaults (nothing specified) also pass.
+  ExperimentSpec::from_pairs({"system=agar"}).validate();
+}
+
+TEST(ExperimentSpec, UnknownPlannerFailsAtValidateTimeWithKnownNames) {
+  try {
+    ExperimentSpec::from_pairs({"system=agar", "planner=simplex"}).validate();
+    FAIL() << "expected UnknownNameError";
+  } catch (const UnknownNameError& e) {
+    const auto& known = e.known_names();
+    EXPECT_NE(std::find(known.begin(), known.end(), "knapsack-dp"),
+              known.end());
+  }
+}
+
+TEST(ExperimentSpec, UnknownMonitorFailsAtValidateTime) {
+  EXPECT_THROW(
+      ExperimentSpec::from_pairs({"system=agar", "monitor=oracle"}).validate(),
+      UnknownNameError);
+}
+
+TEST(ExperimentSpec, UnknownPlannerSubParamFailsAtValidateTime) {
+  EXPECT_THROW(ExperimentSpec::from_pairs(
+                   {"system=agar", "planner=incremental",
+                    "planner.thresold=0.2"})  // typo
+                   .validate(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, MalformedPlannerSubParamFailsAtValidateTime) {
+  EXPECT_THROW(ExperimentSpec::from_pairs(
+                   {"system=agar", "planner=incremental",
+                    "planner.threshold=banana"})
+                   .validate(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, ControlPlaneKeysAreRejectedForSystemsWithoutOne) {
+  // `backend` has no control plane: planner= must not silently ride along.
+  EXPECT_THROW(
+      ExperimentSpec::from_pairs({"system=backend", "planner=greedy"})
+          .validate(),
+      std::invalid_argument);
+}
+
+TEST(ExperimentSpec, ControlPlanePicksShowUpInTheLabel) {
+  EXPECT_EQ(ExperimentSpec::from_pairs({"system=agar"}).label(), "Agar");
+  EXPECT_EQ(
+      ExperimentSpec::from_pairs({"system=agar", "planner=greedy"}).label(),
+      "Agar[greedy]");
+  EXPECT_EQ(ExperimentSpec::from_pairs(
+                {"system=agar", "planner=incremental", "monitor=count-min"})
+                .label(),
+            "Agar[incremental,count-min]");
+}
+
 TEST(ExperimentSpec, EmptyValueClearsAStrategyParam) {
   auto spec = ExperimentSpec::from_pairs({"system=lru", "cache_bytes=1MB"});
   EXPECT_TRUE(spec.params.has("cache_bytes"));

@@ -1,0 +1,313 @@
+// Planner registry: structural invariants every registered planner must
+// satisfy (capacity, one option per key, no zero-value picks), optimality
+// of knapsack-dp against the brute-force oracle, and the incremental
+// planner's warm-start behavior.
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/registry.hpp"
+#include "common/rng.hpp"
+
+namespace agar::core {
+namespace {
+
+CachingOption opt(const ObjectKey& key, std::size_t weight, double value) {
+  CachingOption o;
+  o.key = key;
+  o.weight = weight;
+  o.weight_units = weight;
+  o.value = value;
+  for (std::size_t i = 0; i < weight; ++i) {
+    o.chunks.push_back(static_cast<ChunkIndex>(i));
+  }
+  return o;
+}
+
+std::unique_ptr<Planner> make_planner(const std::string& name) {
+  return api::PlannerRegistry::instance().create(name, api::PlannerContext{},
+                                                 api::ParamMap{});
+}
+
+/// Small random instances every planner (including the exponential
+/// brute-force oracle) can afford.
+std::vector<std::vector<CachingOption>> random_instance(Rng& rng) {
+  std::vector<std::vector<CachingOption>> groups;
+  const std::size_t keys = 1 + rng.next_below(5);
+  for (std::size_t key = 0; key < keys; ++key) {
+    std::vector<CachingOption> group;
+    const std::size_t options = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < options; ++i) {
+      // Values include 0 so the "never select zero value" invariant is
+      // actually exercised.
+      group.push_back(opt("k" + std::to_string(key), 1 + rng.next_below(8),
+                          static_cast<double>(rng.next_below(100))));
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+class PlannerInvariants : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlannerInvariants, RespectsCapacityOneOptionPerKeyNoZeroValue) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 80; ++trial) {
+    // A fresh planner per trial: stateful planners (incremental) must hold
+    // the invariants on their first call too.
+    auto planner = make_planner(GetParam());
+    const auto groups = random_instance(rng);
+    const std::size_t cap = rng.next_below(20);
+    const auto r = planner->plan(groups, cap);
+
+    EXPECT_LE(r.total_weight_units, cap) << GetParam();
+    std::set<ObjectKey> keys;
+    std::size_t units = 0;
+    double value = 0.0;
+    for (const auto& o : r.chosen) {
+      EXPECT_TRUE(keys.insert(o.key).second)
+          << GetParam() << ": duplicate key " << o.key;
+      EXPECT_GT(o.value, 0.0) << GetParam() << ": zero-value option chosen";
+      EXPECT_GT(o.weight_units, 0u) << GetParam();
+      units += o.weight_units;
+      value += o.value;
+    }
+    EXPECT_EQ(units, r.total_weight_units) << GetParam();
+    EXPECT_DOUBLE_EQ(value, r.total_value) << GetParam();
+  }
+}
+
+TEST_P(PlannerInvariants, WarmPlannerHoldsInvariantsAcrossRounds) {
+  // Stateful planners re-plan against remembered state; the invariants
+  // must survive drifting inputs and shrinking capacity.
+  auto planner = make_planner(GetParam());
+  Rng rng(777);
+  std::vector<std::vector<CachingOption>> groups = random_instance(rng);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t cap = 2 + rng.next_below(18);
+    for (auto& group : groups) {
+      for (auto& o : group) {
+        // +-20% drift plus occasional collapse to zero.
+        const double f = 0.8 + 0.4 * (static_cast<double>(rng.next_below(100)) /
+                                      100.0);
+        o.value = rng.next_below(10) == 0 ? 0.0 : o.value * f;
+      }
+    }
+    const auto r = planner->plan(groups, cap);
+    EXPECT_LE(r.total_weight_units, cap) << GetParam() << " round " << round;
+    std::set<ObjectKey> keys;
+    for (const auto& o : r.chosen) {
+      EXPECT_TRUE(keys.insert(o.key).second) << GetParam();
+      EXPECT_GT(o.value, 0.0) << GetParam();
+    }
+  }
+}
+
+TEST_P(PlannerInvariants, NeverBeatsTheExactDp) {
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto planner = make_planner(GetParam());
+    const auto groups = random_instance(rng);
+    const std::size_t cap = 1 + rng.next_below(22);
+    EXPECT_LE(planner->plan(groups, cap).total_value,
+              solve_dp(groups, cap).total_value + 1e-9)
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registered, PlannerInvariants,
+    ::testing::ValuesIn(api::PlannerRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PlannerRegistry, DpMatchesBruteForceOracle) {
+  auto dp = make_planner("knapsack-dp");
+  auto oracle = make_planner("brute-force");
+  Rng rng(2026);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto groups = random_instance(rng);
+    const std::size_t cap = 1 + rng.next_below(25);
+    EXPECT_DOUBLE_EQ(dp->plan(groups, cap).total_value,
+                     oracle->plan(groups, cap).total_value)
+        << "trial " << trial;
+  }
+}
+
+TEST(PlannerRegistry, UnknownNameThrowsWithKnownNames) {
+  try {
+    (void)make_planner("simplex");
+    FAIL() << "expected UnknownNameError";
+  } catch (const api::UnknownNameError& e) {
+    const auto& known = e.known_names();
+    EXPECT_NE(std::find(known.begin(), known.end(), "knapsack-dp"),
+              known.end());
+    EXPECT_NE(std::find(known.begin(), known.end(), "incremental"),
+              known.end());
+  }
+}
+
+TEST(PlannerRegistry, EveryEntryIsDocumented) {
+  const auto& planners = api::PlannerRegistry::instance();
+  for (const auto& name : planners.names()) {
+    const auto& entry = planners.at(name);
+    EXPECT_FALSE(entry.description.empty()) << name;
+    auto planner = planners.create(name, api::PlannerContext{},
+                                   api::ParamMap{});
+    EXPECT_EQ(planner->name(), name);
+  }
+}
+
+TEST(IncrementalPlanner, FirstPlanMatchesTheExactDp) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto inc = make_planner("incremental");
+    const auto groups = random_instance(rng);
+    const std::size_t cap = 1 + rng.next_below(25);
+    EXPECT_DOUBLE_EQ(inc->plan(groups, cap).total_value,
+                     solve_dp(groups, cap).total_value)
+        << "trial " << trial;
+  }
+}
+
+TEST(IncrementalPlanner, StableInputsKeepTheConfiguration) {
+  auto inc = make_planner("incremental");
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 1, 10.0), opt("a", 3, 18.0)},
+      {opt("b", 2, 14.0)},
+      {opt("c", 2, 1.0)},
+  };
+  const auto first = inc->plan(groups, 6);
+  // Unchanged inputs: nothing is dirty, the previous choices carry over.
+  const auto second = inc->plan(groups, 6);
+  ASSERT_EQ(first.chosen.size(), second.chosen.size());
+  for (std::size_t i = 0; i < first.chosen.size(); ++i) {
+    EXPECT_EQ(first.chosen[i].key, second.chosen[i].key);
+    EXPECT_EQ(first.chosen[i].weight_units, second.chosen[i].weight_units);
+  }
+  EXPECT_DOUBLE_EQ(first.total_value, second.total_value);
+}
+
+TEST(IncrementalPlanner, DirtyKeyIsReplanned) {
+  auto inc = make_planner("incremental");
+  std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 1, 10.0)},
+      {opt("b", 1, 1.0)},
+  };
+  const auto first = inc->plan(groups, 2);
+  ASSERT_EQ(first.chosen.size(), 2u);
+
+  // Key b collapses to zero value: it must be dropped at the next plan.
+  groups[1][0].value = 0.0;
+  const auto second = inc->plan(groups, 2);
+  ASSERT_EQ(second.chosen.size(), 1u);
+  EXPECT_EQ(second.chosen[0].key, "a");
+}
+
+TEST(IncrementalPlanner, SmallDriftDoesNotChurnLargeDriftDoes) {
+  auto inc = api::PlannerRegistry::instance().create(
+      "incremental", api::PlannerContext{},
+      api::ParamMap{});  // default threshold 0.1
+  std::vector<std::vector<CachingOption>> groups = {
+      {opt("hot", 3, 100.0)},
+      {opt("warm", 3, 50.0)},
+      {opt("cold", 3, 10.0)},
+  };
+  const auto first = inc->plan(groups, 6);  // hot + warm fit
+  ASSERT_EQ(first.chosen.size(), 2u);
+
+  // 5% drift: below the threshold, the kept options simply refresh values.
+  for (auto& g : groups) g[0].value *= 1.05;
+  const auto drifted = inc->plan(groups, 6);
+  ASSERT_EQ(drifted.chosen.size(), 2u);
+  EXPECT_EQ(drifted.chosen[0].key, "hot");
+  EXPECT_EQ(drifted.chosen[1].key, "warm");
+  // Values track the fresh inputs even for kept keys.
+  EXPECT_DOUBLE_EQ(drifted.chosen[0].value, 105.0);
+
+  // The cold key surges past everything: it is dirty and gets planned in.
+  groups[2][0].value = 1000.0;
+  const auto surged = inc->plan(groups, 6);
+  bool has_cold = false;
+  for (const auto& o : surged.chosen) has_cold |= o.key == "cold";
+  EXPECT_TRUE(has_cold);
+}
+
+TEST(IncrementalPlanner, SqueezedSurgeIsNotLockedInAtAFractionOfItsWorth) {
+  // Regression: a surged key whose best option no longer fits the leftover
+  // capacity must trigger a full re-plan, not be squeezed into a tiny
+  // option and then remembered as "stable" at its huge signature forever.
+  auto inc = make_planner("incremental");
+  std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 3, 100.0)},
+      {opt("b", 3, 90.0)},
+      {opt("surge", 1, 5.0), opt("surge", 5, 6.0)},
+  };
+  const auto first = inc->plan(groups, 7);  // a + b + surge@1
+  EXPECT_EQ(first.chosen.size(), 3u);
+
+  // The surge key explodes: its heavy option is now worth more than
+  // everything else combined, but only 1 unit is left after a and b.
+  groups[2] = {opt("surge", 1, 5.0), opt("surge", 5, 1000.0)};
+  const auto second = inc->plan(groups, 7);
+  double surge_value = 0.0;
+  for (const auto& o : second.chosen) {
+    if (o.key == "surge") surge_value = o.value;
+  }
+  EXPECT_DOUBLE_EQ(surge_value, 1000.0);
+  EXPECT_DOUBLE_EQ(second.total_value,
+                   solve_dp(groups, 7).total_value);
+
+  // And it stays planned at full worth on subsequent stable rounds.
+  const auto third = inc->plan(groups, 7);
+  EXPECT_DOUBLE_EQ(third.total_value, second.total_value);
+}
+
+TEST(IncrementalPlanner, CapacityShrinkForcesAFullReplan) {
+  auto inc = make_planner("incremental");
+  const std::vector<std::vector<CachingOption>> groups = {
+      {opt("a", 4, 40.0)},
+      {opt("b", 4, 39.0)},
+  };
+  const auto first = inc->plan(groups, 8);
+  EXPECT_EQ(first.chosen.size(), 2u);
+  // Half the capacity: the kept set no longer fits; the planner must fall
+  // back to a full plan and still respect the new capacity.
+  const auto shrunk = inc->plan(groups, 4);
+  EXPECT_LE(shrunk.total_weight_units, 4u);
+  ASSERT_EQ(shrunk.chosen.size(), 1u);
+  EXPECT_EQ(shrunk.chosen[0].key, "a");
+}
+
+TEST(GreedyPlanner, EqualDensityTieBreaksByKeyThenWeight) {
+  // Four options, all density 1.0. Deterministic order must be by key then
+  // weight regardless of input order.
+  const std::vector<std::vector<CachingOption>> forward = {
+      {opt("b", 2, 2.0)},
+      {opt("a", 2, 2.0), opt("a", 1, 1.0)},
+  };
+  const std::vector<std::vector<CachingOption>> reversed = {
+      {opt("a", 1, 1.0), opt("a", 2, 2.0)},
+      {opt("b", 2, 2.0)},
+  };
+  const auto r1 = solve_greedy(forward, 3);
+  const auto r2 = solve_greedy(reversed, 3);
+  ASSERT_EQ(r1.chosen.size(), r2.chosen.size());
+  // Same outcome both times: "a" wins the key tie, its lighter option wins
+  // the weight tie (a@1), leaving room for b@2.
+  for (std::size_t i = 0; i < r1.chosen.size(); ++i) {
+    EXPECT_EQ(r1.chosen[i].key, r2.chosen[i].key);
+    EXPECT_EQ(r1.chosen[i].weight_units, r2.chosen[i].weight_units);
+  }
+  EXPECT_DOUBLE_EQ(r1.total_value, r2.total_value);
+}
+
+}  // namespace
+}  // namespace agar::core

@@ -47,17 +47,54 @@ TEST(RequestMonitor, UnknownKeyHasZeroPopularity) {
   EXPECT_DOUBLE_EQ(m.popularity("ghost"), 0.0);
 }
 
-TEST(RequestMonitor, SnapshotOrdersByKeyContent) {
+TEST(RequestMonitor, SnapshotIsSortedByKey) {
+  // Sorted order is a contract (planner-input determinism), not a
+  // courtesy: no caller-side sort here.
   RequestMonitor m;
   m.record_access("hot");
   m.record_access("hot");
   m.record_access("cold");
-  auto snap = m.snapshot();
-  std::sort(snap.begin(), snap.end());
+  const auto snap = m.snapshot();
   ASSERT_EQ(snap.size(), 2u);
   EXPECT_EQ(snap[0].first, "cold");
   EXPECT_DOUBLE_EQ(snap[0].second, 0.8);
+  EXPECT_EQ(snap[1].first, "hot");
   EXPECT_DOUBLE_EQ(snap[1].second, 1.6);
+}
+
+TEST(RequestMonitor, SnapshotStaysSortedUnderManyKeys) {
+  RequestMonitor m;
+  for (int i = 0; i < 200; ++i) {
+    m.record_access("object" + std::to_string((i * 131) % 97));
+  }
+  const auto snap = m.snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(RequestMonitor, CountMinEstimatorRunsBehindTheMonitor) {
+  RequestMonitorParams p;
+  p.estimator = "count-min";
+  p.estimator_params.set("width", "256");
+  p.estimator_params.set("depth", "4");
+  RequestMonitor m(p);
+  EXPECT_EQ(m.estimator().name(), "count-min");
+  for (int i = 0; i < 100; ++i) m.record_access("hot");
+  m.record_access("cold");
+  EXPECT_GT(m.popularity("hot"), m.popularity("cold"));
+  m.roll_period();
+  EXPECT_GT(m.popularity("hot"), 0.0);
+  const auto snap = m.snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      snap.begin(), snap.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(RequestMonitor, UnknownEstimatorThrows) {
+  RequestMonitorParams p;
+  p.estimator = "oracle";
+  EXPECT_THROW(RequestMonitor{p}, std::invalid_argument);
 }
 
 TEST(RequestMonitor, PopularityDecaysAcrossIdlePeriods) {
