@@ -1,0 +1,443 @@
+// Simulation-core throughput harness: event dispatch through the rebuilt
+// loop (reserved heap + timer wheel + move-only pops) against a verbatim
+// copy of the seed's priority_queue loop, the wheel's periodic-timer path,
+// the inter-shard SPSC ring, the sharded engine's aggregate dispatch rate
+// at 1/2/4 worker threads, and end-to-end experiment reads/second at the
+// same shard counts.
+//
+// The dispatch workload replays the production event mix: self-rescheduling
+// one-shot events whose closures exceed the std::function small-buffer (as
+// the client strategies' do — they capture state, a key and a completion
+// continuation) plus a standing set of periodic timers (network probes,
+// reconfiguration), so the seed loop pays its real costs: a full Event
+// COPY out of priority_queue::top() per dispatch and a make_shared rebind
+// per periodic firing.
+//
+// Self-contained (no Google Benchmark) so CI can always build and run it.
+// Default output is an aligned table; --json emits a JSON array for
+// artifact upload and trend tracking (scripts/record_bench.sh appends a
+// labelled entry to BENCH_core.json). --quick shrinks the workloads for
+// smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "api/api.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/spsc_ring.hpp"
+
+namespace {
+
+using namespace agar;
+using Clock = std::chrono::steady_clock;
+
+bool g_quick = false;
+
+struct Result {
+  std::string bench;
+  std::string config;
+  std::uint64_t events = 0;     ///< dispatches (or reads) measured
+  double events_per_s = 0.0;
+  double ns_per_event = 0.0;
+  std::string note;
+};
+
+std::vector<Result>& results() {
+  static std::vector<Result> r;
+  return r;
+}
+
+void record(const std::string& bench, const std::string& config,
+            std::uint64_t events, double seconds, std::string note = "") {
+  Result r;
+  r.bench = bench;
+  r.config = config;
+  r.events = events;
+  r.events_per_s = seconds <= 0.0 ? 0.0
+                                  : static_cast<double>(events) / seconds;
+  r.ns_per_event =
+      events == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(events);
+  r.note = std::move(note);
+  results().push_back(r);
+}
+
+template <typename Fn>
+double wall_seconds(Fn&& fn) {
+  const auto start = Clock::now();
+  fn();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ------------------------------------------------------- seed event loop
+//
+// The pre-refactor loop, reproduced verbatim (renamed only): one
+// priority_queue, a copy of the full Event out of top() per dispatch, and
+// periodic timers re-armed by wrapping the callback in a shared_ptr and a
+// fresh closure every firing. This is the baseline the new core is
+// measured against.
+
+namespace seed {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  [[nodiscard]] SimTimeMs now() const { return now_; }
+
+  void schedule_at(SimTimeMs when, Callback fn) {
+    queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+  }
+  void schedule_in(SimTimeMs delay, Callback fn) {
+    schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+  }
+  TimerId schedule_periodic(SimTimeMs period, std::function<bool()> fn) {
+    const TimerId id = next_timer_++;
+    active_timers_.insert(id);
+    arm_periodic(id, period,
+                 std::make_shared<std::function<bool()>>(std::move(fn)));
+    return id;
+  }
+  bool cancel(TimerId id) { return active_timers_.erase(id) > 0; }
+  void run_until(SimTimeMs horizon) {
+    while (!queue_.empty() && queue_.top().when <= horizon) pop_and_run();
+    now_ = std::max(now_, horizon);
+  }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTimeMs when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void arm_periodic(TimerId id, SimTimeMs period,
+                    std::shared_ptr<std::function<bool()>> fn) {
+    schedule_in(period, [this, id, period, fn = std::move(fn)]() mutable {
+      if (!active_timers_.contains(id)) return;
+      const bool keep = (*fn)();
+      if (!keep || !active_timers_.contains(id)) {
+        active_timers_.erase(id);
+        return;
+      }
+      arm_periodic(id, period, std::move(fn));
+    });
+  }
+  void pop_and_run() {
+    Event ev = queue_.top();  // the seed's per-dispatch copy
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+
+  SimTimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  TimerId next_timer_ = 1;
+  std::unordered_set<TimerId> active_timers_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace seed
+
+// ------------------------------------------------------------- dispatch
+//
+// Self-rescheduling event chains: every dispatch does ~40 ns of xorshift
+// work (a stand-in for strategy bookkeeping) and re-arms itself at a
+// pseudo-random 0.5-4.5 ms offset, so the heap sees realistic churn.
+// Alongside, 8 periodic timers per lane with periods of 1-16 ms fire
+// through whatever periodic machinery the loop under test has.
+
+constexpr std::size_t kLanes = 8;
+constexpr std::size_t kChainsPerLane = 4;
+constexpr std::size_t kTimersPerLane = 8;
+
+std::uint64_t spin(std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+template <typename Loop>
+struct Chain {
+  Loop* loop = nullptr;
+  sim::ShardedEngine* engine = nullptr;
+  std::size_t lane = 0;
+  std::uint64_t lcg = 0;
+  std::uint64_t fired = 0;
+  std::function<void()> next;
+  std::function<void()> hop;  ///< one-shot cross-lane event body
+};
+
+/// Arm the standard workload on `lane_loop`: kChainsPerLane chains and
+/// kTimersPerLane periodic timers for the given lane. With an engine, 1/16
+/// of chain dispatches additionally post a one-shot event to the next lane
+/// (over a ring when the lanes live on different shards).
+template <typename Loop>
+void arm_lane(Loop& lane_loop, sim::ShardedEngine* engine, std::size_t lane,
+              std::vector<std::unique_ptr<Chain<Loop>>>& chains) {
+  for (std::size_t c = 0; c < kChainsPerLane; ++c) {
+    chains.push_back(std::make_unique<Chain<Loop>>());
+    Chain<Loop>* chain = chains.back().get();
+    chain->loop = &lane_loop;
+    chain->engine = engine;
+    chain->lane = lane;
+    chain->lcg = 0x9E3779B97F4A7C15ULL * (lane * kChainsPerLane + c + 1);
+    // The hop body runs on the DESTINATION lane's shard thread, so it
+    // must not touch this chain's state — pure stack work only.
+    chain->hop = [] {
+      volatile std::uint64_t sink = spin(0x243F6A8885A308D3ULL);
+      (void)sink;
+    };
+    // The closure captures a state pointer plus two words of context —
+    // over the std::function small-buffer, like the strategies' real
+    // callbacks (state, key, continuation). Scheduling it allocates; the
+    // seed loop then copies it AGAIN out of top() on dispatch.
+    const std::uint64_t salt_a = chain->lcg * 3;
+    const std::uint64_t salt_b = chain->lcg * 7;
+    chain->next = [chain, salt_a, salt_b] {
+      const std::uint64_t x = spin(chain->lcg ^ salt_a);
+      chain->lcg = x + salt_b;
+      ++chain->fired;
+      const SimTimeMs delay =
+          0.5 + static_cast<double>(x % 1024) / 256.0;  // 0.5 - 4.5 ms
+      if (chain->engine != nullptr && (x & 15U) == 0) {
+        chain->engine->post((chain->lane + 1) % kLanes,
+                            chain->loop->now() + delay, chain->hop);
+      }
+      chain->loop->schedule_in(delay, chain->next);
+    };
+    lane_loop.schedule_in(0.0, chain->next);
+  }
+  for (std::size_t t = 0; t < kTimersPerLane; ++t) {
+    const SimTimeMs period = 1.0 + static_cast<double>((lane + t * 3) % 16);
+    lane_loop.schedule_periodic(period, [] { return true; });
+  }
+}
+
+template <typename Loop>
+void bench_serial_dispatch(const std::string& config, std::uint64_t target,
+                           const std::string& note) {
+  Loop loop;
+  std::vector<std::unique_ptr<Chain<Loop>>> chains;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    arm_lane(loop, nullptr, lane, chains);
+  }
+  const double sec = wall_seconds([&] {
+    while (loop.events_executed() < target) {
+      loop.run_until(loop.now() + 1000.0);
+    }
+  });
+  record("event_dispatch", config, loop.events_executed(), sec, note);
+}
+
+void bench_sharded_dispatch(std::size_t shards, std::uint64_t target) {
+  sim::ShardedEngine engine(shards, kLanes);
+  std::vector<std::unique_ptr<Chain<sim::EventLoop>>> chains;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    sim::EventLoop& loop = engine.loop_of_lane(lane);
+    loop.reserve(1024);
+    arm_lane(loop, &engine, lane, chains);
+  }
+  const double sec = wall_seconds([&] {
+    engine.run_windows(1000.0,
+                       [&] { return engine.events_executed() >= target; });
+  });
+  std::ostringstream note;
+  note << engine.cross_shard_messages() << " ring messages";
+  record("event_dispatch", "shards=" + std::to_string(shards),
+         engine.events_executed(), sec, note.str());
+}
+
+// --------------------------------------------------------------- timers
+//
+// Periodic firings in isolation: the wheel's O(1) arm/fire/re-arm against
+// the seed's shared_ptr-rebind-per-firing.
+
+template <typename Loop>
+void bench_periodic_timers(const std::string& config, std::uint64_t target,
+                           const std::string& note) {
+  Loop loop;
+  std::uint64_t fired = 0;
+  constexpr std::size_t kTimers = 64;
+  for (std::size_t t = 0; t < kTimers; ++t) {
+    // Periods spread across wheel levels: 1 ms .. ~1 s.
+    const SimTimeMs period = 1.0 + static_cast<double>((t * 17) % 997);
+    loop.schedule_periodic(period, [&fired] {
+      ++fired;
+      return true;
+    });
+  }
+  const double sec = wall_seconds([&] {
+    while (fired < target) loop.run_until(loop.now() + 10'000.0);
+  });
+  record("periodic_timers", config, fired, sec, note);
+}
+
+// ----------------------------------------------------------------- ring
+
+void bench_ring(std::uint64_t target) {
+  sim::SpscRing<std::uint64_t> ring(1024);
+  std::uint64_t transferred = 0;
+  const double sec = wall_seconds([&] {
+    std::uint64_t popped = 0;
+    while (transferred < target) {
+      // Batches of 512: half-fill, then drain — the window-boundary shape.
+      for (std::uint64_t i = 0; i < 512; ++i) {
+        std::uint64_t v = i;
+        if (!ring.try_push(std::move(v))) break;
+        ++transferred;
+      }
+      while (ring.try_pop(popped)) {
+      }
+    }
+  });
+  record("spsc_ring", "push+pop", transferred, sec, "single thread, cap 1024");
+}
+
+// ------------------------------------------------ end-to-end experiment
+
+api::ExperimentSpec e2e_spec(std::size_t shards, std::size_t ops) {
+  api::ExperimentSpec spec;
+  spec.system = "agar";
+  spec.experiment.deployment.num_objects = 50;
+  spec.experiment.deployment.object_size_bytes = 16_KB;
+  spec.experiment.deployment.seed = 7;
+  spec.experiment.ops_per_run = ops;
+  spec.experiment.runs = 1;
+  spec.experiment.reconfig_period_ms = 10'000.0;
+  spec.set("regions", "frankfurt,dublin,virginia,saopaulo,tokyo,sydney");
+  spec.set("cache_bytes", "1MB");
+  spec.set("shards", std::to_string(shards));
+  return spec;
+}
+
+void bench_e2e(std::size_t shards, std::size_t ops) {
+  client::ExperimentResult result;
+  const double sec =
+      wall_seconds([&] { result = api::run(e2e_spec(shards, ops)).result; });
+  record("e2e_reads", "shards=" + std::to_string(shards),
+         result.total_ops(), sec, "agar, 6 regions, setup included");
+}
+
+// -------------------------------------------------------------- output
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+double dispatch_rate(const std::string& config) {
+  for (const Result& r : results()) {
+    if (r.bench == "event_dispatch" && r.config == config) {
+      return r.events_per_s;
+    }
+  }
+  return 0.0;
+}
+
+void print_json() {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < results().size(); ++i) {
+    const Result& r = results()[i];
+    os << "  {\"bench\": \"" << json_escape(r.bench) << "\", \"config\": \""
+       << json_escape(r.config) << "\", \"events\": " << r.events
+       << ", \"events_per_s\": " << r.events_per_s
+       << ", \"ns_per_event\": " << r.ns_per_event;
+    if (!r.note.empty()) os << ", \"note\": \"" << json_escape(r.note) << "\"";
+    os << "}" << (i + 1 < results().size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  std::cout << os.str();
+}
+
+void print_table() {
+  std::printf("%-18s %-12s %12s %16s %12s\n", "bench", "config", "events",
+              "events/s", "ns/event");
+  for (const Result& r : results()) {
+    std::printf("%-18s %-12s %12llu %16.0f %12.1f  %s\n", r.bench.c_str(),
+                r.config.c_str(), static_cast<unsigned long long>(r.events),
+                r.events_per_s, r.ns_per_event, r.note.c_str());
+  }
+  const double seed_rate = dispatch_rate("seed-serial");
+  const double four = dispatch_rate("shards=4");
+  if (seed_rate > 0.0 && four > 0.0) {
+    std::printf("\ndispatch speedup, 4 shards vs seed serial loop: %.2fx\n",
+                four / seed_rate);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--quick") {
+      g_quick = true;
+    } else {
+      std::cerr << "usage: bench_micro_eventloop [--json] [--quick]\n";
+      return 2;
+    }
+  }
+
+  const std::uint64_t dispatch_events = g_quick ? 300'000 : 2'000'000;
+  const std::uint64_t timer_events = g_quick ? 200'000 : 1'000'000;
+  const std::uint64_t ring_events = g_quick ? 2'000'000 : 20'000'000;
+  const std::size_t e2e_ops = g_quick ? 1'000 : 4'000;
+  const std::string host_note =
+      std::to_string(std::thread::hardware_concurrency()) +
+      " hardware threads";
+
+  bench_serial_dispatch<seed::EventLoop>(
+      "seed-serial", dispatch_events,
+      "pre-refactor priority_queue loop, copy per dispatch");
+  bench_serial_dispatch<sim::EventLoop>("serial", dispatch_events,
+                                        "rebuilt loop, heap + wheel");
+  for (const int shards : {1, 2, 4}) {
+    bench_sharded_dispatch(static_cast<std::size_t>(shards), dispatch_events);
+  }
+  bench_periodic_timers<seed::EventLoop>(
+      "seed", timer_events, "shared_ptr rebind per firing");
+  bench_periodic_timers<sim::EventLoop>("wheel", timer_events,
+                                        "64 timers, periods 1 ms - 1 s");
+  bench_ring(ring_events);
+  for (const int shards : {1, 2, 4}) {
+    bench_e2e(static_cast<std::size_t>(shards), e2e_ops);
+  }
+  if (!json) std::cout << "\nhost: " << host_note << "\n";
+
+  if (json) {
+    print_json();
+  } else {
+    print_table();
+  }
+  return 0;
+}

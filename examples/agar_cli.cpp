@@ -36,6 +36,8 @@ void usage() {
       "                      shifts, rate surges) applied to all specs;\n"
       "                      JSON array of {at_ms, event, ...} objects\n"
       "  --window-ms <n>     windowed time-series metrics of this width\n"
+      "  --shards <n>        simulation worker threads (results identical\n"
+      "                      for any value; 1 = serial)\n"
       "  --json              emit results as JSON (bench harnesses)\n"
       "  --list              registered systems, engines, parameters,\n"
       "                      scenario events, regions and spec keys\n"
@@ -158,6 +160,8 @@ int main(int argc, char** argv) {
         scenario_file = next("--scenario");
       } else if (arg == "--window-ms") {
         sets.push_back("window_ms=" + next("--window-ms"));
+      } else if (arg == "--shards") {
+        sets.push_back("shards=" + next("--shards"));
       } else if (arg == "--json") {
         json = true;
       } else if (arg == "--verify") {

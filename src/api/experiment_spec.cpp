@@ -92,6 +92,8 @@ const ParamSchema& ExperimentSpec::experiment_keys() {
        "rotate chunk placement per key"},
       {"window_ms", ParamType::kDouble, "0",
        "windowed time-series metric width in ms (0 = off)"},
+      {"shards", ParamType::kSize, "1",
+       "simulation worker threads (results identical for any value)"},
       {"scenario", ParamType::kString, "",
        "mid-run event script: \"at_ms event k=v ...; ...\" (JSON specs "
        "may use an array of {at_ms, event, ...} objects)"},
@@ -159,6 +161,8 @@ void ExperimentSpec::set(const std::string& key, const std::string& value) {
     experiment.deployment.per_key_placement_offset = one.get_bool(key, false);
   } else if (key == "window_ms") {
     experiment.metric_window_ms = one.get_double(key, 0.0);
+  } else if (key == "shards") {
+    experiment.shards = one.get_size(key, 0);
   } else if (key == "scenario") {
     // Compact text form; "scenario=" clears. JSON spec files may instead
     // carry an array, which parse_spec_json routes around this setter.
@@ -288,6 +292,9 @@ void ExperimentSpec::validate() const {
   if (experiment.metric_window_ms < 0.0) {
     throw std::invalid_argument("window_ms must be >= 0");
   }
+  if (experiment.shards < 1) {
+    throw std::invalid_argument("shards must be >= 1");
+  }
   experiment.scenario.validate();
 }
 
@@ -339,6 +346,11 @@ std::string ExperimentSpec::to_json() const {
       << (e.deployment.per_key_placement_offset ? "true" : "false");
   if (e.metric_window_ms > 0.0) {
     out << ",\n  \"window_ms\": " << fmt_double(e.metric_window_ms);
+  }
+  // Emitted only when sharded: the default spec JSON (and its goldens)
+  // stays unchanged, and shards never affect results anyway.
+  if (e.shards != 1) {
+    out << ",\n  \"shards\": " << e.shards;
   }
   if (!e.scenario.empty()) {
     out << ",\n  \"scenario\": " << e.scenario.to_json("  ");

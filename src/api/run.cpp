@@ -13,7 +13,8 @@ client::StrategyFactory make_strategy_factory(const ExperimentSpec& spec) {
              sim::EventLoop* loop) {
     client::ClientContext client;
     client.backend = &deployment.backend();
-    client.network = &deployment.network();
+    client.network = &deployment.network_for(region);
+    client.codec = deployment.codec_override_for(region);
     client.loop = loop;
     client.region = region;
     client.decode_ms_per_mb = config.decode_ms_per_mb;

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "scenario/engine.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/sharded_engine.hpp"
 #include "stats/windowed.hpp"
 
 namespace agar::client {
@@ -30,6 +31,20 @@ Deployment::Deployment(const DeploymentConfig& config) : config_(config) {
   }
 }
 
+void Deployment::bind_lanes(const std::vector<RegionId>& lane_regions) {
+  lane_regions_ = lane_regions;
+  lane_networks_.clear();
+  lane_codecs_.clear();
+  for (std::size_t lane = 1; lane < lane_regions_.size(); ++lane) {
+    // Each extra lane draws from its own deterministic latency RNG stream.
+    const std::uint64_t lane_seed =
+        config_.seed + 0x9E3779B97F4A7C15ULL * lane;
+    lane_networks_.push_back(std::make_unique<sim::Network>(
+        sim::LatencyModel(topology_.get(), config_.latency, lane_seed)));
+    lane_codecs_.push_back(std::make_unique<ec::ObjectCodec>(config_.codec));
+  }
+}
+
 namespace {
 
 /// Mix a per-(run, region, client) workload seed. Region index 0 client c
@@ -47,127 +62,145 @@ RunResult run_once(const ExperimentConfig& config,
   // Latency-only experiments skip payload materialization entirely.
   dep_config.store_payloads = config.verify_data;
   Deployment deployment(dep_config);
-  deployment.network().set_max_outstanding_per_region(
-      config.max_outstanding_per_region);
 
-  sim::EventLoop loop;
-  deployment.network().bind_loop(&loop);
-
-  // One strategy instance (for Agar: one AgarNode) per client region.
+  // One lane per client region. Lanes share no mutable simulation state
+  // (own network partition, own RNG streams, own strategy/clients/stats),
+  // so the sharded engine can execute them on any number of worker threads
+  // and the merged event order — hence every result byte — is identical.
   const std::vector<RegionId> regions = config.effective_client_regions();
-  std::vector<std::unique_ptr<ReadStrategy>> strategies;
-  strategies.reserve(regions.size());
-  for (const RegionId region : regions) {
-    auto strategy = factory(config, deployment, region, &loop);
-    strategy->warm_up();
-    strategy->attach_to_loop(loop);
-    strategies.push_back(std::move(strategy));
-  }
+  const std::size_t num_lanes = regions.size();
+  deployment.bind_lanes(regions);
+  sim::ShardedEngine engine(config.shards, num_lanes);
 
-  RunResult result;
   const std::size_t ops_total = config.ops_per_run;
-  std::size_t issued = 0;
-  std::size_t completed = 0;
-  std::size_t reads_in_flight = 0;
-
-  // Windowed time series (scenario runs): latency histogram per window plus
-  // the counters a histogram cannot carry.
   const SimTimeMs window_ms = config.metric_window_ms;
+
   struct WindowCounters {
     std::uint64_t ops = 0, full = 0, partial = 0, failed = 0;
   };
-  std::unique_ptr<stats::WindowedHistogram> window_latencies;
-  std::vector<WindowCounters> window_counters;
-  if (window_ms > 0.0) {
-    window_latencies = std::make_unique<stats::WindowedHistogram>(window_ms);
-  }
-
-  auto record = [&](const ReadResult& r) {
-    ++result.ops;
-    if (r.failed) {
-      ++result.failed_reads;
-    } else {
-      result.latencies.add(r.latency_ms);
-      if (r.full_hit) ++result.full_hits;
-      if (r.partial_hit && !r.full_hit) ++result.partial_hits;
-      if (r.verified) ++result.verified;
-    }
-    if (window_latencies != nullptr) {
-      const std::size_t w = window_latencies->index_of(loop.now());
-      window_latencies->ensure(w);
-      if (window_counters.size() <= w) window_counters.resize(w + 1);
-      WindowCounters& wc = window_counters[w];
-      ++wc.ops;
-      if (r.failed) {
-        ++wc.failed;
-      } else {
-        window_latencies->add(loop.now(), r.latency_ms);
-        if (r.full_hit) ++wc.full;
-        if (r.partial_hit && !r.full_hit) ++wc.partial;
-      }
-    }
-    ++completed;
-    --reads_in_flight;
-    result.duration_ms = std::max(result.duration_ms, loop.now());
-  };
-  auto begin_read = [&](std::size_t region_index, Workload& workload,
-                        ReadStrategy::ReadCallback done) {
-    ++issued;
-    ++reads_in_flight;
-    result.max_reads_in_flight =
-        std::max(result.max_reads_in_flight, reads_in_flight);
-    strategies[region_index]->start_read(workload.next_key(),
-                                         std::move(done));
-  };
-
   // Client state is heap-held and owns its own issue/arrival closure: the
-  // closures re-schedule themselves, so they must outlive this setup scope
+  // closures re-schedule themselves, so they must outlive the setup scope
   // and have a stable address for the events already in the queue.
   struct ClientState {
-    std::size_t region_index;
     Workload workload;
     Rng gaps;                   // open loop: inter-arrival draws
     std::size_t remaining = 0;  // open loop: arrivals left for this region
     std::function<void()> next;
   };
-  std::vector<std::unique_ptr<ClientState>> clients;
+  /// Everything one lane mutates while it runs — touched only by the shard
+  /// thread that owns the lane, then merged in lane order afterwards.
+  struct LaneState {
+    RunResult partial;
+    std::size_t issued = 0;
+    std::size_t completed = 0;
+    std::size_t reads_in_flight = 0;
+    std::size_t budget = 0;  // closed-loop op cap for this lane
+    std::unique_ptr<stats::WindowedHistogram> window_latencies;
+    std::vector<WindowCounters> window_counters;
+    std::unique_ptr<scenario::ScenarioEngine> scenario;
+    std::vector<std::unique_ptr<ClientState>> clients;
+    std::unique_ptr<ReadStrategy> strategy;
+  };
+  std::vector<LaneState> lanes(num_lanes);  // never resized: stable refs
 
-  // Scenario engine: scripted mid-run events on the same loop. Network
-  // events apply directly; popularity shifts rewrite every client's
-  // rank->object mapping; arrival modulation is sampled below each time an
-  // open-loop gap is drawn. The hook captures `clients` by reference — the
-  // vector is fully populated before the loop (and thus any event) runs.
-  std::unique_ptr<scenario::ScenarioEngine> engine;
-  if (!config.scenario.empty()) {
-    engine = std::make_unique<scenario::ScenarioEngine>(
-        config.scenario, &deployment.network(),
-        [&clients](const scenario::PopularityShift& shift) {
-          for (auto& client : clients) client->workload.apply(shift);
-        });
-    engine->schedule(loop);
-  }
-  scenario::ScenarioEngine* const scenario_engine = engine.get();
+  for (std::size_t ri = 0; ri < num_lanes; ++ri) {
+    LaneState& lane = lanes[ri];
+    sim::EventLoop& loop = engine.loop_of_lane(ri);
+    // Events scheduled during this lane's setup — and everything causally
+    // derived from them at run time — carry this lane's ordering key.
+    loop.set_scheduling_lane(static_cast<sim::EventLoop::LaneId>(ri));
+    loop.reserve(1024);
 
-  if (config.arrival_rate_per_s > 0.0) {
-    // Open-loop mode: one Poisson arrival process per region; reads start
-    // at exponentially distributed instants regardless of completions, so
-    // load is applied even while earlier reads are still in flight.
-    const SimTimeMs mean_gap_ms = 1000.0 / config.arrival_rate_per_s;
-    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
-      // Split the op budget across regions; the first region absorbs the
-      // remainder so totals always match ops_per_run.
-      const std::size_t budget = ops_total / regions.size() +
-                                 (ri == 0 ? ops_total % regions.size() : 0);
-      clients.push_back(std::make_unique<ClientState>(ClientState{
-          ri,
+    sim::Network& network = deployment.lane_network(ri);
+    network.set_max_outstanding_per_region(config.max_outstanding_per_region);
+    network.bind_loop(&loop);
+
+    // Split the op budget across lanes; lane 0 absorbs the remainder so
+    // totals always match ops_per_run.
+    lane.budget =
+        ops_total / num_lanes + (ri == 0 ? ops_total % num_lanes : 0);
+    if (window_ms > 0.0) {
+      lane.window_latencies =
+          std::make_unique<stats::WindowedHistogram>(window_ms);
+    }
+
+    // One strategy instance (for Agar: one AgarNode) per client region.
+    auto strategy = factory(config, deployment, regions[ri], &loop);
+    strategy->warm_up();
+    strategy->attach_to_loop(loop);
+    lane.strategy = std::move(strategy);
+
+    // Scenario engine, one per lane: scripted network events apply to this
+    // lane's network partition, popularity shifts rewrite this lane's
+    // clients, arrival modulation is sampled when gaps are drawn. The hook
+    // captures the lane — its client vector fills in just below, before
+    // any event can fire.
+    if (!config.scenario.empty()) {
+      lane.scenario = std::make_unique<scenario::ScenarioEngine>(
+          config.scenario, &network,
+          [&lane](const scenario::PopularityShift& shift) {
+            for (auto& client : lane.clients) client->workload.apply(shift);
+          });
+      lane.scenario->schedule(loop);
+    }
+    scenario::ScenarioEngine* const scenario_engine = lane.scenario.get();
+
+    auto record = [&lane, &loop](const ReadResult& r) {
+      RunResult& res = lane.partial;
+      ++res.ops;
+      if (r.failed) {
+        ++res.failed_reads;
+      } else {
+        res.latencies.add(r.latency_ms);
+        if (r.full_hit) ++res.full_hits;
+        if (r.partial_hit && !r.full_hit) ++res.partial_hits;
+        if (r.verified) ++res.verified;
+      }
+      if (lane.window_latencies != nullptr) {
+        const std::size_t w = lane.window_latencies->index_of(loop.now());
+        lane.window_latencies->ensure(w);
+        if (lane.window_counters.size() <= w) {
+          lane.window_counters.resize(w + 1);
+        }
+        WindowCounters& wc = lane.window_counters[w];
+        ++wc.ops;
+        if (r.failed) {
+          ++wc.failed;
+        } else {
+          lane.window_latencies->add(loop.now(), r.latency_ms);
+          if (r.full_hit) ++wc.full;
+          if (r.partial_hit && !r.full_hit) ++wc.partial;
+        }
+      }
+      ++lane.completed;
+      --lane.reads_in_flight;
+      res.duration_ms = std::max(res.duration_ms, loop.now());
+    };
+    auto begin_read = [&lane](Workload& workload,
+                              ReadStrategy::ReadCallback done) {
+      ++lane.issued;
+      ++lane.reads_in_flight;
+      lane.partial.max_reads_in_flight =
+          std::max(lane.partial.max_reads_in_flight, lane.reads_in_flight);
+      lane.strategy->start_read(workload.next_key(), std::move(done));
+    };
+
+    if (config.arrival_rate_per_s > 0.0) {
+      // Open-loop mode: one Poisson arrival process per region; reads
+      // start at exponentially distributed instants regardless of
+      // completions, so load is applied even while earlier reads are
+      // still in flight.
+      const SimTimeMs mean_gap_ms = 1000.0 / config.arrival_rate_per_s;
+      lane.clients.push_back(std::make_unique<ClientState>(ClientState{
           Workload(config.workload, config.deployment.num_objects,
                    workload_seed(run_seed, ri, 0)),
-          Rng(workload_seed(run_seed, ri, 7777)), budget, {}}));
-      ClientState* state = clients.back().get();
-      state->next = [&, state, mean_gap_ms, scenario_engine]() {
+          Rng(workload_seed(run_seed, ri, 7777)), lane.budget, {}}));
+      ClientState* state = lane.clients.back().get();
+      state->next = [state, begin_read, record, mean_gap_ms, scenario_engine,
+                     &loop]() {
         if (state->remaining == 0) return;
         --state->remaining;
-        begin_read(state->region_index, state->workload, record);
+        begin_read(state->workload, record);
         if (state->remaining > 0) {
           const double u = state->gaps.next_double();
           // Scenario arrival modulation scales the instantaneous rate:
@@ -177,29 +210,26 @@ RunResult run_once(const ExperimentConfig& config,
               scenario_engine != nullptr
                   ? scenario_engine->arrival_multiplier(loop.now())
                   : 1.0;
-          const SimTimeMs gap =
-              -mean_gap_ms * std::log(1.0 - u) / rate_mult;
+          const SimTimeMs gap = -mean_gap_ms * std::log(1.0 - u) / rate_mult;
           loop.schedule_in(gap, state->next);
         }
       };
       loop.schedule_in(0.0, state->next);
-    }
-  } else {
-    // Closed-loop clients: each issues its next read when the previous one
-    // completes (the paper's YCSB clients are closed-loop).
-    const std::size_t per_region = std::max<std::size_t>(1, config.num_clients);
-    for (std::size_t ri = 0; ri < regions.size(); ++ri) {
+    } else {
+      // Closed-loop clients: each issues its next read when the previous
+      // one completes (the paper's YCSB clients are closed-loop).
+      const std::size_t per_region =
+          std::max<std::size_t>(1, config.num_clients);
       for (std::size_t c = 0; c < per_region; ++c) {
-        clients.push_back(std::make_unique<ClientState>(ClientState{
-            ri,
+        lane.clients.push_back(std::make_unique<ClientState>(ClientState{
             Workload(config.workload, config.deployment.num_objects,
                      workload_seed(run_seed, ri, c)),
             Rng(0), 0, {}}));
-        ClientState* state = clients.back().get();
-        state->next = [&, state]() {
-          if (issued >= ops_total) return;
-          begin_read(state->region_index, state->workload,
-                     [&, state](const ReadResult& r) {
+        ClientState* state = lane.clients.back().get();
+        state->next = [&lane, state, begin_read, record]() {
+          if (lane.issued >= lane.budget) return;
+          begin_read(state->workload,
+                     [state, record](const ReadResult& r) {
                        record(r);
                        state->next();
                      });
@@ -209,49 +239,85 @@ RunResult run_once(const ExperimentConfig& config,
     }
   }
 
-  // The periodic reconfiguration re-arms forever; cut it off once every
-  // read has completed by draining with a bounded horizon.
-  while (!loop.empty() && completed < ops_total) {
-    loop.run_until(loop.now() + 1000.0);
-  }
+  // Drive the engine in whole 1 s windows until every read has completed
+  // (the periodic reconfiguration re-arms forever, so idleness alone never
+  // ends a run). The stop predicate runs at window boundaries while all
+  // shards are quiescent at the barrier.
+  engine.run_windows(1000.0, [&lanes, ops_total] {
+    std::size_t completed = 0;
+    for (const LaneState& lane : lanes) completed += lane.completed;
+    return completed >= ops_total;
+  });
 
-  // Materialize the windowed time series: latency stats from the per-window
-  // histograms, counters alongside, empty windows kept so indices map to
-  // virtual time.
-  if (window_latencies != nullptr) {
-    const std::size_t n =
-        std::max(window_latencies->size(), window_counters.size());
-    window_counters.resize(n);
+  RunResult result;
+
+  // Materialize the windowed time series: per-window histograms merged
+  // across lanes in lane order, counters alongside, empty windows kept so
+  // indices map to virtual time.
+  if (window_ms > 0.0) {
+    std::size_t n = 0;
+    for (const LaneState& lane : lanes) {
+      if (lane.window_latencies != nullptr) {
+        n = std::max(n, lane.window_latencies->size());
+      }
+      n = std::max(n, lane.window_counters.size());
+    }
     result.windows.reserve(n);
     for (std::size_t w = 0; w < n; ++w) {
       WindowStats ws;
-      ws.start_ms = window_latencies->start_of(w);
+      ws.start_ms = static_cast<double>(w) * window_ms;
       ws.end_ms = ws.start_ms + window_ms;
-      const WindowCounters& wc = window_counters[w];
-      ws.ops = wc.ops;
-      ws.full_hits = wc.full;
-      ws.partial_hits = wc.partial;
-      ws.failed_reads = wc.failed;
-      if (w < window_latencies->size() &&
-          window_latencies->window(w).count() > 0) {
-        const stats::Histogram& h = window_latencies->window(w);
-        ws.mean_ms = h.mean();
-        ws.p50_ms = h.percentile(50);
-        ws.p99_ms = h.percentile(99);
+      stats::Histogram merged;
+      for (const LaneState& lane : lanes) {
+        if (w < lane.window_counters.size()) {
+          const WindowCounters& wc = lane.window_counters[w];
+          ws.ops += wc.ops;
+          ws.full_hits += wc.full;
+          ws.partial_hits += wc.partial;
+          ws.failed_reads += wc.failed;
+        }
+        if (lane.window_latencies != nullptr &&
+            w < lane.window_latencies->size()) {
+          merged.merge(lane.window_latencies->window(w));
+        }
+      }
+      if (merged.count() > 0) {
+        ws.mean_ms = merged.mean();
+        ws.p50_ms = merged.percentile(50);
+        ws.p99_ms = merged.percentile(99);
       }
       result.windows.push_back(ws);
     }
   }
-  if (engine != nullptr) result.scenario_events_fired = engine->fired();
+  // Every lane's engine fires the same script; report one copy, as before.
+  if (lanes.front().scenario != nullptr) {
+    result.scenario_events_fired = lanes.front().scenario->fired();
+  }
 
-  // Aggregate pipeline gauges: network-wide plus per-strategy coalescing.
-  result.wire_fetches = deployment.network().wire_fetches();
-  result.queued_fetches = deployment.network().queued_fetches();
-  result.max_queue_depth = deployment.network().max_queue_depth();
-  result.max_net_in_flight = deployment.network().max_in_flight();
-  for (const auto& strategy : strategies) {
-    result.coalesced_fetches += strategy->fetch_coordinator().coalesced();
-    const core::ControlPlaneStats cp = strategy->control_plane_stats();
+  // Merge lane results in lane order (float accumulation order is part of
+  // the determinism contract), then the per-lane pipeline gauges: peaks
+  // that were per-region stay maxima, per-lane concurrency peaks sum.
+  for (std::size_t ri = 0; ri < num_lanes; ++ri) {
+    LaneState& lane = lanes[ri];
+    const RunResult& p = lane.partial;
+    result.latencies.merge(p.latencies);
+    result.ops += p.ops;
+    result.full_hits += p.full_hits;
+    result.partial_hits += p.partial_hits;
+    result.verified += p.verified;
+    result.failed_reads += p.failed_reads;
+    result.duration_ms = std::max(result.duration_ms, p.duration_ms);
+    result.max_reads_in_flight += p.max_reads_in_flight;
+
+    sim::Network& network = deployment.lane_network(ri);
+    result.wire_fetches += network.wire_fetches();
+    result.queued_fetches += network.queued_fetches();
+    result.max_queue_depth =
+        std::max(result.max_queue_depth, network.max_queue_depth());
+    result.max_net_in_flight += network.max_in_flight();
+
+    result.coalesced_fetches += lane.strategy->fetch_coordinator().coalesced();
+    const core::ControlPlaneStats cp = lane.strategy->control_plane_stats();
     result.reconfigurations += cp.reconfigurations;
     result.planning_ms += cp.planning_ms;
     result.config_chunks_installed += cp.chunks_installed;
@@ -261,15 +327,23 @@ RunResult run_once(const ExperimentConfig& config,
   // Final snapshots through the observability hooks every strategy
   // exposes (primary region's strategy, as before) — the runner needs no
   // knowledge of concrete strategy types.
-  ReadStrategy* primary = strategies.front().get();
-  if (const cache::CacheEngine* engine = primary->cache_engine()) {
-    result.cache_stats = engine->stats();
-    result.cache_used_bytes = engine->used_bytes();
+  ReadStrategy* primary = lanes.front().strategy.get();
+  if (const cache::CacheEngine* cache_engine = primary->cache_engine()) {
+    result.cache_stats = cache_engine->stats();
+    result.cache_used_bytes = cache_engine->used_bytes();
   }
   result.weight_histogram = primary->config_weight_histogram();
-  result.decode_plan_hits = deployment.backend().codec().rs().decode_plan_hits();
+  // Lane 0 decodes on the backend's codec, further lanes on their clones;
+  // the report is the sum over all decode-plan caches.
+  result.decode_plan_hits =
+      deployment.backend().codec().rs().decode_plan_hits();
   result.decode_plan_misses =
       deployment.backend().codec().rs().decode_plan_misses();
+  for (std::size_t ri = 1; ri < num_lanes; ++ri) {
+    result.decode_plan_hits += deployment.lane_codec(ri).rs().decode_plan_hits();
+    result.decode_plan_misses +=
+        deployment.lane_codec(ri).rs().decode_plan_misses();
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 // YCSB clients per instance, 30 s reconfiguration period).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -49,11 +50,50 @@ class Deployment {
   [[nodiscard]] store::BackendCluster& backend() { return *backend_; }
   [[nodiscard]] const DeploymentConfig& config() const { return config_; }
 
+  /// Partition the deployment for lane-parallel runs: one client region per
+  /// lane. Lane 0 keeps the primary network (and the backend's codec), so
+  /// a one-lane run is bit-for-bit the unpartitioned deployment; every
+  /// further lane gets its own Network (own latency RNG stream, own wire
+  /// and FIFO state) and its own codec clone (own decode-plan cache) so
+  /// shard threads never share mutable simulation state.
+  void bind_lanes(const std::vector<RegionId>& lane_regions);
+  [[nodiscard]] std::size_t num_lanes() const {
+    return std::max<std::size_t>(lane_regions_.size(), 1);
+  }
+  [[nodiscard]] sim::Network& lane_network(std::size_t lane) {
+    return lane == 0 ? *network_ : *lane_networks_[lane - 1];
+  }
+  [[nodiscard]] const ec::ObjectCodec& lane_codec(std::size_t lane) const {
+    return lane == 0 ? backend_->codec() : *lane_codecs_[lane - 1];
+  }
+
+  /// Network serving `region`'s strategy: its lane's partition when lanes
+  /// are bound, else the shared primary network.
+  [[nodiscard]] sim::Network& network_for(RegionId region) {
+    return lane_network(lane_of(region));
+  }
+  /// Per-lane decode codec for `region`, or null when the shared backend
+  /// codec is safe (single lane / lanes never bound).
+  [[nodiscard]] const ec::ObjectCodec* codec_override_for(RegionId region) {
+    const std::size_t lane = lane_of(region);
+    return lane == 0 ? nullptr : lane_codecs_[lane - 1].get();
+  }
+
  private:
+  [[nodiscard]] std::size_t lane_of(RegionId region) const {
+    for (std::size_t i = 0; i < lane_regions_.size(); ++i) {
+      if (lane_regions_[i] == region) return i;
+    }
+    return 0;
+  }
+
   DeploymentConfig config_;
   std::unique_ptr<sim::Topology> topology_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<store::BackendCluster> backend_;
+  std::vector<RegionId> lane_regions_;
+  std::vector<std::unique_ptr<sim::Network>> lane_networks_;   // lanes 1..
+  std::vector<std::unique_ptr<ec::ObjectCodec>> lane_codecs_;  // lanes 1..
 };
 
 struct ExperimentConfig {
@@ -84,6 +124,10 @@ struct ExperimentConfig {
   /// Width of the windowed time-series metrics in ms; 0 disables windows
   /// (RunResult::windows stays empty, output byte-identical to before).
   SimTimeMs metric_window_ms = 0.0;
+  /// Worker threads for the sharded simulation engine. Client-region lanes
+  /// are spread across this many shards (clamped to the lane count);
+  /// results are byte-identical for any value — 1 runs the engine inline.
+  std::size_t shards = 1;
 
   [[nodiscard]] std::vector<RegionId> effective_client_regions() const {
     return client_regions.empty() ? std::vector<RegionId>{client_region}

@@ -303,7 +303,9 @@ bool ReadStrategy::prefetch_chunk(const ObjectKey& key, ChunkIndex index,
 bool ReadStrategy::verify_payload(const ObjectKey& key,
                                   const std::vector<ec::Chunk>& chunks) const {
   const store::ObjectInfo info = ctx_.backend->object_info(key);
-  const Bytes decoded = ctx_.backend->codec().decode(info.object_size, chunks);
+  const ec::ObjectCodec& codec =
+      ctx_.codec != nullptr ? *ctx_.codec : ctx_.backend->codec();
+  const Bytes decoded = codec.decode(info.object_size, chunks);
   const Bytes expected = deterministic_payload(key, info.object_size);
   return decoded == expected;
 }

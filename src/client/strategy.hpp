@@ -46,6 +46,10 @@ struct ReadResult {
 struct ClientContext {
   const store::BackendCluster* backend = nullptr;
   sim::Network* network = nullptr;
+  /// Codec used for client-side decodes (verify mode). Null means the
+  /// backend's shared codec; lane-parallel runs install a per-lane clone
+  /// so the decode-plan cache is never shared across shard threads.
+  const ec::ObjectCodec* codec = nullptr;
   /// Loop that reads run on. May be null: the synchronous wrapper then
   /// spins up a private loop per read (tests, simple examples).
   sim::EventLoop* loop = nullptr;

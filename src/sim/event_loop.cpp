@@ -1,70 +1,159 @@
 #include "sim/event_loop.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <limits>
+#include <stdexcept>
 #include <utility>
 
 namespace agar::sim {
 
+namespace {
+constexpr SimTimeMs kForever = std::numeric_limits<SimTimeMs>::infinity();
+/// Heap fan-out. 4 children halve the depth of a binary heap; the extra
+/// sibling compares are cheap next to moving 48-byte events an extra level.
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
+std::uint64_t EventLoop::allocate_seq(LaneId lane) {
+  if (lane >= seqs_.size()) seqs_.resize(lane + 1, 0);
+  return seqs_[lane]++;
+}
+
+void EventLoop::push_event(Event event) {
+  // Hole-based sift-up: displaced parents move down once each; the new
+  // event lands in its final slot in one move.
+  heap_.emplace_back();
+  std::size_t hole = heap_.size() - 1;
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kHeapArity;
+    if (!earlier(event, heap_[parent])) break;
+    heap_[hole] = std::move(heap_[parent]);
+    hole = parent;
+  }
+  heap_[hole] = std::move(event);
+}
+
+EventLoop::Event EventLoop::pop_top() {
+  Event top = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift the hole left at the root down to where `last` belongs.
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t first = hole * kHeapArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + kHeapArity, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], last)) break;
+      heap_[hole] = std::move(heap_[best]);
+      hole = best;
+    }
+    heap_[hole] = std::move(last);
+  }
+  return top;
+}
+
 void EventLoop::schedule_at(SimTimeMs when, Callback fn) {
-  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+  push_event(Event{std::max(when, now_), lane_, allocate_seq(lane_),
+                   std::move(fn)});
 }
 
 void EventLoop::schedule_in(SimTimeMs delay, Callback fn) {
   schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
 }
 
+void EventLoop::schedule_keyed(SimTimeMs when, LaneId lane, std::uint64_t seq,
+                               Callback fn) {
+  push_event(Event{std::max(when, now_), lane, seq, std::move(fn)});
+}
+
 EventLoop::TimerId EventLoop::schedule_periodic(SimTimeMs period,
                                                 std::function<bool()> fn) {
+  if (!(period > 0.0)) {
+    throw std::invalid_argument("EventLoop: periodic timer period must be > 0");
+  }
   const TimerId id = next_timer_++;
-  active_timers_.insert(id);
-  arm_periodic(id, period,
-               std::make_shared<std::function<bool()>>(std::move(fn)));
+  timers_.emplace(id, TimerRecord{std::move(fn), period});
+  wheel_.insert({now_ + period, lane_, allocate_seq(lane_), id});
   return id;
 }
 
-void EventLoop::arm_periodic(TimerId id, SimTimeMs period,
-                             std::shared_ptr<std::function<bool()>> fn) {
-  // Capturing `this` is safe because callbacks never outlive the loop. The
-  // activity check runs both before AND after the callback: before, so a
-  // firing already queued when cancel() was called becomes a no-op; after,
-  // so a callback that cancels itself and still returns true cannot leak a
-  // re-armed timer.
-  schedule_in(period, [this, id, period, fn = std::move(fn)]() mutable {
-    if (!active_timers_.contains(id)) return;  // cancelled while queued
-    const bool keep = (*fn)();
-    if (!keep || !active_timers_.contains(id)) {
-      active_timers_.erase(id);
-      return;
-    }
-    arm_periodic(id, period, std::move(fn));
-  });
-}
+bool EventLoop::cancel(TimerId id) { return timers_.erase(id) > 0; }
 
-bool EventLoop::cancel(TimerId id) { return active_timers_.erase(id) > 0; }
-
-void EventLoop::pop_and_run() {
-  // Copy out before pop so the callback may schedule new events.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.when;
+void EventLoop::fire_timer(TimerWheel::Entry entry) {
+  now_ = entry.when;
   ++executed_;
-  ev.fn();
+  const auto it = timers_.find(entry.timer);
+  if (it == timers_.end()) return;  // cancelled while armed: no-op firing
+  const LaneId prev_lane = lane_;
+  lane_ = entry.lane;
+  // unordered_map references survive inserts from inside the callback; the
+  // record is re-looked-up afterwards because cancel() may have erased it.
+  const bool keep = it->second.fn();
+  lane_ = prev_lane;
+  const auto again = timers_.find(entry.timer);
+  if (again == timers_.end()) return;  // cancelled itself: no re-arm
+  if (!keep) {
+    timers_.erase(again);
+    return;
+  }
+  // Re-arm in place: same timer record, one fresh per-lane sequence number
+  // — no callback re-wrap, no allocation.
+  wheel_.insert(
+      {now_ + again->second.period, entry.lane, allocate_seq(entry.lane),
+       entry.timer});
 }
 
-bool EventLoop::step() {
-  if (queue_.empty()) return false;
-  pop_and_run();
+bool EventLoop::advance_one(SimTimeMs horizon) {
+  const Event* top = heap_.empty() ? nullptr : heap_.data();
+  const TimerWheel::Entry* timer = wheel_.peek_min();
+  if (top == nullptr && timer == nullptr) return false;
+  const bool from_wheel =
+      top == nullptr ||
+      (timer != nullptr &&
+       TimerWheel::key_less(timer->when, timer->lane, timer->seq, top->when,
+                            top->lane, top->seq));
+  if (from_wheel) {
+    if (timer->when > horizon) return false;
+    fire_timer(wheel_.pop_min());
+    return true;
+  }
+  if (top->when > horizon) return false;
+  Event event = pop_top();
+  now_ = event.when;
+  ++executed_;
+  const LaneId prev_lane = lane_;
+  lane_ = event.lane;
+  event.fn();
+  lane_ = prev_lane;
   return true;
 }
 
+bool EventLoop::step() { return advance_one(kForever); }
+
 void EventLoop::run() {
-  while (!queue_.empty()) pop_and_run();
+  while (advance_one(kForever)) {
+  }
 }
 
 void EventLoop::run_until(SimTimeMs horizon) {
-  while (!queue_.empty() && queue_.top().when <= horizon) pop_and_run();
+  while (advance_one(horizon)) {
+  }
   now_ = std::max(now_, horizon);
+}
+
+SimTimeMs EventLoop::next_event_time() {
+  const Event* top = heap_.empty() ? nullptr : heap_.data();
+  const TimerWheel::Entry* timer = wheel_.peek_min();
+  SimTimeMs next = kForever;
+  if (top != nullptr) next = top->when;
+  if (timer != nullptr) next = std::min(next, timer->when);
+  return next;
 }
 
 }  // namespace agar::sim

@@ -2,18 +2,32 @@
 //
 // The reproduction replaces the paper's AWS deployment with a deterministic
 // discrete-event simulation: clients, periodic reconfigurations and latency
-// probes are all events on one virtual timeline. Events fire in timestamp
-// order; ties break by insertion order so runs are fully reproducible.
+// probes are all events on one virtual timeline. Events fire in
+// (timestamp, lane, sequence) order, where a *lane* is the logical
+// partition (client region) that scheduled the event and the sequence is a
+// per-lane insertion counter. Lanes make the total order independent of
+// how lanes are packed onto shards, so the sharded engine
+// (sim/sharded_engine.hpp) produces byte-identical results for any shard
+// count; a plain single-loop run is simply the one-lane special case.
+//
+// Hot-path design: one-shot events live in a 4-ary min-heap over a
+// reserved contiguous vector — half the depth of a binary heap and
+// hole-based sifting, so a push or pop moves each displaced event once
+// instead of swapping it; events are moved in and out, never copied.
+// Periodic timers live in a hierarchical timer wheel
+// (sim/timer_wheel.hpp) so arming, firing and re-arming are O(1) and
+// never re-wrap the callback. The loop drains all events sharing one
+// timestamp in a tight batch, checking the timer wheel's cached minimum
+// once per event instead of re-deriving it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace agar::sim {
 
@@ -22,6 +36,11 @@ class EventLoop {
   using Callback = std::function<void()>;
   /// Handle identifying one periodic timer. Never reused within a loop.
   using TimerId = std::uint64_t;
+  /// Logical partition that owns an event's ordering key. Single-loop
+  /// callers never touch lanes and everything lands on lane 0.
+  using LaneId = std::uint32_t;
+
+  EventLoop() { heap_.reserve(kDefaultReserve); }
 
   /// Current virtual time (ms). Starts at 0.
   [[nodiscard]] SimTimeMs now() const { return now_; }
@@ -35,8 +54,9 @@ class EventLoop {
   /// Schedule `fn` every `period` ms, first firing at now + period.
   /// The callback returns true to keep the timer armed, false to cancel.
   /// The returned handle can cancel the timer from outside (or from within
-  /// the callback itself); a firing already in the queue when the timer is
+  /// the callback itself); a firing already armed when the timer is
   /// cancelled becomes a no-op and does not re-arm.
+  /// Throws std::invalid_argument if `period` is not strictly positive.
   TimerId schedule_periodic(SimTimeMs period, std::function<bool()> fn);
 
   /// Cancel a periodic timer. Returns true if it was still armed. Safe to
@@ -45,12 +65,12 @@ class EventLoop {
 
   /// Is the periodic timer still armed?
   [[nodiscard]] bool timer_active(TimerId id) const {
-    return active_timers_.contains(id);
+    return timers_.contains(id);
   }
 
   /// Number of armed periodic timers (leak detection in tests).
   [[nodiscard]] std::size_t active_timer_count() const {
-    return active_timers_.size();
+    return timers_.size();
   }
 
   /// Run until the queue is empty or until the optional time horizon.
@@ -65,31 +85,71 @@ class EventLoop {
   /// Number of events executed so far (observability for tests).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool empty() const { return heap_.empty() && wheel_.empty(); }
+
+  /// Pre-size the event heap (the runner sizes it from the op budget).
+  void reserve(std::size_t events) {
+    if (events > heap_.capacity()) heap_.reserve(events);
+  }
+
+  // ---- Lane protocol (used by the sharded engine; see the file comment).
+
+  /// Lane stamped on events scheduled right now. While an event executes
+  /// this is the executing event's lane, so causally-derived events inherit
+  /// it; the engine sets it explicitly around per-lane setup code.
+  [[nodiscard]] LaneId scheduling_lane() const { return lane_; }
+  void set_scheduling_lane(LaneId lane) { lane_ = lane; }
+
+  /// Draw the next per-lane sequence number. The engine uses this to key
+  /// cross-shard messages from the producing lane's counter so the total
+  /// order matches what a single loop running all lanes would produce.
+  [[nodiscard]] std::uint64_t allocate_seq(LaneId lane);
+
+  /// Insert an event with an explicit, pre-allocated ordering key. Used
+  /// when draining inter-shard rings; `when` is still clamped to >= now.
+  void schedule_keyed(SimTimeMs when, LaneId lane, std::uint64_t seq,
+                      Callback fn);
+
+  /// Earliest pending fire time across the heap and the timer wheel, or
+  /// +infinity when idle (window planning in the sharded engine).
+  [[nodiscard]] SimTimeMs next_event_time();
 
  private:
+  static constexpr std::size_t kDefaultReserve = 256;
+
   struct Event {
     SimTimeMs when;
-    std::uint64_t seq;  // insertion order; tie-break for determinism
+    LaneId lane;
+    std::uint64_t seq;  // per-lane insertion order; deterministic tie-break
     Callback fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  /// Total event order: does `a` fire before `b`? (when, lane, seq).
+  static bool earlier(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.seq < b.seq;
+  }
+
+  struct TimerRecord {
+    std::function<bool()> fn;
+    SimTimeMs period;
   };
 
-  void arm_periodic(TimerId id, SimTimeMs period,
-                    std::shared_ptr<std::function<bool()>> fn);
-  void pop_and_run();
+  void push_event(Event event);
+  /// Remove and return the earliest heap event (heap must be non-empty).
+  Event pop_top();
+  /// Execute the earliest event if it fires at or before `horizon`.
+  bool advance_one(SimTimeMs horizon);
+  void fire_timer(TimerWheel::Entry entry);
 
   SimTimeMs now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  LaneId lane_ = 0;
   std::uint64_t executed_ = 0;
   TimerId next_timer_ = 1;
-  std::unordered_set<TimerId> active_timers_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> seqs_ = {0};
+  std::vector<Event> heap_;
+  TimerWheel wheel_;
+  std::unordered_map<TimerId, TimerRecord> timers_;
 };
 
 }  // namespace agar::sim

@@ -1,0 +1,87 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// Cross-shard events travel over one of these per (producer shard,
+// consumer shard) pair, following the classic real-time ring idiom (the
+// ROADMAP's LinuxCNC `rtapi` exemplar): power-of-two capacity, a head
+// index owned by the consumer, a tail index owned by the producer, and
+// acquire/release ordering on the two atomics as the only synchronization.
+// Slots are fixed-size value types; nothing is allocated on push or pop.
+//
+// The sharded engine drains rings only at window barriers, so the ring is
+// sized for one window's worth of traffic; a full ring is not an error —
+// the producer spills to a local overflow vector that the consumer adopts
+// at the barrier (never blocking inside a window, which would deadlock the
+// barrier protocol).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace agar::sim {
+
+/// Destructive-interference stride for the ring indices. Pinned to 64
+/// (the line size on every target this builds for) instead of
+/// std::hardware_destructive_interference_size: the constant is part of
+/// the layout, and GCC warns that the std value can differ between TUs
+/// under different tuning flags.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename Slot>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2 = 1024)
+      : slots_(round_up_pow2(capacity_pow2)), mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full, leaving `slot`
+  /// untouched so the caller can spill it.
+  [[nodiscard]] bool try_push(Slot&& slot) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[tail & mask_] = std::move(slot);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(Slot& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side convenience: drain everything currently visible.
+  void drain_into(std::vector<Slot>& out) {
+    Slot slot;
+    while (try_pop(slot)) out.push_back(std::move(slot));
+  }
+
+  /// Approximate occupancy (exact on either owning thread).
+  [[nodiscard]] std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace agar::sim

@@ -1,0 +1,137 @@
+#include "sim/timer_wheel.hpp"
+
+#include <limits>
+
+namespace agar::sim {
+
+namespace {
+
+[[nodiscard]] bool entry_less(const TimerWheel::Entry& a,
+                              const TimerWheel::Entry& b) {
+  return TimerWheel::key_less(a.when, a.lane, a.seq, b.when, b.lane, b.seq);
+}
+
+}  // namespace
+
+void TimerWheel::insert(const Entry& entry) {
+  place(entry);
+  ++size_;
+  if (min_valid_ && entry_less(entry, min_)) min_ = entry;
+}
+
+void TimerWheel::place(const Entry& entry) {
+  // The loop clamps fire times to >= now and base_tick_ never passes the
+  // earliest armed entry, so delta is non-negative.
+  const std::uint64_t tick = tick_of(entry.when);
+  const std::uint64_t delta = tick - base_tick_;
+  if (delta < kSlots) {
+    levels_[0][tick & (kSlots - 1)].push_back(entry);
+    ++level_count_[0];
+  } else if (delta < (1ull << (2 * kSlotBits))) {
+    levels_[1][(tick >> kSlotBits) & (kSlots - 1)].push_back(entry);
+    ++level_count_[1];
+  } else if (delta < (1ull << (3 * kSlotBits))) {
+    levels_[2][(tick >> (2 * kSlotBits)) & (kSlots - 1)].push_back(entry);
+    ++level_count_[2];
+  } else {
+    overflow_.push_back(entry);
+  }
+}
+
+void TimerWheel::cascade() {
+  // Entries were bucketed by their delta at insert time, so after base has
+  // advanced the earliest armed tick can live in any upper level (or the
+  // overflow list). Find it, advance base to it, then pull everything that
+  // now fits the level-0 window down. Upper levels hold at most a few
+  // dozen armed timers, so the scan is cheap and runs only when level 0
+  // drains.
+  std::uint64_t min_tick = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t level = 1; level < kLevels; ++level) {
+    if (level_count_[level] == 0) continue;
+    for (const Slot& slot : levels_[level]) {
+      for (const Entry& entry : slot) {
+        min_tick = std::min(min_tick, tick_of(entry.when));
+      }
+    }
+  }
+  for (const Entry& entry : overflow_) {
+    min_tick = std::min(min_tick, tick_of(entry.when));
+  }
+  base_tick_ = min_tick;
+
+  const std::uint64_t window_end = base_tick_ + kSlots;
+  for (std::size_t level = 1; level < kLevels; ++level) {
+    if (level_count_[level] == 0) continue;
+    for (Slot& slot : levels_[level]) {
+      for (std::size_t i = 0; i < slot.size();) {
+        if (tick_of(slot[i].when) < window_end) {
+          levels_[0][tick_of(slot[i].when) & (kSlots - 1)].push_back(
+              std::move(slot[i]));
+          ++level_count_[0];
+          --level_count_[level];
+          slot[i] = slot.back();
+          slot.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < overflow_.size();) {
+    if (tick_of(overflow_[i].when) < window_end) {
+      levels_[0][tick_of(overflow_[i].when) & (kSlots - 1)].push_back(
+          std::move(overflow_[i]));
+      ++level_count_[0];
+      overflow_[i] = overflow_.back();
+      overflow_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool TimerWheel::find_min_level0(Entry& out) {
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const Slot& slot = levels_[0][(base_tick_ + i) & (kSlots - 1)];
+    if (slot.empty()) continue;
+    // All entries in a live level-0 slot share one tick; the earliest
+    // non-empty slot from base therefore holds the global minimum.
+    out = slot.front();
+    for (const Entry& entry : slot) {
+      if (entry_less(entry, out)) out = entry;
+    }
+    return true;
+  }
+  return false;
+}
+
+const TimerWheel::Entry* TimerWheel::peek_min() {
+  if (size_ == 0) return nullptr;
+  if (min_valid_) return &min_;
+  if (level_count_[0] == 0) cascade();
+  Entry best;
+  const bool found = find_min_level0(best);
+  (void)found;  // size_ > 0 and cascade() refills level 0, so always true
+  min_ = best;
+  min_valid_ = true;
+  return &min_;
+}
+
+TimerWheel::Entry TimerWheel::pop_min() {
+  const Entry result = *peek_min();
+  Slot& slot = levels_[0][tick_of(result.when) & (kSlots - 1)];
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i].seq == result.seq && slot[i].lane == result.lane) {
+      slot[i] = slot.back();
+      slot.pop_back();
+      break;
+    }
+  }
+  --size_;
+  --level_count_[0];
+  base_tick_ = tick_of(result.when);
+  min_valid_ = false;
+  return result;
+}
+
+}  // namespace agar::sim

@@ -1,0 +1,94 @@
+// Hierarchical timer wheel — O(1) arm/fire/cancel for periodic timers.
+//
+// The event loop used to keep every pending periodic firing in the same
+// binary heap as one-shot events, re-wrapping the callback in a fresh
+// heap-allocated closure (and a shared_ptr rebind) on every re-arm. The
+// wheel replaces that: an armed firing is a 24-byte slot entry hashed into
+// a bucket by its integral tick, so arming costs one vector push, firing
+// pops the bucket, and cancelling is an O(1) map erase in the loop (the
+// stale wheel entry fires as a no-op, exactly like the old queued-event
+// semantics).
+//
+// Three 256-slot levels at 1 ms per tick cover ~4.6 virtual hours; later
+// entries go to a small overflow list that cascades down as time advances.
+// Entries keep their exact (possibly fractional) fire time and their
+// deterministic (when, lane, seq) key, so the loop can interleave wheel
+// firings with heap events in the exact total order the serial simulator
+// has always used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace agar::sim {
+
+class TimerWheel {
+ public:
+  /// One armed firing. `lane`/`seq` make the deterministic ordering key;
+  /// `timer` identifies the periodic-timer record in the event loop.
+  struct Entry {
+    SimTimeMs when = 0.0;
+    std::uint32_t lane = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t timer = 0;
+  };
+
+  /// Total-order key shared with the event queue: (when, lane, seq).
+  [[nodiscard]] static bool key_less(SimTimeMs aw, std::uint32_t al,
+                                     std::uint64_t as, SimTimeMs bw,
+                                     std::uint32_t bl, std::uint64_t bs) {
+    if (aw != bw) return aw < bw;
+    if (al != bl) return al < bl;
+    return as < bs;
+  }
+
+  void insert(const Entry& entry);
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Earliest entry by (when, lane, seq), or nullptr if empty. Cached;
+  /// recomputed lazily after inserts/pops (the scan is bounded by the slot
+  /// count, and slots hold at most a handful of timers each).
+  [[nodiscard]] const Entry* peek_min();
+
+  /// Remove and return the earliest entry. Precondition: !empty().
+  Entry pop_min();
+
+ private:
+  static constexpr std::size_t kSlotBits = 8;              // 256 slots/level
+  static constexpr std::size_t kSlots = 1u << kSlotBits;
+  static constexpr std::size_t kLevels = 3;                // ~4.6 h horizon
+
+  using Slot = std::vector<Entry>;
+
+  /// Tick (integral ms) of an entry.
+  [[nodiscard]] static std::uint64_t tick_of(SimTimeMs when) {
+    return when <= 0.0 ? 0 : static_cast<std::uint64_t>(when);
+  }
+
+  /// Place an entry relative to the current base tick.
+  void place(const Entry& entry);
+  /// Pull the earliest upper-level / overflow bucket down so level 0
+  /// covers the next armed tick. Precondition: size_ > 0, level 0 empty.
+  void cascade();
+  /// Earliest non-empty level-0 slot index, scanning from base_tick_.
+  [[nodiscard]] bool find_min_level0(Entry& out);
+
+  std::vector<Slot> levels_[kLevels];
+  Slot overflow_;
+  std::uint64_t base_tick_ = 0;   ///< no armed entry fires before this tick
+  std::size_t size_ = 0;
+  std::size_t level_count_[kLevels] = {0, 0, 0};
+  bool min_valid_ = false;
+  Entry min_;
+
+ public:
+  TimerWheel() {
+    for (auto& level : levels_) level.resize(kSlots);
+  }
+};
+
+}  // namespace agar::sim

@@ -4,6 +4,7 @@
 // tests and reports can observe backend traffic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -29,15 +30,22 @@ class Bucket {
   [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
   [[nodiscard]] std::size_t total_bytes() const { return total_bytes_; }
 
-  /// Observability counters.
-  [[nodiscard]] std::uint64_t gets() const { return gets_; }
-  [[nodiscard]] std::uint64_t puts() const { return puts_; }
+  /// Observability counters. Atomic (relaxed): the chunk map itself is
+  /// read-only during sharded runs, but several shard threads fetch
+  /// concurrently and all bump these. Totals are order-independent, so
+  /// they stay deterministic for any shard count.
+  [[nodiscard]] std::uint64_t gets() const {
+    return gets_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t puts() const {
+    return puts_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unordered_map<ChunkId, SharedBytes> chunks_;
   std::size_t total_bytes_ = 0;
-  mutable std::uint64_t gets_ = 0;
-  std::uint64_t puts_ = 0;
+  mutable std::atomic<std::uint64_t> gets_{0};
+  std::atomic<std::uint64_t> puts_{0};
 };
 
 }  // namespace agar::store

@@ -1,0 +1,108 @@
+// Shard-count invariance: the sharded simulation engine must produce the
+// SAME bytes for any worker-thread count. Every runnable system from the
+// registry runs a seeded multi-region experiment — windows, a scripted
+// scenario and the periodic control plane all active — at shards=1 (the
+// inline serial engine) and shards=4 (real threads, cross-shard rings),
+// and the full results_json reports are compared as strings. Only
+// planning_ms is wall clock; it is normalized exactly the way the CI
+// cross-build diff normalizes it.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "api/api.hpp"
+#include "client/report.hpp"
+
+namespace agar {
+namespace {
+
+/// planning_ms is the one wall-clock field in the report; everything else
+/// is virtual time or counters.
+std::string normalize(std::string json) {
+  static const std::regex planning("\"planning_ms\": [^,}\n]*");
+  return std::regex_replace(json, planning, "\"planning_ms\": 0");
+}
+
+api::ExperimentSpec sharded_spec(const std::string& system,
+                                 std::size_t shards) {
+  api::ExperimentSpec spec;
+  spec.experiment.deployment.num_objects = 25;
+  spec.experiment.deployment.object_size_bytes = 9000;
+  spec.experiment.deployment.seed = 31337;
+  spec.experiment.ops_per_run = 200;
+  spec.experiment.runs = 2;
+  spec.experiment.num_clients = 2;
+  spec.experiment.reconfig_period_ms = 10'000.0;
+  spec.set("regions", "frankfurt,dublin,virginia,tokyo");
+  spec.set("window_ms", "5000");
+  spec.set("scenario",
+           "1000 fail_region region=sydney; 2500 popularity_rotate by=7; "
+           "6000 restore_region region=sydney");
+  spec.set("shards", std::to_string(shards));
+
+  spec.system = system;
+  const auto& schema =
+      api::StrategyRegistry::instance()
+          .at(api::resolve_system(spec.system, spec.params).first)
+          .schema;
+  if (schema.has("chunks")) spec.params.set("chunks", "5");
+  if (schema.has("cache_bytes")) spec.params.set("cache_bytes", "64KB");
+  return spec;
+}
+
+class ShardedDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShardedDeterminism, FourShardsMatchSerialByteForByte) {
+  const auto serial = api::run(sharded_spec(GetParam(), 1)).result;
+  const auto sharded = api::run(sharded_spec(GetParam(), 4)).result;
+
+  // The whole report — per-run latencies, windows, hit counters, pipeline
+  // gauges, control-plane telemetry — compared as rendered bytes.
+  EXPECT_EQ(normalize(client::results_json({serial})),
+            normalize(client::results_json({sharded})));
+
+  // The interesting parts really were exercised.
+  ASSERT_FALSE(serial.runs.empty());
+  EXPECT_GT(serial.runs[0].ops, 0u);
+  EXPECT_FALSE(serial.runs[0].windows.empty());
+  EXPECT_GT(serial.runs[0].scenario_events_fired, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ShardedDeterminism,
+    ::testing::ValuesIn(api::runnable_systems()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Odd shard counts that do not divide the lane count, and shard counts
+// beyond the lane count (clamped), must also be invariant.
+TEST(ShardedDeterminismEdge, UnevenAndOversizedShardCounts) {
+  const auto base =
+      normalize(client::results_json({api::run(sharded_spec("agar", 1)).result}));
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    EXPECT_EQ(base, normalize(client::results_json(
+                        {api::run(sharded_spec("agar", shards)).result})))
+        << "shards=" << shards;
+  }
+}
+
+// The spec surface round-trips the key and rejects nonsense.
+TEST(ShardedDeterminismEdge, SpecSurface) {
+  api::ExperimentSpec spec;
+  spec.set("shards", "4");
+  EXPECT_EQ(spec.experiment.shards, 4u);
+  EXPECT_NE(spec.to_json().find("\"shards\": 4"), std::string::npos);
+  // Default stays out of the JSON so existing goldens never change.
+  EXPECT_EQ(api::ExperimentSpec{}.to_json().find("shards"), std::string::npos);
+  spec.set("shards", "0");
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace agar
