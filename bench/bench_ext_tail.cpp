@@ -1,0 +1,103 @@
+// Extension: tail latency under gray failure — none vs retry vs hedge.
+//
+// The paper's evaluation assumes backends that are slow or fast but never
+// *wrong*; real geo-distributed stores exhibit gray failure: a fraction of
+// requests straggle at tens of times the healthy latency, or vanish
+// entirely. This bench injects a persistent straggler tail on an on-path
+// backend region and compares the three fetch policies on the
+// metric gray failure actually moves: the high percentiles. Mean latency
+// barely shifts; p99/p99.9 separate the policies cleanly — and not the
+// way folklore says: naive timeout+retry *amplifies* the tail, hedging
+// races the stragglers and wins.
+//
+//   $ ./bench_ext_tail [--quick] [--json]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "client/report.hpp"
+
+using namespace agar;
+
+namespace {
+
+std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    if (arg == "--quick") quick = true;
+  }
+
+  // Virginia sits on the cheapest-k read path for Frankfurt/Dublin
+  // clients, so every read is exposed to its tail. The straggler field is
+  // on for the whole run (stationary, so the percentiles are clean), and
+  // the open-loop rate is low enough that the baseline tail is the
+  // straggler cost itself, not queueing behind it.
+  const auto base = api::ExperimentSpec::from_pairs({
+      "system=agar",
+      "regions=frankfurt,dublin",
+      "cache_bytes=96KB",
+      "objects=40",
+      "object_bytes=9000",
+      quick ? "ops=1200" : "ops=4000",
+      "runs=1",
+      "arrival_rate=4",
+      "period_s=10",
+      "seed=11",
+      "scenario=0 straggle_region region=virginia frac=0.2 mult=30",
+  });
+  const std::vector<api::ExperimentSpec> specs = {
+      base.with({"fetch=none"}),
+      base.with({"fetch=retry"}),
+      base.with({"fetch=hedge"}),
+  };
+
+  const auto reports = api::run_all(specs);
+  if (json) {
+    std::cout << client::results_json(api::results_of(reports));
+    return 0;
+  }
+
+  client::print_experiment_banner(
+      "Extension", "tail latency under gray failure (none/retry/hedge)",
+      "RS(9,3), Frankfurt+Dublin clients, open loop 4/s; Virginia "
+      "straggles 20% of requests at 30x for the whole run");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : reports) {
+    const auto& run = r.result.runs[0];
+    rows.push_back({
+        r.label(),
+        client::fmt_ms(r.result.mean_latency_ms()),
+        client::fmt_ms(r.result.percentile_ms(99)),
+        client::fmt_ms(r.result.percentile_ms(99.9)),
+        fmt_count(run.degraded_reads),
+        fmt_count(run.failed_reads),
+        fmt_count(run.fetch_timeouts),
+        fmt_count(run.fetch_retries),
+        fmt_count(run.hedges_won),
+    });
+  }
+  std::cout << "latency by fetch policy (ms):\n"
+            << client::format_table({"policy", "mean", "p99", "p99.9",
+                                     "degraded", "failed", "timeouts",
+                                     "retries", "hedges won"},
+                                    rows);
+
+  std::cout << "\ntakeaway: the straggler field multiplies the tail while "
+               "barely moving the mean. Retry makes it worse: the timeout "
+               "fires while the straggler still holds the wire, so each "
+               "retry queues behind the very transfer it is trying to "
+               "outrun, and exhausted arms pay a serial fallback on top. "
+               "Hedging races the straggler from a clean start and "
+               "recovers most of the healthy tail for a small "
+               "duplicate-fetch cost.\n";
+  return 0;
+}

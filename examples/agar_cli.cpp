@@ -108,6 +108,14 @@ void list_everything() {
     std::cout << "  " << name << " -- " << entry.description << "\n";
     print_schema(entry.schema, "      ", "monitor.");
   }
+  std::cout << "\nfetch policies (fault-tolerant reads, fetch=<name>; "
+               "sub-params as fetch.<param>=<value>):\n";
+  const auto& fetches = api::FetchPolicyRegistry::instance();
+  for (const auto& name : fetches.names()) {
+    const auto& entry = fetches.at(name);
+    std::cout << "  " << name << " -- " << entry.description << "\n";
+    print_schema(entry.schema, "      ", "fetch.");
+  }
   std::cout << "\nexperiment keys (--set key=value or JSON spec members):\n";
   print_schema(api::ExperimentSpec::experiment_keys(), "  ");
   std::cout << "\nscenario events (--scenario file or scenario= script):\n";

@@ -94,6 +94,9 @@ const ParamSchema& ExperimentSpec::experiment_keys() {
        "windowed time-series metric width in ms (0 = off)"},
       {"shards", ParamType::kSize, "1",
        "simulation worker threads (results identical for any value)"},
+      {"fetch", ParamType::kString, "none",
+       "fault-tolerant fetch policy (none, retry, hedge); parameters "
+       "arrive namespaced as fetch.<param>"},
       {"scenario", ParamType::kString, "",
        "mid-run event script: \"at_ms event k=v ...; ...\" (JSON specs "
        "may use an array of {at_ms, event, ...} objects)"},
@@ -167,6 +170,17 @@ void ExperimentSpec::set(const std::string& key, const std::string& value) {
     // Compact text form; "scenario=" clears. JSON spec files may instead
     // carry an array, which parse_spec_json routes around this setter.
     experiment.scenario = scenario::parse_scenario_text(value);
+  } else if (key == "fetch") {
+    experiment.fetch_policy = value.empty() ? "none" : value;
+  } else if (key.rfind("fetch.", 0) == 0) {
+    // Namespaced fetch-policy parameter ("fetch.retries=3"), prefix
+    // stripped; schema-checked against the policy's entry in validate().
+    const std::string sub = key.substr(6);
+    if (value.empty()) {
+      experiment.fetch_params.erase(sub);
+    } else {
+      experiment.fetch_params.set(sub, value);
+    }
   } else if (value.empty()) {
     // "key=" clears a strategy param — lets a sweep/base spec drop a
     // parameter for systems that do not take it ("cache_bytes=" for
@@ -285,6 +299,18 @@ void ExperimentSpec::validate() const {
     }
   }
   effective.validate(entry.schema, "system '" + system + "'", extra);
+  {
+    const auto& fetches = FetchPolicyRegistry::instance();
+    if (!fetches.contains(experiment.fetch_policy)) {
+      throw UnknownNameError("unknown fetch policy '" +
+                                 experiment.fetch_policy +
+                                 "' (known: " + join(fetches.names()) + ")",
+                             fetches.names());
+    }
+    experiment.fetch_params.validate(
+        fetches.at(experiment.fetch_policy).schema,
+        "fetch policy '" + experiment.fetch_policy + "'");
+  }
   if (experiment.deployment.codec.k == 0 ||
       experiment.deployment.codec.m == 0) {
     throw std::invalid_argument("rs_k and rs_m must be >= 1");
@@ -300,7 +326,13 @@ void ExperimentSpec::validate() const {
 
 std::string ExperimentSpec::label() const {
   const auto [name, effective] = resolve_system(system, params);
-  return StrategyRegistry::instance().label(name, effective);
+  std::string out = StrategyRegistry::instance().label(name, effective);
+  // The fetch policy changes what is measured; surface it in every legend.
+  if (experiment.fetch_policy != "none") {
+    out += "+" + FetchPolicyRegistry::instance().label(
+                     experiment.fetch_policy, experiment.fetch_params);
+  }
+  return out;
 }
 
 std::string ExperimentSpec::to_json() const {
@@ -351,6 +383,15 @@ std::string ExperimentSpec::to_json() const {
   // stays unchanged, and shards never affect results anyway.
   if (e.shards != 1) {
     out << ",\n  \"shards\": " << e.shards;
+  }
+  // Same default-elision as shards: fetch=none specs serialize exactly as
+  // they did before the knob existed.
+  if (e.fetch_policy != "none") {
+    out << ",\n  \"fetch\": \"" << json_escape(e.fetch_policy) << "\"";
+    for (const auto& [k, v] : e.fetch_params.entries()) {
+      out << ",\n  \"fetch." << json_escape(k) << "\": \"" << json_escape(v)
+          << "\"";
+    }
   }
   if (!e.scenario.empty()) {
     out << ",\n  \"scenario\": " << e.scenario.to_json("  ");

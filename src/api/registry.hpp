@@ -1,7 +1,7 @@
 // String-keyed, self-registering factories — the open replacement for the
 // old closed `StrategySpec::Kind` enum.
 //
-// Four registries exist:
+// Five registries exist:
 //   * api::Registry<cache::CacheEngine>  — replacement/admission policies
 //     ("lru", "lfu", "tinylfu", "arc", ...), built against a byte capacity;
 //   * api::Registry<client::ReadStrategy> — whole client systems
@@ -12,7 +12,9 @@
 //     with the `planner=` spec key;
 //   * api::Registry<core::PopularityEstimator> — popularity tracking behind
 //     the request monitor ("exact-ewma", "count-min"), selected with the
-//     `monitor=` spec key.
+//     `monitor=` spec key;
+//   * api::Registry<client::FetchPolicy> — fault-tolerant fetch wrappers
+//     ("none", "retry", "hedge"), selected with the `fetch=` spec key.
 //
 // Each entry carries a factory, a one-line description, a self-describing
 // ParamSchema, and a label formatter, so `--list` output, bench legends and
@@ -33,6 +35,7 @@
 // in otherwise-unreferenced translation units are never stripped.)
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,12 +44,14 @@
 #include <vector>
 
 #include "api/param_map.hpp"
+#include "common/types.hpp"
 
 namespace agar::cache {
 class CacheEngine;
 }
 namespace agar::client {
 class ReadStrategy;
+class FetchPolicy;
 struct ClientContext;
 struct ExperimentConfig;
 class Deployment;
@@ -57,7 +62,8 @@ class PopularityEstimator;
 }  // namespace agar::core
 namespace agar::sim {
 class EventLoop;
-}
+class Network;
+}  // namespace agar::sim
 
 namespace agar::api {
 
@@ -101,6 +107,17 @@ struct EstimatorContext {
   double ewma_alpha = 0.8;
 };
 
+/// What a fetch-policy factory gets to work with: the region's network (the
+/// policy wraps its begin_fetch and reads its latency model for timeout
+/// sizing), the client region it serves, and a seed for the policy's own
+/// deterministic jitter stream (already mixed per lane by the caller, so
+/// shard packing cannot change the draws).
+struct FetchPolicyContext {
+  sim::Network* network = nullptr;
+  RegionId region = 0;
+  std::uint64_t seed = 0;
+};
+
 namespace detail {
 /// Maps a product type to the context its factories receive.
 template <typename Product>
@@ -120,6 +137,10 @@ struct ContextOf<core::Planner> {
 template <>
 struct ContextOf<core::PopularityEstimator> {
   using type = EstimatorContext;
+};
+template <>
+struct ContextOf<client::FetchPolicy> {
+  using type = FetchPolicyContext;
 };
 }  // namespace detail
 
@@ -212,6 +233,7 @@ using EngineRegistry = Registry<cache::CacheEngine>;
 using StrategyRegistry = Registry<client::ReadStrategy>;
 using PlannerRegistry = Registry<core::Planner>;
 using EstimatorRegistry = Registry<core::PopularityEstimator>;
+using FetchPolicyRegistry = Registry<client::FetchPolicy>;
 
 /// Static-init registration helpers:
 ///   namespace { const api::EngineRegistration kReg{{...}}; }
@@ -233,6 +255,11 @@ struct PlannerRegistration {
 struct EstimatorRegistration {
   explicit EstimatorRegistration(EstimatorRegistry::Entry entry) {
     EstimatorRegistry::instance().add(std::move(entry));
+  }
+};
+struct FetchPolicyRegistration {
+  explicit FetchPolicyRegistration(FetchPolicyRegistry::Entry entry) {
+    FetchPolicyRegistry::instance().add(std::move(entry));
   }
 };
 

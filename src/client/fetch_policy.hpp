@@ -1,0 +1,170 @@
+// Fault-tolerant fetch policies — the client-side answer to gray failures.
+//
+// A FetchPolicy sits between the strategies' coalescing table
+// (core::FetchCoordinator) and sim::Network. The baseline "none" policy is
+// a verbatim pass-through reproducing the historical fail-fast semantics
+// byte for byte. The fault-tolerant policies wrap every wire fetch in a
+// state machine:
+//
+//   * per-fetch timeout — a one-shot timer-wheel timer races the network
+//     completion; whichever fires first wins, the loser is ignored;
+//   * bounded retries with exponential backoff plus multiplicative jitter
+//     (deterministic: the jitter RNG is seeded per lane);
+//   * optional hedging — after hedge_after_mult x the expected latency, a
+//     duplicate request is issued and the first response wins, the loser's
+//     completion is dropped on the floor and counted as wasted work.
+//
+// Discovering a down region now costs a timeout: where the raw network
+// refuses synchronously (begin_fetch returns false), a fault-tolerant
+// policy accepts the fetch and delivers the failure only after the timeout
+// would have expired — real clients do not learn about dead peers for free.
+//
+// Placement note: chunks are round-robin placed with exactly one home
+// region per chunk (no replicas), so a hedge cannot go to a "next-best
+// region" for the same chunk — it re-asks the same region and draws an
+// independent latency sample, modeling a second server behind the
+// regional endpoint. With straggle fraction f, both copies straggle with
+// probability f², which is what cuts the tail. Cross-region diversity
+// comes from the strategies' degraded-read fallback path instead.
+//
+// Every policy tracks a per-destination-region success EWMA (1 = healthy)
+// plus counters (timeouts, retries, hedges issued/won/wasted, exhausted
+// fetches) that the runner merges into RunResult.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+#include "stats/ewma.hpp"
+
+namespace agar::client {
+
+struct FetchPolicyStats {
+  std::uint64_t attempts = 0;       ///< wire fetches issued (incl. retries/hedges)
+  std::uint64_t timeouts = 0;       ///< attempts abandoned by the timeout timer
+  std::uint64_t retries = 0;        ///< re-issues after a failed/timed-out attempt
+  std::uint64_t hedges_issued = 0;  ///< duplicate requests sent
+  std::uint64_t hedges_won = 0;     ///< hedge finished first
+  std::uint64_t hedges_wasted = 0;  ///< primary won with the hedge in flight
+  std::uint64_t exhausted = 0;      ///< fetches that gave up (caller hears nullopt)
+};
+
+class FetchPolicy {
+ public:
+  using FetchCallback = sim::Network::FetchCallback;
+
+  /// `ewma_alpha` weights the per-region success EWMA (policies that never
+  /// observe() can leave the default).
+  explicit FetchPolicy(sim::Network* network, double ewma_alpha = 0.2);
+  virtual ~FetchPolicy() = default;
+
+  /// Same contract as Network::begin_fetch: returns false only when the
+  /// caller should substitute a fallback immediately; otherwise `cb` fires
+  /// exactly once on the loop with the outcome.
+  virtual bool begin_fetch(RegionId from, RegionId to, std::size_t bytes,
+                           FetchCallback cb) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] const FetchPolicyStats& stats() const { return stats_; }
+
+  /// Success EWMA of fetches to `r` (1 = every fetch lands). Starts at 1.
+  [[nodiscard]] double region_success_ewma(RegionId r) const {
+    return success_.at(r).value();
+  }
+  [[nodiscard]] std::uint64_t region_samples(RegionId r) const {
+    return samples_.at(r);
+  }
+  [[nodiscard]] std::size_t num_regions() const { return success_.size(); }
+
+ protected:
+  /// Fold one fetch outcome into the per-region health tracking.
+  void observe(RegionId to, bool success);
+
+  sim::Network* network_;  // non-owning
+  FetchPolicyStats stats_;
+
+ private:
+  std::vector<stats::Ewma> success_;
+  std::vector<std::uint64_t> samples_;
+};
+
+/// Pass-through: the historical fail-fast semantics, bit for bit. No
+/// wrapping, no timers, no extra RNG draws, no health tracking.
+class PassThroughFetchPolicy final : public FetchPolicy {
+ public:
+  explicit PassThroughFetchPolicy(sim::Network* network)
+      : FetchPolicy(network) {}
+
+  bool begin_fetch(RegionId from, RegionId to, std::size_t bytes,
+                   FetchCallback cb) override {
+    return network_->begin_fetch(from, to, bytes, std::move(cb));
+  }
+
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+struct FaultTolerantParams {
+  /// Timeout = max(timeout_min_ms, timeout_mult x expected latency).
+  double timeout_mult = 3.0;
+  double timeout_min_ms = 10.0;
+  /// Re-issues after the first attempt (attempts = retries + 1).
+  std::size_t retries = 2;
+  /// Backoff before retry n is backoff_ms x backoff_mult^(n-1), scaled by
+  /// a uniform jitter factor in [1 - jitter, 1 + jitter).
+  double backoff_ms = 5.0;
+  double backoff_mult = 2.0;
+  double jitter = 0.5;
+  /// > 0 arms hedging: the duplicate goes out hedge_after_mult x the
+  /// expected latency after the primary (0 disables).
+  double hedge_after_mult = 0.0;
+  /// EWMA weight for the per-region success estimate.
+  double ewma_alpha = 0.2;
+};
+
+/// Timeout + retry + backoff (+ optional hedging) state machine. One
+/// instance serves one lane, so its jitter RNG stream is deterministic
+/// for any shard count.
+class FaultTolerantFetchPolicy final : public FetchPolicy {
+ public:
+  FaultTolerantFetchPolicy(sim::Network* network, std::uint64_t seed,
+                           FaultTolerantParams params);
+
+  bool begin_fetch(RegionId from, RegionId to, std::size_t bytes,
+                   FetchCallback cb) override;
+
+  [[nodiscard]] std::string name() const override {
+    return params_.hedge_after_mult > 0.0 ? "hedge" : "retry";
+  }
+
+  [[nodiscard]] const FaultTolerantParams& params() const { return params_; }
+
+ private:
+  struct Pending;
+
+  void start_attempt(const std::shared_ptr<Pending>& p);
+  void on_wire_result(const std::shared_ptr<Pending>& p, std::uint64_t epoch,
+                      bool is_hedge, std::optional<SimTimeMs> latency);
+  void on_timeout(const std::shared_ptr<Pending>& p, std::uint64_t epoch);
+  void on_hedge_fire(const std::shared_ptr<Pending>& p, std::uint64_t epoch);
+  /// The current attempt (primary + any hedge) is dead: retry or exhaust.
+  void attempt_failed(const std::shared_ptr<Pending>& p);
+  /// Invalidate the in-flight attempt: bump the epoch (stale completions
+  /// are dropped) and disarm the timers.
+  void abandon_attempt(const std::shared_ptr<Pending>& p);
+  void complete(const std::shared_ptr<Pending>& p,
+                std::optional<SimTimeMs> result);
+
+  [[nodiscard]] sim::EventLoop* loop() const;
+  [[nodiscard]] SimTimeMs timeout_ms(const Pending& p) const;
+
+  FaultTolerantParams params_;
+  Rng rng_;
+};
+
+}  // namespace agar::client

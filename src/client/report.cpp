@@ -116,6 +116,7 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"full_hits\": " << run.full_hits
           << ", \"partial_hits\": " << run.partial_hits
           << ", \"failed_reads\": " << run.failed_reads
+          << ", \"degraded_reads\": " << run.degraded_reads
           << ", \"scenario_events\": " << run.scenario_events_fired
           << ", \"wire_fetches\": " << run.wire_fetches
           << ", \"coalesced_fetches\": " << run.coalesced_fetches
@@ -123,6 +124,12 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"max_queue_depth\": " << run.max_queue_depth
           << ", \"max_net_in_flight\": " << run.max_net_in_flight
           << ", \"max_reads_in_flight\": " << run.max_reads_in_flight
+          // Failed wire fetches split by mode: outage aborts, FIFO kills,
+          // gray-drop timeouts.
+          << ", \"fetch_failures\": {\"aborted_on_wire\": "
+          << run.aborted_on_wire
+          << ", \"failed_in_queue\": " << run.failed_in_queue
+          << ", \"timed_out\": " << run.timed_out_fetches << "}"
           // Full cache counter set (admission/rejection/eviction telemetry)
           // plus the codec's decode-plan cache, so bench JSON captures the
           // whole instrumented data plane.
@@ -142,6 +149,22 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
           << ", \"planning_ms\": " << num(run.planning_ms)
           << ", \"chunks_installed\": " << run.config_chunks_installed
           << ", \"chunks_evicted\": " << run.config_chunks_evicted << "}";
+      // Fetch-policy telemetry: present only when a policy ran (the
+      // region_success_ewma vector is empty under fetch=none).
+      if (!run.region_success_ewma.empty()) {
+        out << ", \"fetch\": {\"attempts\": " << run.fetch_attempts
+            << ", \"timeouts\": " << run.fetch_timeouts
+            << ", \"retries\": " << run.fetch_retries
+            << ", \"hedges_issued\": " << run.hedges_issued
+            << ", \"hedges_won\": " << run.hedges_won
+            << ", \"hedges_wasted\": " << run.hedges_wasted
+            << ", \"exhausted\": " << run.fetch_exhausted
+            << ", \"region_success_ewma\": [";
+        for (std::size_t e = 0; e < run.region_success_ewma.size(); ++e) {
+          out << (e > 0 ? ", " : "") << num(run.region_success_ewma[e]);
+        }
+        out << "]}";
+      }
       // Windowed time series (scenario runs with window_ms set): the
       // per-window latency/hit/failure shape adaptation is judged by.
       if (!run.windows.empty()) {
@@ -158,7 +181,8 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
               << ", \"hit_ratio\": " << num(win.hit_ratio())
               << ", \"full_hits\": " << win.full_hits
               << ", \"partial_hits\": " << win.partial_hits
-              << ", \"failed_reads\": " << win.failed_reads << "}";
+              << ", \"failed_reads\": " << win.failed_reads
+              << ", \"degraded_reads\": " << win.degraded_reads << "}";
         }
         out << "\n    ]";
       }

@@ -76,7 +76,7 @@ RunResult run_once(const ExperimentConfig& config,
   const SimTimeMs window_ms = config.metric_window_ms;
 
   struct WindowCounters {
-    std::uint64_t ops = 0, full = 0, partial = 0, failed = 0;
+    std::uint64_t ops = 0, full = 0, partial = 0, failed = 0, degraded = 0;
   };
   // Client state is heap-held and owns its own issue/arrival closure: the
   // closures re-schedule themselves, so they must outlive the setup scope
@@ -155,6 +155,7 @@ RunResult run_once(const ExperimentConfig& config,
         if (r.full_hit) ++res.full_hits;
         if (r.partial_hit && !r.full_hit) ++res.partial_hits;
         if (r.verified) ++res.verified;
+        if (r.degraded) ++res.degraded_reads;
       }
       if (lane.window_latencies != nullptr) {
         const std::size_t w = lane.window_latencies->index_of(loop.now());
@@ -170,6 +171,7 @@ RunResult run_once(const ExperimentConfig& config,
           lane.window_latencies->add(loop.now(), r.latency_ms);
           if (r.full_hit) ++wc.full;
           if (r.partial_hit && !r.full_hit) ++wc.partial;
+          if (r.degraded) ++wc.degraded;
         }
       }
       ++lane.completed;
@@ -275,6 +277,7 @@ RunResult run_once(const ExperimentConfig& config,
           ws.full_hits += wc.full;
           ws.partial_hits += wc.partial;
           ws.failed_reads += wc.failed;
+          ws.degraded_reads += wc.degraded;
         }
         if (lane.window_latencies != nullptr &&
             w < lane.window_latencies->size()) {
@@ -297,6 +300,8 @@ RunResult run_once(const ExperimentConfig& config,
   // Merge lane results in lane order (float accumulation order is part of
   // the determinism contract), then the per-lane pipeline gauges: peaks
   // that were per-region stay maxima, per-lane concurrency peaks sum.
+  std::vector<double> ewma_sum, ewma_weight;  // per region, across lanes
+  bool any_policy = false;
   for (std::size_t ri = 0; ri < num_lanes; ++ri) {
     LaneState& lane = lanes[ri];
     const RunResult& p = lane.partial;
@@ -306,6 +311,7 @@ RunResult run_once(const ExperimentConfig& config,
     result.partial_hits += p.partial_hits;
     result.verified += p.verified;
     result.failed_reads += p.failed_reads;
+    result.degraded_reads += p.degraded_reads;
     result.duration_ms = std::max(result.duration_ms, p.duration_ms);
     result.max_reads_in_flight += p.max_reads_in_flight;
 
@@ -315,6 +321,9 @@ RunResult run_once(const ExperimentConfig& config,
     result.max_queue_depth =
         std::max(result.max_queue_depth, network.max_queue_depth());
     result.max_net_in_flight += network.max_in_flight();
+    result.aborted_on_wire += network.aborted_on_wire();
+    result.failed_in_queue += network.failed_in_queue();
+    result.timed_out_fetches += network.timed_out();
 
     result.coalesced_fetches += lane.strategy->fetch_coordinator().coalesced();
     const core::ControlPlaneStats cp = lane.strategy->control_plane_stats();
@@ -322,6 +331,37 @@ RunResult run_once(const ExperimentConfig& config,
     result.planning_ms += cp.planning_ms;
     result.config_chunks_installed += cp.chunks_installed;
     result.config_chunks_evicted += cp.chunks_evicted;
+
+    if (const FetchPolicy* policy = lane.strategy->fetch_policy()) {
+      any_policy = true;
+      const FetchPolicyStats& fs = policy->stats();
+      result.fetch_attempts += fs.attempts;
+      result.fetch_timeouts += fs.timeouts;
+      result.fetch_retries += fs.retries;
+      result.hedges_issued += fs.hedges_issued;
+      result.hedges_won += fs.hedges_won;
+      result.hedges_wasted += fs.hedges_wasted;
+      result.fetch_exhausted += fs.exhausted;
+      if (ewma_sum.size() < policy->num_regions()) {
+        ewma_sum.resize(policy->num_regions(), 0.0);
+        ewma_weight.resize(policy->num_regions(), 0.0);
+      }
+      // Sample-weighted merge, in lane order: a lane that fetched more from
+      // a region moves that region's merged health estimate more.
+      for (RegionId r = 0; r < policy->num_regions(); ++r) {
+        const auto w = static_cast<double>(policy->region_samples(r));
+        ewma_sum[r] += w * policy->region_success_ewma(r);
+        ewma_weight[r] += w;
+      }
+    }
+  }
+  if (any_policy) {
+    result.region_success_ewma.reserve(ewma_sum.size());
+    for (std::size_t r = 0; r < ewma_sum.size(); ++r) {
+      // No samples anywhere: report the EWMA's healthy prior.
+      result.region_success_ewma.push_back(
+          ewma_weight[r] > 0.0 ? ewma_sum[r] / ewma_weight[r] : 1.0);
+    }
   }
 
   // Final snapshots through the observability hooks every strategy

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/param_map.hpp"
 #include "cache/cache.hpp"
 #include "client/strategy.hpp"
 #include "client/workload.hpp"
@@ -118,6 +119,13 @@ struct ExperimentConfig {
   std::size_t max_outstanding_per_region = 64;
   /// Candidate option weights for Agar; the paper enumerates {1,3,5,7,9}.
   std::vector<std::size_t> agar_candidate_weights = {1, 3, 5, 7, 9};
+  /// Fault-tolerant fetch policy by registry name ("none", "retry",
+  /// "hedge"). "none" keeps the historical fail-fast wire path — no policy
+  /// object is created and results are byte-identical to before the knob
+  /// existed. Parameters arrive namespaced (`fetch.retries=3`) in
+  /// `fetch_params` with the prefix already stripped.
+  std::string fetch_policy = "none";
+  api::ParamMap fetch_params;
   /// Scripted mid-run events (popularity shifts, outages, rate changes,
   /// latency degradation). Empty means a stationary run, as before.
   scenario::Scenario scenario;
@@ -145,6 +153,7 @@ struct WindowStats {
   std::uint64_t full_hits = 0;
   std::uint64_t partial_hits = 0;
   std::uint64_t failed_reads = 0;
+  std::uint64_t degraded_reads = 0;  ///< succeeded off the fallback path
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -166,6 +175,10 @@ struct RunResult {
   /// Reads that completed with fewer than k chunks (outage exhausted every
   /// fallback). Not latency samples — the object was unreadable.
   std::uint64_t failed_reads = 0;
+  /// Reads that assembled k chunks but not the planned k (a fallback chunk
+  /// substituted for a failed arm). Successes, counted in the latency
+  /// stats, surfaced separately — graceful degradation at work.
+  std::uint64_t degraded_reads = 0;
   cache::CacheStats cache_stats;
   std::size_t cache_used_bytes = 0;
   /// Agar only: configured objects per option weight (Fig. 10 data).
@@ -184,6 +197,24 @@ struct RunResult {
   std::size_t max_net_in_flight = 0;  ///< peak concurrent wire transfers
   std::size_t max_reads_in_flight = 0;///< peak concurrent reads (open loop)
   std::uint64_t scenario_events_fired = 0;  ///< scripted events applied
+  /// Failed wire fetches by mode (all lanes): aborted on the wire by an
+  /// outage, failed while queued in a region FIFO, or timed out (gray
+  /// drop — the response was lost and discovery took drop_latency_mult×).
+  std::uint64_t aborted_on_wire = 0;
+  std::uint64_t failed_in_queue = 0;
+  std::uint64_t timed_out_fetches = 0;
+
+  // ------------------------- fetch-policy telemetry (zero when fetch=none)
+  std::uint64_t fetch_attempts = 0;  ///< wire attempts incl. retries/hedges
+  std::uint64_t fetch_timeouts = 0;
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t hedges_issued = 0;
+  std::uint64_t hedges_won = 0;
+  std::uint64_t hedges_wasted = 0;
+  std::uint64_t fetch_exhausted = 0;  ///< fetches that gave up after retries
+  /// Per-destination-region fetch success EWMA (1 = healthy), merged
+  /// across lanes weighted by sample count. Empty when no policy ran.
+  std::vector<double> region_success_ewma;
 
   // ------------------------- control-plane observability (all regions)
   std::uint64_t reconfigurations = 0;  ///< completed reconfigurations

@@ -12,6 +12,16 @@ ReadStrategy::ReadStrategy(ClientContext ctx) : ctx_(ctx), fetcher_(ctx.network)
   if (ctx_.backend == nullptr || ctx_.network == nullptr) {
     throw std::invalid_argument("ReadStrategy: null backend/network");
   }
+  if (ctx_.fetch_policy != nullptr) {
+    // Install the policy *under* the coalescing table: one in-flight entry
+    // per chunk regardless of how many retries/hedges the policy spends.
+    fetcher_.set_transport(
+        [policy = ctx_.fetch_policy.get()](
+            RegionId from, RegionId to, std::size_t bytes,
+            core::FetchCoordinator::Callback cb) {
+          return policy->begin_fetch(from, to, bytes, std::move(cb));
+        });
+  }
 }
 
 ReadResult ReadStrategy::read(const ObjectKey& key) {
@@ -73,6 +83,8 @@ struct ReadStrategy::BatchState {
   std::size_t next_on_path = 0;
   std::vector<std::pair<ChunkIndex, RegionId>> fallbacks;
   std::size_t next_fallback = 0;
+  std::size_t failed_arms = 0;  // arms whose fetch came back nullopt
+  std::size_t down_skips = 0;   // arms refused synchronously (region down)
   std::vector<ChunkIndex> fetched;
   ReadResult result;
   SimTimeMs start = 0.0;
@@ -121,13 +133,16 @@ void ReadStrategy::batch_issue(const std::shared_ptr<BatchState>& st) {
           if (latency.has_value()) {
             st->fetched.push_back(index);
           } else {
-            // Went down while queued: replace with the next fallback.
+            // Failed in flight (outage, queue abort, or the fetch policy
+            // exhausted its retries): replace with the next fallback.
+            ++st->failed_arms;
             --st->accepted;
             batch_issue(st);
           }
           batch_arm_done(st);
         });
     if (started == core::FetchStart::kDown) {
+      ++st->down_skips;
       return false;  // region down right now; caller falls back
     }
     if (started == core::FetchStart::kJoined) ++st->result.coalesced_chunks;
@@ -155,6 +170,10 @@ void ReadStrategy::batch_arm_done(const std::shared_ptr<BatchState>& st) {
   // chunks. Complete it as a counted failure — no decode happens, so no
   // decode time is charged and no decoder throws from a completion event.
   st->result.failed = st->fetched.size() < st->want;
+  // A read that assembled k chunks but not the planned k is a degraded
+  // read: it succeeded off its fallback path (and paid for it in latency).
+  st->result.degraded =
+      !st->result.failed && (st->failed_arms > 0 || st->down_skips > 0);
   loop->schedule_in(st->result.failed ? 0.0 : st->extra, [loop, st] {
     st->result.latency_ms = loop->now() - st->start;
     st->done(std::move(st->result), std::move(st->fetched));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cache/static_cache.hpp"
+#include "client/fetch_policy.hpp"
 #include "common/types.hpp"
 #include "core/fetch_coordinator.hpp"
 #include "core/planner.hpp"
@@ -40,6 +41,12 @@ struct ReadResult {
   /// latency_ms is the time until exhaustion. Runners count these as
   /// failed reads instead of latency samples.
   bool failed = false;
+  /// The read completed, but not on its planned path: at least one arm
+  /// failed (down region, abort, or an exhausted fetch policy) and a
+  /// fallback chunk was decoded instead. These count as successes with
+  /// their real (inflated) latency — the paper's motivation for caching
+  /// under failure — but are surfaced separately.
+  bool degraded = false;
 };
 
 /// Shared context every strategy needs.
@@ -61,6 +68,10 @@ struct ClientContext {
   /// When true, reads move real bytes and RS-decode them; tests use this.
   /// Benches leave it off: latency math is identical, wall-clock far lower.
   bool verify_data = false;
+  /// Fault-tolerant fetch wrapper (timeouts/retries/hedging). Null means
+  /// the historical fail-fast path: the coordinator talks to the raw
+  /// network directly. Shared because the runner also reads its stats.
+  std::shared_ptr<FetchPolicy> fetch_policy;
 };
 
 class ReadStrategy {
@@ -94,6 +105,12 @@ class ReadStrategy {
   /// concurrent reads/populations want it.
   [[nodiscard]] core::FetchCoordinator& fetch_coordinator() {
     return fetcher_;
+  }
+
+  /// The fault-tolerant fetch policy wrapping this strategy's wire fetches,
+  /// or null on the fail-fast path (runner telemetry).
+  [[nodiscard]] const FetchPolicy* fetch_policy() const {
+    return ctx_.fetch_policy.get();
   }
 
   // ------------------------------------------------ observability hooks

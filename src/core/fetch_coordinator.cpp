@@ -22,13 +22,16 @@ FetchStart FetchCoordinator::fetch(const ChunkId& chunk, RegionId from,
     ++coalesced_;
     return FetchStart::kJoined;
   }
-  const bool accepted = network_->begin_fetch(
-      from, to, bytes, [this, key](std::optional<SimTimeMs> latency) {
-        // Move the waiter list out before invoking: a callback may start a
-        // new fetch of the same chunk, which must open a fresh entry.
-        auto node = inflight_.extract(key);
-        for (auto& waiter : node.mapped()) waiter(latency);
-      });
+  Callback on_done = [this, key](std::optional<SimTimeMs> latency) {
+    // Move the waiter list out before invoking: a callback may start a
+    // new fetch of the same chunk, which must open a fresh entry.
+    auto node = inflight_.extract(key);
+    for (auto& waiter : node.mapped()) waiter(latency);
+  };
+  const bool accepted =
+      transport_
+          ? transport_(from, to, bytes, std::move(on_done))
+          : network_->begin_fetch(from, to, bytes, std::move(on_done));
   if (!accepted) return FetchStart::kDown;
   inflight_.emplace(key, std::vector<Callback>{std::move(cb)});
   ++started_;

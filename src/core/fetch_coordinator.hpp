@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,8 +35,21 @@ enum class FetchStart {
 class FetchCoordinator {
  public:
   using Callback = sim::Network::FetchCallback;
+  /// Pluggable wire layer with Network::begin_fetch's contract: return
+  /// false to refuse synchronously, otherwise fire the callback exactly
+  /// once on the loop. The client installs its fault-tolerant fetch policy
+  /// here, *under* the coalescing table — so retries and hedges of one
+  /// chunk still count as a single in-flight entry that others join.
+  using Transport =
+      std::function<bool(RegionId, RegionId, std::size_t, Callback)>;
 
   explicit FetchCoordinator(sim::Network* network);
+
+  /// Route wire fetches through `transport` instead of the raw network.
+  /// An empty transport restores the direct path.
+  void set_transport(Transport transport) {
+    transport_ = std::move(transport);
+  }
 
   /// Fetch chunk `chunk` of size `bytes` from backend region `to` on behalf
   /// of a client in `from`. If the chunk is already in flight the request
@@ -58,6 +72,7 @@ class FetchCoordinator {
 
  private:
   sim::Network* network_;  // non-owning
+  Transport transport_;    // empty = raw network
   std::unordered_map<std::string, std::vector<Callback>> inflight_;
   std::uint64_t started_ = 0;
   std::uint64_t coalesced_ = 0;

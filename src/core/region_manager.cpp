@@ -56,6 +56,15 @@ void RegionManager::start_probe(std::function<void()> done) {
               // Observed latency includes time queued behind other
               // fetches — congestion feeds back into the estimates.
               estimator_.record(r, loop->now() - issued_at);
+            } else if (!network_->is_down(r)) {
+              // A failed probe against an *up* region is a gray loss
+              // (dropped response): the wait until discovery is the cost
+              // a retrying client pays, so fold it in — drop-sick regions
+              // estimate slow and the planner routes around them. Aborts
+              // from an outage are skipped (the region is down when the
+              // abort fires), matching the sync path's stale-estimate
+              // behavior.
+              estimator_.record(r, loop->now() - issued_at);
             }
             if (--*remaining == 0 && *on_done) (*on_done)();
           });

@@ -30,11 +30,26 @@ ScenarioEngine::ScenarioEngine(Scenario scenario, sim::Network* network,
 
 void ScenarioEngine::schedule(sim::EventLoop& loop) {
   for (const ScenarioEvent& e : scenario_.sorted()) {
-    loop.schedule_at(e.at_ms, [this, e, &loop] { apply(e, loop.now()); });
+    loop.schedule_at(e.at_ms, [this, e, &loop] { apply(e, loop); });
   }
 }
 
-void ScenarioEngine::apply(const ScenarioEvent& e, SimTimeMs now) {
+void ScenarioEngine::flap_cycle(sim::EventLoop& loop, RegionId region,
+                                SimTimeMs period_ms, SimTimeMs down_ms,
+                                SimTimeMs until_ms) {
+  network_->fail_region(region);
+  loop.schedule_in(down_ms,
+                   [this, region] { network_->restore_region(region); });
+  const SimTimeMs next = loop.now() + period_ms;
+  if (until_ms > 0.0 && next >= until_ms) return;
+  loop.schedule_in(period_ms, [this, &loop, region, period_ms, down_ms,
+                               until_ms] {
+    flap_cycle(loop, region, period_ms, down_ms, until_ms);
+  });
+}
+
+void ScenarioEngine::apply(const ScenarioEvent& e, sim::EventLoop& loop) {
+  const SimTimeMs now = loop.now();
   ++fired_;
   if (e.event == "fail_region") {
     network_->fail_region(resolve_region(e.params.get_string("region", "")));
@@ -45,6 +60,19 @@ void ScenarioEngine::apply(const ScenarioEvent& e, SimTimeMs now) {
     network_->model().set_region_slowdown(
         resolve_region(e.params.get_string("region", "")),
         e.params.get_double("factor", 1.0));
+  } else if (e.event == "drop_region") {
+    network_->model().set_region_drop(
+        resolve_region(e.params.get_string("region", "")),
+        e.params.get_double("p", 0.0), e.params.get_double("mult", 3.0));
+  } else if (e.event == "straggle_region") {
+    network_->model().set_region_straggle(
+        resolve_region(e.params.get_string("region", "")),
+        e.params.get_double("frac", 0.0), e.params.get_double("mult", 10.0));
+  } else if (e.event == "flap_region") {
+    const SimTimeMs period = e.params.get_double("period_ms", 10'000.0);
+    flap_cycle(loop, resolve_region(e.params.get_string("region", "")),
+               period, e.params.get_double("down_ms", period / 2.0),
+               e.params.get_double("until_ms", 0.0));
   } else if (e.event == "arrival_factor") {
     step_factor_ = e.params.get_double("factor", 1.0);
   } else if (e.event == "arrival_sine") {

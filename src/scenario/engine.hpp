@@ -39,7 +39,14 @@ class ScenarioEngine {
   [[nodiscard]] std::size_t fired() const { return fired_; }
 
  private:
-  void apply(const ScenarioEvent& e, SimTimeMs now);
+  void apply(const ScenarioEvent& e, sim::EventLoop& loop);
+  /// One flap cycle: fail now, restore after `down_ms`, and re-arm the
+  /// next cycle `period_ms` from now unless it would start at/after
+  /// `until_ms` (a non-positive `until_ms` means flap forever). Cycle
+  /// continuations are internal events — `fired()` counts only the
+  /// scripted flap_region entry itself.
+  void flap_cycle(sim::EventLoop& loop, RegionId region, SimTimeMs period_ms,
+                  SimTimeMs down_ms, SimTimeMs until_ms);
 
   Scenario scenario_;
   sim::Network* network_;  // non-owning

@@ -59,6 +59,33 @@ const std::vector<EventKind>& event_kinds() {
                          {"factor", api::ParamType::kDouble, "1",
                           "multiplicative latency slowdown (1 clears)"}}},
        "latency degradation: scale fetches served by a region"},
+      {"drop_region",
+       api::ParamSchema{{region_param(),
+                         {"p", api::ParamType::kDouble, "0",
+                          "response-loss probability in [0, 1) (0 clears)"},
+                         {"mult", api::ParamType::kDouble, "3",
+                          "failure-discovery delay as a multiple of the "
+                          "sampled transfer latency"}}},
+       "gray failure: lose responses; the loss surfaces only after mult x "
+       "the transfer time"},
+      {"straggle_region",
+       api::ParamSchema{{region_param(),
+                         {"frac", api::ParamType::kDouble, "0",
+                          "fraction of fetches hitting the slow tail "
+                          "(0 clears)"},
+                         {"mult", api::ParamType::kDouble, "10",
+                          "latency multiplier for straggling fetches"}}},
+       "gray failure: a sampled fraction of a region's fetches straggles"},
+      {"flap_region",
+       api::ParamSchema{{region_param(),
+                         {"period_ms", api::ParamType::kDouble, "10000",
+                          "full up/down cycle length in ms"},
+                         {"down_ms", api::ParamType::kDouble, "",
+                          "down time per cycle (default: period_ms / 2)"},
+                         {"until_ms", api::ParamType::kDouble, "",
+                          "no new cycle starts at/after this time "
+                          "(default: flap forever)"}}},
+       "gray failure: the region fails and recovers periodically"},
       {"popularity_rotate",
        api::ParamSchema{{{"by", api::ParamType::kSize, "0",
                           "ranks to rotate the rank->object mapping by"}}},
@@ -193,6 +220,39 @@ void Scenario::validate() const {
     if (e.event == "slow_region" &&
         e.params.get_double("factor", 1.0) <= 0.0) {
       throw std::invalid_argument(context + ": factor must be > 0");
+    }
+    if (e.event == "drop_region") {
+      const double p = e.params.get_double("p", 0.0);
+      if (p < 0.0 || p >= 1.0) {
+        throw std::invalid_argument(context + ": p must be in [0, 1)");
+      }
+      if (e.params.get_double("mult", 3.0) <= 0.0) {
+        throw std::invalid_argument(context + ": mult must be > 0");
+      }
+    }
+    if (e.event == "straggle_region") {
+      const double frac = e.params.get_double("frac", 0.0);
+      if (frac < 0.0 || frac > 1.0) {
+        throw std::invalid_argument(context + ": frac must be in [0, 1]");
+      }
+      if (e.params.get_double("mult", 10.0) <= 0.0) {
+        throw std::invalid_argument(context + ": mult must be > 0");
+      }
+    }
+    if (e.event == "flap_region") {
+      const double period = e.params.get_double("period_ms", 10'000.0);
+      if (period <= 0.0) {
+        throw std::invalid_argument(context + ": period_ms must be > 0");
+      }
+      const double down = e.params.get_double("down_ms", period / 2.0);
+      if (down <= 0.0 || down >= period) {
+        throw std::invalid_argument(context +
+                                    ": down_ms must be in (0, period_ms)");
+      }
+      if (e.params.has("until_ms") &&
+          e.params.get_double("until_ms", 0.0) < 0.0) {
+        throw std::invalid_argument(context + ": until_ms must be >= 0");
+      }
     }
   }
 }

@@ -35,26 +35,37 @@ bool Network::begin_fetch(RegionId from, RegionId to, std::size_t bytes,
 void Network::start_wire(RegionId to, PendingFetch pending) {
   // Latency is sampled at wire time, not enqueue time: a fetch that waited
   // in the FIFO pays its queueing delay on top of a fresh transfer sample.
-  const SimTimeMs latency =
-      model_.backend_fetch_ms(pending.from, to, pending.bytes);
+  // Under gray drop injection the sample may be a loss: the slot is held
+  // (a lost response still occupies the server) and the observer hears
+  // nullopt only after the inflated discovery delay.
+  const FetchSample sample =
+      model_.sample_backend_fetch(pending.from, to, pending.bytes);
   RegionState& rs = region_states_[to];
   const std::uint64_t id = next_wire_id_++;
   rs.wire.emplace(id, std::move(pending.cb));
   ++total_outstanding_;
   ++wire_fetches_;
   max_in_flight_ = std::max(max_in_flight_, total_outstanding_);
-  loop_->schedule_in(latency, [this, to, id, latency] {
-    RegionState& rs = region_states_[to];
-    const auto it = rs.wire.find(id);
-    if (it == rs.wire.end()) return;  // aborted by fail_region mid-flight
-    FetchCallback cb = std::move(it->second);
-    rs.wire.erase(it);
-    --total_outstanding_;
-    // Hand the freed slot to the queue head before the completion callback
-    // runs, so a callback issuing a new fetch cannot jump the FIFO.
-    drain_queue(to);
-    cb(latency);
-  });
+  loop_->schedule_in(
+      sample.latency_ms,
+      [this, to, id, latency = sample.latency_ms, dropped = sample.dropped] {
+        RegionState& rs = region_states_[to];
+        const auto it = rs.wire.find(id);
+        if (it == rs.wire.end()) return;  // aborted by fail_region mid-flight
+        FetchCallback cb = std::move(it->second);
+        rs.wire.erase(it);
+        --total_outstanding_;
+        // Hand the freed slot to the queue head before the completion
+        // callback runs, so a callback issuing a new fetch cannot jump the
+        // FIFO.
+        drain_queue(to);
+        if (dropped) {
+          ++timed_out_;
+          cb(std::nullopt);
+        } else {
+          cb(latency);
+        }
+      });
 }
 
 void Network::drain_queue(RegionId to) {
@@ -70,10 +81,10 @@ void Network::drain_queue(RegionId to) {
   }
 }
 
-void Network::deliver_failure(FetchCallback cb) {
+void Network::deliver_failure(FetchCallback cb, std::uint64_t& counter) {
   // On the loop, so callers observe the failure asynchronously (like a
   // timeout), never re-entrantly from inside fail_region.
-  ++failed_fetches_;
+  ++counter;
   loop_->schedule_in(0.0,
                      [cb = std::move(cb)]() mutable { cb(std::nullopt); });
 }
@@ -88,16 +99,35 @@ void Network::fail_region(RegionId r) {
   // them. Queued entries fail immediately too, instead of stranding until
   // an unrelated completion would have drained them.
   total_outstanding_ -= rs.wire.size();
-  for (auto& [id, cb] : rs.wire) deliver_failure(std::move(cb));
+  for (auto& [id, cb] : rs.wire) deliver_failure(std::move(cb), aborted_on_wire_);
   rs.wire.clear();
-  for (auto& pending : rs.fifo) deliver_failure(std::move(pending.cb));
+  for (auto& pending : rs.fifo) {
+    deliver_failure(std::move(pending.cb), failed_in_queue_);
+  }
   rs.fifo.clear();
+}
+
+void Network::restore_region(RegionId r) {
+  if (down_.erase(r) == 0) return;  // already up: idempotent
+  const RegionState& rs = region_states_[r];
+  if (!rs.wire.empty() || !rs.fifo.empty()) {
+    // fail_region's contract is that a downed region holds no wire or
+    // queue state. Anything found here would strand forever — a restored
+    // region only hands out slots on completions, and aborted transfers
+    // have none coming — so a flapping region would leak a slot per cycle.
+    throw std::logic_error(
+        "Network: restore_region found stranded fetches for region " +
+        std::to_string(r));
+  }
 }
 
 std::optional<SimTimeMs> Network::backend_fetch(RegionId from, RegionId to,
                                                 std::size_t bytes) {
   if (is_down(to)) return std::nullopt;
-  return model_.backend_fetch_ms(from, to, bytes);
+  // A synchronous caller that loses its response (gray drop) measures the
+  // inflated discovery delay — probes against drop-sick regions come back
+  // slow, not absent, so latency estimators see the sickness.
+  return model_.sample_backend_fetch(from, to, bytes).latency_ms;
 }
 
 SimTimeMs Network::cache_fetch(std::size_t bytes) {

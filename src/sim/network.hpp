@@ -70,9 +70,13 @@ class Network {
   /// entries waiting in the region's FIFO fail immediately instead of
   /// stranding until an unrelated completion drains them.
   void fail_region(RegionId r);
-  /// Bring a region back. Fetches aborted by `fail_region` stay failed —
-  /// their completion events are already dead and cannot resurrect.
-  void restore_region(RegionId r) { down_.erase(r); }
+  /// Bring a region back. A proper inverse of `fail_region`: idempotent,
+  /// and it verifies the downed region held no stranded wire or FIFO state
+  /// (anything left would never drain — a restored region only hands out
+  /// slots on completions, and aborted transfers have none coming).
+  /// Fetches aborted by `fail_region` stay failed — their completion
+  /// events are already dead and cannot resurrect.
+  void restore_region(RegionId r);
   [[nodiscard]] bool is_down(RegionId r) const { return down_.contains(r); }
   [[nodiscard]] std::size_t down_count() const { return down_.size(); }
 
@@ -107,10 +111,20 @@ class Network {
   [[nodiscard]] std::size_t queue_depth(RegionId r) const {
     return region_states_[r].fifo.size();
   }
-  /// Fetches that completed with nullopt: aborted on the wire or failed in
-  /// the queue by `fail_region`.
+  /// Fetches that completed with nullopt, by failure mode: aborted on the
+  /// wire by `fail_region`, failed while waiting in a region FIFO, or
+  /// timed out on the wire (gray drop: the response was lost and the
+  /// requester heard nothing until drop_latency_mult× the transfer time).
+  [[nodiscard]] std::uint64_t aborted_on_wire() const {
+    return aborted_on_wire_;
+  }
+  [[nodiscard]] std::uint64_t failed_in_queue() const {
+    return failed_in_queue_;
+  }
+  [[nodiscard]] std::uint64_t timed_out() const { return timed_out_; }
+  /// All failure modes combined (legacy aggregate).
   [[nodiscard]] std::uint64_t failed_fetches() const {
-    return failed_fetches_;
+    return aborted_on_wire_ + failed_in_queue_ + timed_out_;
   }
 
  private:
@@ -130,8 +144,9 @@ class Network {
   void start_wire(RegionId to, PendingFetch pending);
   /// Hand freed slots to the FIFO head(s) after a completion.
   void drain_queue(RegionId to);
-  /// Deliver one failure asynchronously (like a timeout).
-  void deliver_failure(FetchCallback cb);
+  /// Deliver one failure asynchronously (like a timeout), charging it to
+  /// the given failure-mode counter.
+  void deliver_failure(FetchCallback cb, std::uint64_t& counter);
 
   LatencyModel model_;
   EventLoop* loop_ = nullptr;  // non-owning
@@ -144,7 +159,9 @@ class Network {
   std::uint64_t next_wire_id_ = 1;
   std::uint64_t wire_fetches_ = 0;
   std::uint64_t queued_fetches_ = 0;
-  std::uint64_t failed_fetches_ = 0;
+  std::uint64_t aborted_on_wire_ = 0;
+  std::uint64_t failed_in_queue_ = 0;
+  std::uint64_t timed_out_ = 0;
 };
 
 }  // namespace agar::sim

@@ -16,7 +16,12 @@ namespace {
 void TimerWheel::insert(const Entry& entry) {
   place(entry);
   ++size_;
-  if (min_valid_ && entry_less(entry, min_)) min_ = entry;
+  // Invalidate rather than overwrite: the new minimum may have landed in
+  // an upper level (ticks are integral, so an entry with an earlier
+  // fractional time can share the cached minimum's tick yet live
+  // upstairs), and pop_min may only ever pop what peek_min found in
+  // level 0.
+  if (min_valid_ && entry_less(entry, min_)) min_valid_ = false;
 }
 
 void TimerWheel::place(const Entry& entry) {
@@ -27,7 +32,9 @@ void TimerWheel::place(const Entry& entry) {
   if (delta < kSlots) {
     levels_[0][tick & (kSlots - 1)].push_back(entry);
     ++level_count_[0];
-  } else if (delta < (1ull << (2 * kSlotBits))) {
+    return;
+  }
+  if (delta < (1ull << (2 * kSlotBits))) {
     levels_[1][(tick >> kSlotBits) & (kSlots - 1)].push_back(entry);
     ++level_count_[1];
   } else if (delta < (1ull << (3 * kSlotBits))) {
@@ -36,58 +43,37 @@ void TimerWheel::place(const Entry& entry) {
   } else {
     overflow_.push_back(entry);
   }
+  upper_min_tick_ = std::min(upper_min_tick_, tick);
 }
 
 void TimerWheel::cascade() {
-  // Entries were bucketed by their delta at insert time, so after base has
-  // advanced the earliest armed tick can live in any upper level (or the
-  // overflow list). Find it, advance base to it, then pull everything that
-  // now fits the level-0 window down. Upper levels hold at most a few
-  // dozen armed timers, so the scan is cheap and runs only when level 0
-  // drains.
-  std::uint64_t min_tick = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t level = 1; level < kLevels; ++level) {
-    if (level_count_[level] == 0) continue;
-    for (const Slot& slot : levels_[level]) {
-      for (const Entry& entry : slot) {
-        min_tick = std::min(min_tick, tick_of(entry.when));
-      }
+  // Entries were bucketed by their delta at insert time; once base has
+  // advanced, the earliest armed tick can live anywhere. Rebucket the
+  // whole wheel against a base at that tick: level 0 must cover exactly
+  // [base, base + kSlots) — find_min_level0 relies on a live slot never
+  // mixing ticks, which only holds inside a single window. The wheel
+  // carries timers (periodic firings plus armed one-shots), not the bulk
+  // event load, so the O(size) sweep is cheap and runs only when level 0
+  // drains or an upper entry slips ahead of it.
+  Slot all;
+  all.reserve(size_);
+  for (auto& level : levels_) {
+    for (Slot& slot : level) {
+      for (Entry& entry : slot) all.push_back(entry);
+      slot.clear();
     }
   }
-  for (const Entry& entry : overflow_) {
+  for (Entry& entry : overflow_) all.push_back(entry);
+  overflow_.clear();
+  level_count_[0] = level_count_[1] = level_count_[2] = 0;
+
+  std::uint64_t min_tick = std::numeric_limits<std::uint64_t>::max();
+  for (const Entry& entry : all) {
     min_tick = std::min(min_tick, tick_of(entry.when));
   }
   base_tick_ = min_tick;
-
-  const std::uint64_t window_end = base_tick_ + kSlots;
-  for (std::size_t level = 1; level < kLevels; ++level) {
-    if (level_count_[level] == 0) continue;
-    for (Slot& slot : levels_[level]) {
-      for (std::size_t i = 0; i < slot.size();) {
-        if (tick_of(slot[i].when) < window_end) {
-          levels_[0][tick_of(slot[i].when) & (kSlots - 1)].push_back(
-              std::move(slot[i]));
-          ++level_count_[0];
-          --level_count_[level];
-          slot[i] = slot.back();
-          slot.pop_back();
-        } else {
-          ++i;
-        }
-      }
-    }
-  }
-  for (std::size_t i = 0; i < overflow_.size();) {
-    if (tick_of(overflow_[i].when) < window_end) {
-      levels_[0][tick_of(overflow_[i].when) & (kSlots - 1)].push_back(
-          std::move(overflow_[i]));
-      ++level_count_[0];
-      overflow_[i] = overflow_.back();
-      overflow_.pop_back();
-    } else {
-      ++i;
-    }
-  }
+  upper_min_tick_ = kNoTick;
+  for (const Entry& entry : all) place(entry);
 }
 
 bool TimerWheel::find_min_level0(Entry& out) {
@@ -110,7 +96,17 @@ const TimerWheel::Entry* TimerWheel::peek_min() {
   if (min_valid_) return &min_;
   if (level_count_[0] == 0) cascade();
   Entry best;
-  const bool found = find_min_level0(best);
+  bool found = find_min_level0(best);
+  // An upper-level entry can become the true minimum without level 0 ever
+  // draining: base advances with every pop, and a short-delta insert can
+  // then land in level 0 *after* (in tick order) a long-delta entry armed
+  // earlier. Pull it down before answering, or it would fire late. The
+  // comparison must be <=: ticks are integral, so an equal-tick upper
+  // entry may still order first on its fractional time (or lane/seq).
+  if (found && upper_min_tick_ <= tick_of(best.when)) {
+    cascade();
+    found = find_min_level0(best);
+  }
   (void)found;  // size_ > 0 and cascade() refills level 0, so always true
   min_ = best;
   min_valid_ = true;

@@ -71,8 +71,9 @@ class TimerWheel {
 
   /// Place an entry relative to the current base tick.
   void place(const Entry& entry);
-  /// Pull the earliest upper-level / overflow bucket down so level 0
-  /// covers the next armed tick. Precondition: size_ > 0, level 0 empty.
+  /// Rebucket every armed entry against a base at the earliest armed
+  /// tick, so level 0 covers exactly [base, base + kSlots). Precondition:
+  /// size_ > 0.
   void cascade();
   /// Earliest non-empty level-0 slot index, scanning from base_tick_.
   [[nodiscard]] bool find_min_level0(Entry& out);
@@ -80,6 +81,13 @@ class TimerWheel {
   std::vector<Slot> levels_[kLevels];
   Slot overflow_;
   std::uint64_t base_tick_ = 0;   ///< no armed entry fires before this tick
+  /// Earliest tick armed above level 0 (levels 1+, overflow). Lets
+  /// peek_min detect when base has advanced past an upper entry's
+  /// insert-time window and a cascade is due even though level 0 is
+  /// non-empty — without it such an entry would fire late (or never),
+  /// breaking the total order against the heap.
+  std::uint64_t upper_min_tick_ = kNoTick;
+  static constexpr std::uint64_t kNoTick = ~0ull;
   std::size_t size_ = 0;
   std::size_t level_count_[kLevels] = {0, 0, 0};
   bool min_valid_ = false;

@@ -244,5 +244,27 @@ TEST(ApiGoldenControlPlane, NonDefaultPlannerRunsAreRepeatable) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fetch-policy golden: `fetch=none` spelled out must not create a policy
+// object at all — the coordinator keeps the raw-network wire path and the
+// results match the say-nothing spec byte for byte.
+
+TEST(ApiGoldenFetchPolicy, ExplicitNoneMatchesDefaultByteForByte) {
+  const auto config = golden_config();
+  const auto implicit = api::run(spec_of("agar", config)).result;
+  auto spec = spec_of("agar", config);
+  spec.set("fetch", "none");
+  const auto explicit_run = api::run(spec).result;
+  ASSERT_EQ(implicit.runs.size(), explicit_run.runs.size());
+  for (std::size_t r = 0; r < implicit.runs.size(); ++r) {
+    expect_byte_identical(implicit.runs[r], explicit_run.runs[r],
+                          "fetch-none");
+    // No policy ran: the telemetry block stays absent, not zero-filled.
+    EXPECT_TRUE(explicit_run.runs[r].region_success_ewma.empty());
+    EXPECT_EQ(explicit_run.runs[r].fetch_attempts, 0u);
+  }
+  EXPECT_EQ(spec.label(), "Agar");
+}
+
 }  // namespace
 }  // namespace agar

@@ -107,5 +107,69 @@ TEST_F(LatencyModelTest, MeanJitterIsRoughlyNeutral) {
   EXPECT_NEAR(mean, base, base * 0.01);
 }
 
+// ------------------------------------------------------- gray failures
+
+TEST_F(LatencyModelTest, StragglerInflatesExpectedLatencyExactly) {
+  LatencyModel model(&topology_, {}, 5);
+  const double before = model.expected_backend_fetch_ms(0, 1, 1000);
+  model.set_region_straggle(1, /*frac=*/1.0, /*mult=*/10.0);
+  EXPECT_DOUBLE_EQ(model.expected_backend_fetch_ms(0, 1, 1000), before * 10.0);
+  // frac = 0.5 raises the mean by frac * (mult - 1).
+  model.set_region_straggle(1, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(model.expected_backend_fetch_ms(0, 1, 1000),
+                   before * (1.0 + 0.5 * 9.0));
+  model.set_region_straggle(1, 0.0, 10.0);  // clears
+  EXPECT_DOUBLE_EQ(model.expected_backend_fetch_ms(0, 1, 1000), before);
+  // Other regions are untouched throughout.
+  EXPECT_DOUBLE_EQ(model.expected_gray_factor(2), 1.0);
+}
+
+TEST_F(LatencyModelTest, DropInflatesExpectedLatency) {
+  LatencyModel model(&topology_, {}, 5);
+  const double before = model.expected_backend_fetch_ms(0, 4, 1000);
+  model.set_region_drop(4, /*p=*/0.3, /*latency_mult=*/3.0);
+  EXPECT_GT(model.expected_gray_factor(4), 1.0);
+  EXPECT_GT(model.expected_backend_fetch_ms(0, 4, 1000), before);
+  model.set_region_drop(4, 0.0, 3.0);  // clears
+  EXPECT_DOUBLE_EQ(model.expected_gray_factor(4), 1.0);
+  EXPECT_DOUBLE_EQ(model.expected_backend_fetch_ms(0, 4, 1000), before);
+}
+
+TEST_F(LatencyModelTest, StragglersShowUpInSamples) {
+  LatencyModelParams p;
+  p.jitter_fraction = 0.0;
+  LatencyModel model(&topology_, p, 5);
+  const double nominal = model.expected_backend_fetch_ms(0, 1, 0);
+  model.set_region_straggle(1, /*frac=*/1.0, /*mult=*/10.0);
+  // With frac = 1 every sample straggles: exactly mult x nominal.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.backend_fetch_ms(0, 1, 0), nominal * 10.0);
+  }
+}
+
+TEST_F(LatencyModelTest, CertainDropMarksEverySample) {
+  LatencyModel model(&topology_, {}, 5);
+  model.set_region_drop(1, /*p=*/0.9999, /*latency_mult=*/3.0);
+  const auto s = model.sample_backend_fetch(0, 1, 1000);
+  EXPECT_TRUE(s.dropped);
+  EXPECT_GT(s.latency_ms, 0.0);
+}
+
+// Gray RNG draws happen only while a knob is active: setting and clearing
+// knobs without sampling in between must not perturb the jitter stream,
+// so runs without gray events stay byte-identical.
+TEST_F(LatencyModelTest, GrayDrawsAreGatedOnActiveKnobs) {
+  LatencyModel plain(&topology_, {}, 77);
+  LatencyModel toggled(&topology_, {}, 77);
+  toggled.set_region_straggle(2, 0.5, 10.0);
+  toggled.set_region_drop(3, 0.2, 3.0);
+  toggled.set_region_straggle(2, 0.0, 10.0);
+  toggled.set_region_drop(3, 0.0, 3.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(plain.backend_fetch_ms(0, 2, 1000),
+                     toggled.backend_fetch_ms(0, 2, 1000));
+  }
+}
+
 }  // namespace
 }  // namespace agar::sim

@@ -159,6 +159,83 @@ TEST_F(NetworkOutageTest, FailRegionIsIdempotent) {
   EXPECT_EQ(network_.failed_fetches(), 1u);
 }
 
+// The failure aggregate splits by mode: outage aborts of transfers on the
+// wire, kills of FIFO-queued entries, and gray-drop timeouts each land in
+// their own counter; `failed_fetches()` stays their sum.
+TEST_F(NetworkOutageTest, FailureCountersSplitByMode) {
+  network_.set_max_outstanding_per_region(1);
+  const RegionId to = region::kDublin;
+  std::size_t failures = 0;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000,
+                                     [&](auto l) {
+                                       if (!l.has_value()) ++failures;
+                                     }));
+  }
+  loop_.run_until(1.0);
+  network_.fail_region(to);
+  loop_.run();
+
+  EXPECT_EQ(failures, 3u);
+  EXPECT_EQ(network_.aborted_on_wire(), 1u);  // the one on the wire
+  EXPECT_EQ(network_.failed_in_queue(), 2u);  // the two behind it
+  EXPECT_EQ(network_.timed_out(), 0u);
+  EXPECT_EQ(network_.failed_fetches(), 3u);
+
+  // A gray drop charges the third mode: the response is lost and the
+  // requester hears nullopt only after the inflated discovery delay.
+  network_.restore_region(to);
+  network_.model().set_region_drop(to, /*p=*/0.9999, /*latency_mult=*/3.0);
+  std::optional<SimTimeMs> out = SimTimeMs{-1.0};
+  SimTimeMs at = -1.0;
+  ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000, [&](auto l) {
+    out = l;
+    at = loop_.now();
+  }));
+  loop_.run();
+  EXPECT_FALSE(out.has_value());
+  EXPECT_GT(at, 1.0);
+  EXPECT_EQ(network_.timed_out(), 1u);
+  EXPECT_EQ(network_.failed_fetches(), 4u);
+}
+
+// Flap regression: fail -> restore cycles must leave no stranded wire or
+// FIFO state behind — a restored region only hands out slots on
+// completions, so anything stranded would wedge the region forever.
+TEST_F(NetworkOutageTest, FlapCyclesLeaveNoStrandedState) {
+  network_.set_max_outstanding_per_region(1);
+  const RegionId to = region::kTokyo;
+  std::size_t failures = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 2; ++i) {  // one on the wire, one queued
+      ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000,
+                                       [&](auto l) {
+                                         if (!l.has_value()) ++failures;
+                                       }));
+    }
+    loop_.run_until(loop_.now() + 1.0);
+    network_.fail_region(to);
+    network_.restore_region(to);
+    EXPECT_FALSE(network_.is_down(to));
+    EXPECT_EQ(network_.outstanding(to), 0u);
+    EXPECT_EQ(network_.queue_depth(to), 0u);
+  }
+  network_.restore_region(to);  // restoring an up region is a no-op
+  loop_.run();
+
+  EXPECT_EQ(failures, 6u);
+  EXPECT_EQ(network_.aborted_on_wire(), 3u);
+  EXPECT_EQ(network_.failed_in_queue(), 3u);
+  EXPECT_EQ(network_.in_flight(), 0u);
+
+  // After all that flapping the region still serves cleanly.
+  bool ok = false;
+  ASSERT_TRUE(network_.begin_fetch(region::kFrankfurt, to, 1000,
+                                   [&](auto l) { ok = l.has_value(); }));
+  loop_.run();
+  EXPECT_TRUE(ok);
+}
+
 TEST(NetworkBatch, EmptyBatchIsZero) {
   EXPECT_EQ(Network::parallel_batch_ms({}), 0.0);
 }

@@ -92,6 +92,37 @@ TEST(ShardedDeterminismEdge, UnevenAndOversizedShardCounts) {
   }
 }
 
+// Gray-failure chaos plus hedging must stay shard-invariant: drop and
+// straggle draws come from per-lane latency-model streams, the flap cycle
+// re-arms itself through the loop, and the fetch policy's backoff jitter
+// is seeded per (run, region) — none of it may depend on shard packing.
+api::ExperimentSpec gray_spec(std::size_t shards) {
+  auto spec = sharded_spec("agar", shards);
+  spec.set("scenario",
+           "500 straggle_region region=tokyo frac=0.3 mult=12; "
+           "800 drop_region region=dublin p=0.2; "
+           "1500 flap_region region=sydney period_ms=3000 down_ms=1000 "
+           "until_ms=9000; "
+           "7000 straggle_region region=tokyo frac=0; "
+           "7000 drop_region region=dublin p=0");
+  spec.set("fetch", "hedge");
+  spec.set("fetch.retries", "1");
+  spec.set("fetch.hedge_after_mult", "1.5");
+  return spec;
+}
+
+TEST(ShardedDeterminismEdge, GrayFailureChaosWithHedgingIsShardInvariant) {
+  const auto serial = api::run(gray_spec(1)).result;
+  const auto sharded = api::run(gray_spec(4)).result;
+  EXPECT_EQ(normalize(client::results_json({serial})),
+            normalize(client::results_json({sharded})));
+
+  ASSERT_FALSE(serial.runs.empty());
+  EXPECT_GT(serial.runs[0].scenario_events_fired, 0u);
+  EXPECT_GT(serial.runs[0].fetch_attempts, 0u);
+  EXPECT_FALSE(serial.runs[0].region_success_ewma.empty());
+}
+
 // The spec surface round-trips the key and rejects nonsense.
 TEST(ShardedDeterminismEdge, SpecSurface) {
   api::ExperimentSpec spec;

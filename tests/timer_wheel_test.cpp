@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <random>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "sim/event_loop.hpp"
@@ -86,6 +87,76 @@ TEST(TimerWheel, InterleavedInsertAndPopMatchesSortedOrder) {
   std::vector<std::uint64_t> expected;
   for (const auto& [when, s] : reference) expected.push_back(s);
   EXPECT_EQ(popped, expected);
+}
+
+// Regression: a long-delta entry is bucketed upstairs relative to the base
+// at insert time. Once pops advance the base, a *later* short-delta insert
+// lands in level 0 — and the wheel must still answer with the upstairs
+// entry, not the level-0 one. (This once made a periodic probe timer fire
+// late or never while the level-0 window stayed busy, breaking shard-count
+// invariance.)
+TEST(TimerWheel, UpperLevelEntryOvertakenByLaterInsertStillPopsFirst) {
+  TimerWheel wheel;
+  wheel.insert({300.0, 0, 0, 1});  // level 1 relative to base 0
+  wheel.insert({50.0, 0, 1, 2});   // level 0
+  EXPECT_EQ(wheel.pop_min().timer, 2u);  // base advances to tick 50
+  wheel.insert({305.0, 0, 2, 3});  // delta 255: level 0, tick past 300
+  EXPECT_EQ(wheel.pop_min().timer, 1u);  // the upstairs 300 still wins
+  EXPECT_EQ(wheel.pop_min().timer, 3u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Same shape with equal integral ticks: the upstairs entry's fractional
+// time orders first, so the equal-tick case must cascade too.
+TEST(TimerWheel, EqualTickUpperEntryWithEarlierFractionPopsFirst) {
+  TimerWheel wheel;
+  wheel.insert({300.2, 0, 0, 1});
+  wheel.insert({50.0, 0, 1, 2});
+  EXPECT_EQ(wheel.pop_min().timer, 2u);
+  wheel.insert({300.7, 0, 2, 3});  // same tick 300, later fraction, level 0
+  EXPECT_EQ(wheel.pop_min().timer, 1u);
+  EXPECT_EQ(wheel.pop_min().timer, 3u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, RandomizedMixedDeltasMatchReferenceOrder) {
+  // Differential check against a sorted reference, with peeks between
+  // operations and deltas spanning every level — the pattern that exposed
+  // the overtaken-upper-entry bug (pure pop loops never did).
+  std::mt19937_64 rng(12345);
+  TimerWheel wheel;
+  std::vector<std::tuple<SimTimeMs, std::uint32_t, std::uint64_t>> reference;
+  SimTimeMs now = 0.0;
+  std::uint64_t seq = 0;
+  auto insert_one = [&] {
+    SimTimeMs delta = 0.0;
+    switch (rng() % 4) {
+      case 0: delta = static_cast<SimTimeMs>(rng() % 1000) / 10.0; break;
+      case 1: delta = 200.0 + static_cast<SimTimeMs>(rng() % 300); break;
+      case 2: delta = 1000.0 + static_cast<SimTimeMs>(rng() % 60000); break;
+      default: delta = 1e5 + static_cast<SimTimeMs>(rng() % 20000000); break;
+    }
+    const auto lane = static_cast<std::uint32_t>(rng() % 4);
+    wheel.insert({now + delta, lane, seq, seq});
+    reference.emplace_back(now + delta, lane, seq);
+    ++seq;
+  };
+  for (int step = 0; step < 4000; ++step) {
+    if (rng() % 100 < 55 || reference.empty()) {
+      insert_one();
+    } else {
+      std::sort(reference.begin(), reference.end());
+      const auto [when, lane, s] = reference.front();
+      const TimerWheel::Entry* min = wheel.peek_min();
+      ASSERT_NE(min, nullptr);
+      EXPECT_EQ(min->when, when) << "step " << step;
+      EXPECT_EQ(min->lane, lane) << "step " << step;
+      EXPECT_EQ(min->seq, s) << "step " << step;
+      reference.erase(reference.begin());
+      now = wheel.pop_min().when;
+    }
+    ASSERT_EQ(wheel.size(), reference.size()) << "step " << step;
+  }
 }
 
 // ---- Event-loop integration: the edge cases the issue calls out.
