@@ -1,0 +1,114 @@
+// Extension: the cooperative cache tier under Zipf skew — collab=none vs
+// collab=broadcast.
+//
+// The paper's Agar caches are islands: a chunk missing locally is fetched
+// from its home region no matter how close a neighbour's cache sits. With
+// a skewed workload, nearby regions end up caching largely the SAME hot
+// chunks — exactly the chunks a peer could serve at a fraction of the
+// home-region latency. This bench puts three European/US-east clients
+// (mutually within the peer threshold) against the six-region backend and
+// measures what peer-fetch buys: redirected wire fetches land at the
+// 80-100 ms neighbour instead of the 150-300 ms chunk home, which shows
+// up directly in mean read latency.
+//
+//   $ ./bench_ext_collab [--quick] [--json]
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "client/report.hpp"
+
+using namespace agar;
+
+namespace {
+
+std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_ratio(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    if (arg == "--quick") quick = true;
+  }
+
+  // Frankfurt/Dublin/Virginia sit within the 400 ms peer threshold of each
+  // other; the Zipf-skewed hot set makes their configurations overlap, so
+  // the peer directory is full of redirect opportunities. Closed loop so
+  // the latency win is not masked by queueing.
+  const auto base = api::ExperimentSpec::from_pairs({
+      "system=agar",
+      "regions=frankfurt,dublin,virginia",
+      "cache_bytes=96KB",
+      "workload=zipf:1.2",
+      "objects=40",
+      "object_bytes=9000",
+      quick ? "ops=1200" : "ops=4000",
+      "runs=2",
+      "clients=2",
+      "period_s=8",
+      "seed=29",
+  });
+  const std::vector<api::ExperimentSpec> specs = {
+      base,  // collab=none: the historical island caches
+      base.with({"collab=broadcast", "collab.period_s=2"}),
+  };
+
+  const auto reports = api::run_all(specs);
+  if (json) {
+    std::cout << client::results_json(api::results_of(reports));
+    return 0;
+  }
+
+  client::print_experiment_banner(
+      "Extension", "cooperative cache tier under Zipf skew (none/broadcast)",
+      "RS(9,3), Frankfurt+Dublin+Virginia clients, closed loop, zipf 1.2; "
+      "peers broadcast their configurations every 2 s");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : reports) {
+    std::uint64_t peer_hits = 0, appends = 0, stale = 0;
+    double overlap = 0.0;
+    for (const auto& run : r.result.runs) {
+      peer_hits += run.collab_peer_hits;
+      appends += run.paxos_appends;
+      stale += run.stale_config_reads;
+      overlap = run.config_overlap;  // same log, last run's view
+    }
+    rows.push_back({
+        r.label(),
+        client::fmt_ms(r.result.mean_latency_ms()),
+        client::fmt_ms(r.result.percentile_ms(50)),
+        client::fmt_ms(r.result.percentile_ms(99)),
+        fmt_count(peer_hits),
+        fmt_count(appends),
+        fmt_count(stale),
+        fmt_ratio(overlap),
+    });
+  }
+  std::cout << "latency by collab tier (ms):\n"
+            << client::format_table({"tier", "mean", "p50", "p99",
+                                     "peer hits", "appends", "stale",
+                                     "overlap"},
+                                    rows);
+
+  std::cout << "\ntakeaway: with a skewed hot set, nearby regions cache "
+               "the same chunks, and peer-fetch converts far home-region "
+               "fetches into short neighbour hops — the mean drops while "
+               "the p99 (cold-tail reads that no peer holds) stays put. "
+               "The Paxos config log prices agreement honestly: appends "
+               "cost two quorum round trips and slow application windows "
+               "surface as stale-config reads, not silent divergence.\n";
+  return 0;
+}

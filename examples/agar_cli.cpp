@@ -116,6 +116,14 @@ void list_everything() {
     std::cout << "  " << name << " -- " << entry.description << "\n";
     print_schema(entry.schema, "      ", "fetch.");
   }
+  std::cout << "\ncollab tiers (cooperative caching, collab=<name>; "
+               "sub-params as collab.<param>=<value>):\n";
+  const auto& collabs = api::CollabRegistry::instance();
+  for (const auto& name : collabs.names()) {
+    const auto& entry = collabs.at(name);
+    std::cout << "  " << name << " -- " << entry.description << "\n";
+    print_schema(entry.schema, "      ", "collab.");
+  }
   std::cout << "\nexperiment keys (--set key=value or JSON spec members):\n";
   print_schema(api::ExperimentSpec::experiment_keys(), "  ");
   std::cout << "\nscenario events (--scenario file or scenario= script):\n";

@@ -7,17 +7,23 @@
 # appends an entry {label, date, results: [...]} to BENCH_core.json at the
 # repo root, keeping the file one JSON array with one entry per recording
 # (typically one per PR). Extra args (e.g. --quick) pass through.
+#
+# Environment overrides:
+#   BENCH_BIN    bench binary name (default: bench_micro_eventloop) — any
+#                bench emitting a JSON array under --json works, e.g.
+#                BENCH_BIN=bench_ext_collab
+#   BENCH_LABEL  entry label (default: short git hash)
 set -e
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 BUILD_DIR=${1:-"$ROOT/build"}
 [ $# -gt 0 ] && shift
 OUT="$ROOT/BENCH_core.json"
-BENCH="$BUILD_DIR/bench_micro_eventloop"
+BENCH="$BUILD_DIR/${BENCH_BIN:-bench_micro_eventloop}"
 
 if [ ! -x "$BENCH" ]; then
   echo "record_bench.sh: $BENCH not found or not executable" >&2
-  echo "  (build it first: cmake --build $BUILD_DIR --target bench_micro_eventloop)" >&2
+  echo "  (build it first: cmake --build $BUILD_DIR --target ${BENCH_BIN:-bench_micro_eventloop})" >&2
   exit 1
 fi
 

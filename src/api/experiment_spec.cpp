@@ -97,6 +97,9 @@ const ParamSchema& ExperimentSpec::experiment_keys() {
       {"fetch", ParamType::kString, "none",
        "fault-tolerant fetch policy (none, retry, hedge); parameters "
        "arrive namespaced as fetch.<param>"},
+      {"collab", ParamType::kString, "none",
+       "cooperative cache tier (none, broadcast); parameters arrive "
+       "namespaced as collab.<param>"},
       {"scenario", ParamType::kString, "",
        "mid-run event script: \"at_ms event k=v ...; ...\" (JSON specs "
        "may use an array of {at_ms, event, ...} objects)"},
@@ -180,6 +183,17 @@ void ExperimentSpec::set(const std::string& key, const std::string& value) {
       experiment.fetch_params.erase(sub);
     } else {
       experiment.fetch_params.set(sub, value);
+    }
+  } else if (key == "collab") {
+    experiment.collab = value.empty() ? "none" : value;
+  } else if (key.rfind("collab.", 0) == 0) {
+    // Namespaced collab parameter ("collab.period_s=5"), prefix stripped;
+    // schema-checked against the tier's registry entry in validate().
+    const std::string sub = key.substr(7);
+    if (value.empty()) {
+      experiment.collab_params.erase(sub);
+    } else {
+      experiment.collab_params.set(sub, value);
     }
   } else if (value.empty()) {
     // "key=" clears a strategy param — lets a sweep/base spec drop a
@@ -311,6 +325,26 @@ void ExperimentSpec::validate() const {
         fetches.at(experiment.fetch_policy).schema,
         "fetch policy '" + experiment.fetch_policy + "'");
   }
+  {
+    const auto& collabs = CollabRegistry::instance();
+    if (!collabs.contains(experiment.collab)) {
+      throw UnknownNameError("unknown collab tier '" + experiment.collab +
+                                 "' (known: " + join(collabs.names()) + ")",
+                             collabs.names());
+    }
+    experiment.collab_params.validate(
+        collabs.at(experiment.collab).schema,
+        "collab tier '" + experiment.collab + "'");
+    // planner.scope=global draws on the peers' broadcast snapshots; without
+    // the cooperative tier there is nothing to merge — reject instead of
+    // silently planning on local data.
+    if (experiment.collab == "none" &&
+        effective.get_string("planner.scope", "region") == "global") {
+      throw std::invalid_argument(
+          "planner.scope=global requires collab=broadcast (a region-local "
+          "planner has no peer snapshots to merge)");
+    }
+  }
   if (experiment.deployment.codec.k == 0 ||
       experiment.deployment.codec.m == 0) {
     throw std::invalid_argument("rs_k and rs_m must be >= 1");
@@ -331,6 +365,11 @@ std::string ExperimentSpec::label() const {
   if (experiment.fetch_policy != "none") {
     out += "+" + FetchPolicyRegistry::instance().label(
                      experiment.fetch_policy, experiment.fetch_params);
+  }
+  // Same rule for the cooperative tier.
+  if (experiment.collab != "none") {
+    out += "+" + CollabRegistry::instance().label(experiment.collab,
+                                                  experiment.collab_params);
   }
   return out;
 }
@@ -390,6 +429,13 @@ std::string ExperimentSpec::to_json() const {
     out << ",\n  \"fetch\": \"" << json_escape(e.fetch_policy) << "\"";
     for (const auto& [k, v] : e.fetch_params.entries()) {
       out << ",\n  \"fetch." << json_escape(k) << "\": \"" << json_escape(v)
+          << "\"";
+    }
+  }
+  if (e.collab != "none") {
+    out << ",\n  \"collab\": \"" << json_escape(e.collab) << "\"";
+    for (const auto& [k, v] : e.collab_params.entries()) {
+      out << ",\n  \"collab." << json_escape(k) << "\": \"" << json_escape(v)
           << "\"";
     }
   }

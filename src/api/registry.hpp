@@ -1,7 +1,7 @@
 // String-keyed, self-registering factories — the open replacement for the
 // old closed `StrategySpec::Kind` enum.
 //
-// Five registries exist:
+// Six registries exist:
 //   * api::Registry<cache::CacheEngine>  — replacement/admission policies
 //     ("lru", "lfu", "tinylfu", "arc", ...), built against a byte capacity;
 //   * api::Registry<client::ReadStrategy> — whole client systems
@@ -14,7 +14,9 @@
 //     the request monitor ("exact-ewma", "count-min"), selected with the
 //     `monitor=` spec key;
 //   * api::Registry<client::FetchPolicy> — fault-tolerant fetch wrappers
-//     ("none", "retry", "hedge"), selected with the `fetch=` spec key.
+//     ("none", "retry", "hedge"), selected with the `fetch=` spec key;
+//   * api::Registry<collab::CollabSettings> — cooperative cache tier modes
+//     ("none", "broadcast"), selected with the `collab=` spec key.
 //
 // Each entry carries a factory, a one-line description, a self-describing
 // ParamSchema, and a label formatter, so `--list` output, bench legends and
@@ -56,6 +58,9 @@ struct ClientContext;
 struct ExperimentConfig;
 class Deployment;
 }  // namespace agar::client
+namespace agar::collab {
+struct CollabSettings;
+}
 namespace agar::core {
 class Planner;
 class PopularityEstimator;
@@ -118,6 +123,12 @@ struct FetchPolicyContext {
   std::uint64_t seed = 0;
 };
 
+/// What a collab factory gets to work with. The product is a parsed
+/// settings struct, not a live object — the runner builds the per-run
+/// collab::CollabRuntime itself (it needs the engine and lane wiring that
+/// only exist mid-run) — so the context is empty today.
+struct CollabContext {};
+
 namespace detail {
 /// Maps a product type to the context its factories receive.
 template <typename Product>
@@ -141,6 +152,10 @@ struct ContextOf<core::PopularityEstimator> {
 template <>
 struct ContextOf<client::FetchPolicy> {
   using type = FetchPolicyContext;
+};
+template <>
+struct ContextOf<collab::CollabSettings> {
+  using type = CollabContext;
 };
 }  // namespace detail
 
@@ -234,6 +249,7 @@ using StrategyRegistry = Registry<client::ReadStrategy>;
 using PlannerRegistry = Registry<core::Planner>;
 using EstimatorRegistry = Registry<core::PopularityEstimator>;
 using FetchPolicyRegistry = Registry<client::FetchPolicy>;
+using CollabRegistry = Registry<collab::CollabSettings>;
 
 /// Static-init registration helpers:
 ///   namespace { const api::EngineRegistration kReg{{...}}; }
@@ -260,6 +276,11 @@ struct EstimatorRegistration {
 struct FetchPolicyRegistration {
   explicit FetchPolicyRegistration(FetchPolicyRegistry::Entry entry) {
     FetchPolicyRegistry::instance().add(std::move(entry));
+  }
+};
+struct CollabRegistration {
+  explicit CollabRegistration(CollabRegistry::Entry entry) {
+    CollabRegistry::instance().add(std::move(entry));
   }
 };
 

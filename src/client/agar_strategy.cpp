@@ -83,9 +83,28 @@ void AgarStrategy::attach_to_loop(sim::EventLoop& loop) {
   ReadStrategy::attach_to_loop(loop);
   // Event-driven reconfiguration pipeline (shared with the node): a probe
   // round fires, and only once its fetches have landed is the
-  // configuration recomputed and the population downloads started.
-  reconfig_timer_ =
-      node_->attach_to_loop(loop, [this] { populate_configuration(); });
+  // configuration recomputed and the population downloads started. The
+  // reconfigure observer (collab config log) runs after the population
+  // kicks off, with the installed configuration current.
+  reconfig_timer_ = node_->attach_to_loop(loop, [this] {
+    populate_configuration();
+    if (on_reconfigure_) on_reconfigure_();
+  });
+}
+
+core::PeerInfo AgarStrategy::collab_info() {
+  return core::broadcast_info(*node_);
+}
+
+void AgarStrategy::set_collab_hooks(const core::CollabPlannerHooks& hooks) {
+  // planner.scope=global turns the per-region planner into one global
+  // optimization: merged popularity snapshots and peer-aware chunk costs.
+  // scope=region (the default) keeps planning local — the tier then only
+  // contributes peer-fetch on the data path.
+  if (node_->params().cache_manager.planner_params.get_string(
+          "scope", "region") == "global") {
+    node_->cache_manager().set_collab_hooks(hooks);
+  }
 }
 
 void AgarStrategy::start_read(const ObjectKey& key, ReadCallback done) {

@@ -47,6 +47,14 @@ class AgarStrategy final : public ReadStrategy {
     return node_->cache_manager().control_plane_stats();
   }
 
+  /// Broadcastable cache state for the cooperative tier (configured chunk
+  /// keys + popularity snapshot — the paper's §VI broadcast).
+  [[nodiscard]] core::PeerInfo collab_info() override;
+
+  /// Forward the cooperative-planning hooks to the cache manager when the
+  /// planner runs at global scope (planner.scope=global); no-op otherwise.
+  void set_collab_hooks(const core::CollabPlannerHooks& hooks) override;
+
   /// Cancel handle of the periodic reconfiguration (0 until attached);
   /// pass to EventLoop::cancel to stop the control plane mid-run.
   [[nodiscard]] sim::EventLoop::TimerId reconfig_timer() const {

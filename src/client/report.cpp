@@ -165,6 +165,21 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
         }
         out << "]}";
       }
+      // Cooperative-tier telemetry: present only when a CollabRuntime ran
+      // (collab=none stays byte-identical to the pre-collab format).
+      if (run.collab_active) {
+        out << ", \"collab\": {\"peer_hits\": " << run.collab_peer_hits
+            << ", \"peer_misses\": " << run.collab_peer_misses
+            << ", \"bytes_from_peers\": " << run.collab_bytes_from_peers
+            << ", \"bytes_from_backend\": " << run.collab_bytes_from_backend
+            << ", \"stale_config_reads\": " << run.stale_config_reads
+            << ", \"paxos_appends\": " << run.paxos_appends
+            << ", \"paxos_append_failures\": " << run.paxos_append_failures
+            << ", \"paxos_append_p50_ms\": " << num(run.paxos_append_p50_ms)
+            << ", \"paxos_append_p99_ms\": " << num(run.paxos_append_p99_ms)
+            << ", \"config_epochs\": " << run.config_epochs
+            << ", \"config_overlap\": " << num(run.config_overlap) << "}";
+      }
       // Windowed time series (scenario runs with window_ms set): the
       // per-window latency/hit/failure shape adaptation is judged by.
       if (!run.windows.empty()) {
@@ -182,7 +197,12 @@ std::string results_json(const std::vector<ExperimentResult>& results) {
               << ", \"full_hits\": " << win.full_hits
               << ", \"partial_hits\": " << win.partial_hits
               << ", \"failed_reads\": " << win.failed_reads
-              << ", \"degraded_reads\": " << win.degraded_reads << "}";
+              << ", \"degraded_reads\": " << win.degraded_reads;
+          if (run.collab_active) {
+            out << ", \"collab_peer_hits\": " << win.collab_peer_hits
+                << ", \"collab_stale_reads\": " << win.collab_stale_reads;
+          }
+          out << "}";
         }
         out << "\n    ]";
       }

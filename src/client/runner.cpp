@@ -4,6 +4,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "api/registry.hpp"
+#include "collab/collab.hpp"
 #include "common/logging.hpp"
 #include "scenario/engine.hpp"
 #include "sim/event_loop.hpp"
@@ -72,11 +74,32 @@ RunResult run_once(const ExperimentConfig& config,
   deployment.bind_lanes(regions);
   sim::ShardedEngine engine(config.shards, num_lanes);
 
+  // Cooperative cache tier: one runtime per run, spanning every lane.
+  // collab=none builds nothing — the historical isolated-cache path, with
+  // byte-identical output.
+  std::unique_ptr<collab::CollabRuntime> collab_rt;
+  if (config.collab != "none") {
+    const auto settings = api::CollabRegistry::instance().create(
+        config.collab, api::CollabContext{}, config.collab_params);
+    if (settings != nullptr && settings->enabled) {
+      std::vector<sim::Network*> lane_nets;
+      lane_nets.reserve(num_lanes);
+      for (std::size_t i = 0; i < num_lanes; ++i) {
+        lane_nets.push_back(&deployment.lane_network(i));
+      }
+      collab_rt = std::make_unique<collab::CollabRuntime>(
+          *settings, &engine, &deployment.topology(), regions,
+          std::move(lane_nets));
+    }
+  }
+  collab::CollabRuntime* const crt = collab_rt.get();
+
   const std::size_t ops_total = config.ops_per_run;
   const SimTimeMs window_ms = config.metric_window_ms;
 
   struct WindowCounters {
     std::uint64_t ops = 0, full = 0, partial = 0, failed = 0, degraded = 0;
+    std::uint64_t peer_hits = 0, stale = 0;  // collab tier only
   };
   // Client state is heap-held and owns its own issue/arrival closure: the
   // closures re-schedule themselves, so they must outlive the setup scope
@@ -127,6 +150,11 @@ RunResult run_once(const ExperimentConfig& config,
     // One strategy instance (for Agar: one AgarNode) per client region.
     auto strategy = factory(config, deployment, regions[ri], &loop);
     strategy->warm_up();
+    // The collab tier hooks in between warm-up and loop attachment: the
+    // peer-fetch transport and planner hooks must be installed before the
+    // first reconfiguration, and the broadcast timer is scheduled here so
+    // it carries this lane's ordering key.
+    if (crt != nullptr) crt->attach(ri, *strategy);
     strategy->attach_to_loop(loop);
     lane.strategy = std::move(strategy);
 
@@ -141,13 +169,27 @@ RunResult run_once(const ExperimentConfig& config,
           [&lane](const scenario::PopularityShift& shift) {
             for (auto& client : lane.clients) client->workload.apply(shift);
           });
+      if (crt != nullptr) {
+        // Partitions cut collab traffic only, so the hook targets the
+        // collab runtime; each lane's engine fires the same script, giving
+        // every lane its own consistent copy of the partition state.
+        lane.scenario->set_partition_hook(
+            [crt, ri](const std::vector<RegionId>& group) {
+              if (group.empty()) {
+                crt->heal_partition(ri);
+              } else {
+                crt->set_partition(ri, group);
+              }
+            });
+      }
       lane.scenario->schedule(loop);
     }
     scenario::ScenarioEngine* const scenario_engine = lane.scenario.get();
 
-    auto record = [&lane, &loop](const ReadResult& r) {
+    auto record = [&lane, &loop, crt, ri](const ReadResult& r) {
       RunResult& res = lane.partial;
       ++res.ops;
+      if (crt != nullptr) crt->note_read(ri);
       if (r.failed) {
         ++res.failed_reads;
       } else {
@@ -172,6 +214,12 @@ RunResult run_once(const ExperimentConfig& config,
           if (r.full_hit) ++wc.full;
           if (r.partial_hit && !r.full_hit) ++wc.partial;
           if (r.degraded) ++wc.degraded;
+        }
+        if (crt != nullptr) {
+          // Drain the collab slice accumulated since the last completion
+          // into the window this completion lands in.
+          wc.peer_hits += crt->take_window_peer_hits(ri);
+          wc.stale += crt->take_window_stale_reads(ri);
         }
       }
       ++lane.completed;
@@ -278,6 +326,8 @@ RunResult run_once(const ExperimentConfig& config,
           ws.partial_hits += wc.partial;
           ws.failed_reads += wc.failed;
           ws.degraded_reads += wc.degraded;
+          ws.collab_peer_hits += wc.peer_hits;
+          ws.collab_stale_reads += wc.stale;
         }
         if (lane.window_latencies != nullptr &&
             w < lane.window_latencies->size()) {
@@ -362,6 +412,27 @@ RunResult run_once(const ExperimentConfig& config,
       result.region_success_ewma.push_back(
           ewma_weight[r] > 0.0 ? ewma_sum[r] / ewma_weight[r] : 1.0);
     }
+  }
+
+  // Cooperative-tier summary: lane-order merge of the per-lane counters
+  // plus the config log / overlap state that exists once per run.
+  if (crt != nullptr) {
+    std::vector<ReadStrategy*> strategies;
+    strategies.reserve(num_lanes);
+    for (LaneState& lane : lanes) strategies.push_back(lane.strategy.get());
+    const collab::CollabRuntime::Summary s = crt->summarize(strategies);
+    result.collab_active = true;
+    result.collab_peer_hits = s.peer_hits;
+    result.collab_peer_misses = s.peer_misses;
+    result.collab_bytes_from_peers = s.bytes_from_peers;
+    result.collab_bytes_from_backend = s.bytes_from_backend;
+    result.stale_config_reads = s.stale_config_reads;
+    result.paxos_appends = s.paxos_appends;
+    result.paxos_append_failures = s.paxos_append_failures;
+    result.paxos_append_p50_ms = s.paxos_append_p50_ms;
+    result.paxos_append_p99_ms = s.paxos_append_p99_ms;
+    result.config_epochs = s.config_epochs;
+    result.config_overlap = s.config_overlap;
   }
 
   // Final snapshots through the observability hooks every strategy

@@ -126,6 +126,13 @@ struct ExperimentConfig {
   /// `fetch_params` with the prefix already stripped.
   std::string fetch_policy = "none";
   api::ParamMap fetch_params;
+  /// Cooperative cache tier by registry name ("none", "broadcast"). "none"
+  /// keeps the historical isolated-cache path — no CollabRuntime is built
+  /// and results are byte-identical to before the knob existed. Parameters
+  /// arrive namespaced (`collab.period_s=5`) in `collab_params` with the
+  /// prefix already stripped.
+  std::string collab = "none";
+  api::ParamMap collab_params;
   /// Scripted mid-run events (popularity shifts, outages, rate changes,
   /// latency degradation). Empty means a stationary run, as before.
   scenario::Scenario scenario;
@@ -157,6 +164,11 @@ struct WindowStats {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Cooperative tier (collab=broadcast only; zero otherwise): chunk
+  /// fetches served by a peer cache, and reads issued while this region's
+  /// learned config epoch was ahead of the applied one.
+  std::uint64_t collab_peer_hits = 0;
+  std::uint64_t collab_stale_reads = 0;
 
   [[nodiscard]] double hit_ratio() const {
     return ops == 0 ? 0.0
@@ -223,6 +235,26 @@ struct RunResult {
   /// reconfigurations (a stable control plane installs and evicts little).
   std::uint64_t config_chunks_installed = 0;
   std::uint64_t config_chunks_evicted = 0;
+
+  // ------------------------- cooperative cache tier (collab=broadcast)
+  /// True when a CollabRuntime ran; all fields below stay zero otherwise
+  /// (and the report elides the block, keeping collab=none byte-identical).
+  bool collab_active = false;
+  std::uint64_t collab_peer_hits = 0;    ///< chunk fetches served by a peer
+  std::uint64_t collab_peer_misses = 0;  ///< peer lookups that fell through
+  std::uint64_t collab_bytes_from_peers = 0;
+  std::uint64_t collab_bytes_from_backend = 0;
+  /// Reads issued while a region had learned a newer config epoch than it
+  /// had applied (the stale-configuration window the Paxos log bounds).
+  std::uint64_t stale_config_reads = 0;
+  std::uint64_t paxos_appends = 0;          ///< config-log append attempts
+  std::uint64_t paxos_append_failures = 0;  ///< partition/quorum losses
+  double paxos_append_p50_ms = 0.0;
+  double paxos_append_p99_ms = 0.0;
+  std::uint64_t config_epochs = 0;  ///< decided prefix of the config log
+  /// Mean pairwise cache-content overlap across regions at run end
+  /// (core::OverlapReport::shared_fraction).
+  double config_overlap = 0.0;
 
   /// Windowed time series (metric_window_ms > 0), windows with no
   /// completions included so indices line up with virtual time.

@@ -17,11 +17,37 @@ ReadStrategy::ReadStrategy(ClientContext ctx) : ctx_(ctx), fetcher_(ctx.network)
     // per chunk regardless of how many retries/hedges the policy spends.
     fetcher_.set_transport(
         [policy = ctx_.fetch_policy.get()](
-            RegionId from, RegionId to, std::size_t bytes,
+            const ChunkId&, RegionId from, RegionId to, std::size_t bytes,
             core::FetchCoordinator::Callback cb) {
           return policy->begin_fetch(from, to, bytes, std::move(cb));
         });
   }
+}
+
+void ReadStrategy::enable_collab(CollabRoute route, CollabDone done) {
+  // Layering per wire fetch: coalescing table -> collab routing (pick the
+  // peer or the home region) -> fetch policy (retry/hedge/timeout against
+  // the chosen target) -> network. The accounting wrapper observes the
+  // final outcome, after any retries, so a peer hit means the transfer
+  // actually landed.
+  fetcher_.set_transport(
+      [this, route = std::move(route), done = std::move(done)](
+          const ChunkId& chunk, RegionId from, RegionId to, std::size_t bytes,
+          core::FetchCoordinator::Callback cb) {
+        const RegionId target = route ? route(chunk, to, bytes) : to;
+        core::FetchCoordinator::Callback wrapped =
+            [done, target, to, bytes,
+             cb = std::move(cb)](std::optional<SimTimeMs> latency) {
+              if (done) done(target, to, bytes, latency.has_value());
+              cb(latency);
+            };
+        if (ctx_.fetch_policy != nullptr) {
+          return ctx_.fetch_policy->begin_fetch(from, target, bytes,
+                                                std::move(wrapped));
+        }
+        return ctx_.network->begin_fetch(from, target, bytes,
+                                         std::move(wrapped));
+      });
 }
 
 ReadResult ReadStrategy::read(const ObjectKey& key) {

@@ -19,6 +19,7 @@
 #include "cache/static_cache.hpp"
 #include "client/fetch_policy.hpp"
 #include "common/types.hpp"
+#include "core/collaboration.hpp"
 #include "core/fetch_coordinator.hpp"
 #include "core/planner.hpp"
 #include "core/read_planner.hpp"
@@ -113,6 +114,44 @@ class ReadStrategy {
     return ctx_.fetch_policy.get();
   }
 
+  // ------------------------------------------- cooperative cache tier
+  // Installed by collab::CollabRuntime::attach between construction and
+  // attach_to_loop; never called on the collab=none path, so the historical
+  // wire path stays byte-identical.
+
+  /// Peer-fetch routing: picks the region a wire fetch should actually go
+  /// to (the chunk's home region when no peer cache is cheaper).
+  using CollabRoute =
+      std::function<RegionId(const ChunkId&, RegionId home, std::size_t)>;
+  /// Completion accounting for the tier: (target, home, bytes, success).
+  using CollabDone =
+      std::function<void(RegionId, RegionId, std::size_t, bool)>;
+
+  /// Re-install the coordinator transport with the collab tier on top: the
+  /// route picks the target, then the fetch rides the fetch policy (or the
+  /// raw network) to it — so retries/hedges/timeouts compose with
+  /// redirected transfers, and a failed peer arm falls back through the
+  /// strategies' existing degraded-read machinery.
+  void enable_collab(CollabRoute route, CollabDone done);
+
+  /// Observer fired after every completed reconfiguration (the collab tier
+  /// appends the installed configuration to the Paxos config log). Only
+  /// strategies with a periodic control plane ever invoke it.
+  void set_reconfigure_observer(std::function<void()> observer) {
+    on_reconfigure_ = std::move(observer);
+  }
+
+  /// Broadcastable snapshot of this strategy's cache state (configured
+  /// chunks + popularity). Default: an empty snapshot — strategies without
+  /// a configured cache still participate in the broadcast protocol so
+  /// determinism is uniform, they just never attract peer fetches.
+  [[nodiscard]] virtual core::PeerInfo collab_info() { return {}; }
+
+  /// Cooperative-planning hooks (merged popularity, peer-aware chunk
+  /// costs). Default ignores them — only strategies with a planning
+  /// control plane (Agar, under planner.scope=global) forward them.
+  virtual void set_collab_hooks(const core::CollabPlannerHooks&) {}
+
   // ------------------------------------------------ observability hooks
   // The runner snapshots end-of-run state through these instead of
   // dynamic_casting to concrete types, so strategies added through the
@@ -194,6 +233,8 @@ class ReadStrategy {
 
   ClientContext ctx_;
   core::FetchCoordinator fetcher_;
+  /// Fired after each completed reconfiguration (collab config log).
+  std::function<void()> on_reconfigure_;
   /// Memoized zero buffer for latency-only cache populations: every
   /// populated chunk of one size shares it (refcount bump per put).
   mutable SharedBytes zero_payload_;

@@ -58,6 +58,16 @@ std::vector<PeerInfo> CollaborationGroup::peers_of(RegionId region) const {
   return out;
 }
 
+OverlapReport overlap_of(const PeerInfo& a, const PeerInfo& b) {
+  OverlapReport report;
+  report.chunks_a = a.configured_chunks.size();
+  report.chunks_b = b.configured_chunks.size();
+  for (const auto& ck : a.configured_chunks) {
+    if (b.configured_chunks.contains(ck)) ++report.shared;
+  }
+  return report;
+}
+
 OverlapReport CollaborationGroup::overlap(RegionId a, RegionId b) const {
   const PeerInfo* pa = nullptr;
   const PeerInfo* pb = nullptr;
@@ -68,13 +78,7 @@ OverlapReport CollaborationGroup::overlap(RegionId a, RegionId b) const {
   if (pa == nullptr || pb == nullptr) {
     throw std::invalid_argument("CollaborationGroup: region not a member");
   }
-  OverlapReport report;
-  report.chunks_a = pa->configured_chunks.size();
-  report.chunks_b = pb->configured_chunks.size();
-  for (const auto& ck : pa->configured_chunks) {
-    if (pb->configured_chunks.contains(ck)) ++report.shared;
-  }
-  return report;
+  return overlap_of(*pa, *pb);
 }
 
 }  // namespace agar::core

@@ -55,6 +55,11 @@ struct OverlapReport {
   }
 };
 
+/// Pairwise overlap of two broadcast snapshots — the computation behind
+/// CollaborationGroup::overlap, exposed for callers (the collab tier's
+/// end-of-run report) that hold PeerInfos without live nodes.
+[[nodiscard]] OverlapReport overlap_of(const PeerInfo& a, const PeerInfo& b);
+
 class CollaborationGroup {
  public:
   void add_node(AgarNode* node);

@@ -30,7 +30,7 @@ FetchStart FetchCoordinator::fetch(const ChunkId& chunk, RegionId from,
   };
   const bool accepted =
       transport_
-          ? transport_(from, to, bytes, std::move(on_done))
+          ? transport_(chunk, from, to, bytes, std::move(on_done))
           : network_->begin_fetch(from, to, bytes, std::move(on_done));
   if (!accepted) return FetchStart::kDown;
   inflight_.emplace(key, std::vector<Callback>{std::move(cb)});

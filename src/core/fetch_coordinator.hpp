@@ -39,9 +39,11 @@ class FetchCoordinator {
   /// false to refuse synchronously, otherwise fire the callback exactly
   /// once on the loop. The client installs its fault-tolerant fetch policy
   /// here, *under* the coalescing table — so retries and hedges of one
-  /// chunk still count as a single in-flight entry that others join.
-  using Transport =
-      std::function<bool(RegionId, RegionId, std::size_t, Callback)>;
+  /// chunk still count as a single in-flight entry that others join. The
+  /// chunk identity is passed through so the cooperative cache tier can
+  /// redirect a fetch to a peer cache that holds the chunk.
+  using Transport = std::function<bool(const ChunkId&, RegionId, RegionId,
+                                       std::size_t, Callback)>;
 
   explicit FetchCoordinator(sim::Network* network);
 

@@ -73,6 +73,12 @@ void ScenarioEngine::apply(const ScenarioEvent& e, sim::EventLoop& loop) {
     flap_cycle(loop, resolve_region(e.params.get_string("region", "")),
                period, e.params.get_double("down_ms", period / 2.0),
                e.params.get_double("until_ms", 0.0));
+  } else if (e.event == "partition_regions") {
+    if (partition_) {
+      partition_(resolve_region_list(e.params.get_string("regions", "")));
+    }
+  } else if (e.event == "heal_partition") {
+    if (partition_) partition_({});
   } else if (e.event == "arrival_factor") {
     step_factor_ = e.params.get_double("factor", 1.0);
   } else if (e.event == "arrival_sine") {

@@ -20,12 +20,22 @@ namespace agar::scenario {
 class ScenarioEngine {
  public:
   using PopularityHook = std::function<void(const PopularityShift&)>;
+  /// Partition hook: the listed regions form one side, everyone else the
+  /// other (an empty list heals). Registered by the runner when a collab
+  /// tier exists; partitions only cut collab traffic, so with no hook the
+  /// events are legal no-ops (collab=none runs partition specs unchanged).
+  using PartitionHook = std::function<void(const std::vector<RegionId>&)>;
 
   /// `network` is required; `popularity` may be empty only when the
   /// scenario contains no popularity events (checked at construction, so
   /// a missing hook fails fast instead of throwing mid-run).
   ScenarioEngine(Scenario scenario, sim::Network* network,
                  PopularityHook popularity);
+
+  /// Register the partition hook (optional; see PartitionHook).
+  void set_partition_hook(PartitionHook hook) {
+    partition_ = std::move(hook);
+  }
 
   /// Schedule every event at its absolute `at_ms`; same-instant events fire
   /// in script order. Call once, before driving the loop.
@@ -51,6 +61,7 @@ class ScenarioEngine {
   Scenario scenario_;
   sim::Network* network_;  // non-owning
   PopularityHook popularity_;
+  PartitionHook partition_;
   std::size_t fired_ = 0;
   // Arrival modulation state.
   double step_factor_ = 1.0;

@@ -86,6 +86,15 @@ const std::vector<EventKind>& event_kinds() {
                           "no new cycle starts at/after this time "
                           "(default: flap forever)"}}},
        "gray failure: the region fails and recovers periodically"},
+      {"partition_regions",
+       api::ParamSchema{{{"regions", api::ParamType::kString, "",
+                          "comma-separated region names/ids forming one "
+                          "side of the partition"}}},
+       "network partition: the listed regions and the rest can no longer "
+       "exchange collab traffic (peer fetches, broadcasts, config appends); "
+       "backend fetches keep flowing"},
+      {"heal_partition", api::ParamSchema{},
+       "heal the network partition: collab traffic flows everywhere again"},
       {"popularity_rotate",
        api::ParamSchema{{{"by", api::ParamType::kSize, "0",
                           "ranks to rotate the rank->object mapping by"}}},
@@ -159,6 +168,21 @@ RegionId resolve_region(const std::string& text) {
   }
 }
 
+std::vector<RegionId> resolve_region_list(const std::string& text) {
+  std::vector<RegionId> out;
+  std::stringstream parts(text);
+  std::string part;
+  while (std::getline(parts, part, ',')) {
+    // Trim surrounding whitespace so "dublin, tokyo" works.
+    const auto begin = part.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    const auto end = part.find_last_not_of(" \t");
+    const RegionId r = resolve_region(part.substr(begin, end - begin + 1));
+    if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+  }
+  return out;
+}
+
 PopularityShift popularity_shift_of(const ScenarioEvent& e) {
   PopularityShift shift;
   if (e.event == "popularity_rotate") {
@@ -203,6 +227,19 @@ void Scenario::validate() const {
     e.params.validate(kind->schema, context);
     if (kind->schema.has("region")) {
       (void)resolve_region(e.params.get_string("region", ""));
+    }
+    if (e.event == "partition_regions") {
+      const auto group =
+          resolve_region_list(e.params.get_string("regions", ""));
+      if (group.empty()) {
+        throw std::invalid_argument(context +
+                                    ": 'regions' must list >= 1 region");
+      }
+      if (group.size() >= sim::aws_six_regions().num_regions()) {
+        throw std::invalid_argument(
+            context + ": 'regions' must leave at least one region on the "
+                      "other side");
+      }
     }
     if (e.event == "arrival_factor" &&
         e.params.get_double("factor", 1.0) <= 0.0) {

@@ -98,6 +98,11 @@ struct Scenario {
 /// numeric id, checked against the paper's six-region topology.
 [[nodiscard]] RegionId resolve_region(const std::string& text);
 
+/// Resolve a comma-separated "regions" list (partition_regions), trimmed
+/// and de-duplicated in listed order. Empty text is an empty list.
+[[nodiscard]] std::vector<RegionId> resolve_region_list(
+    const std::string& text);
+
 /// Parse one event's popularity shift (kind must be popularity_rotate,
 /// popularity_reseed or flash_crowd).
 [[nodiscard]] PopularityShift popularity_shift_of(const ScenarioEvent& e);

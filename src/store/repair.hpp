@@ -6,6 +6,10 @@
 // tool, not a client): for each object with missing chunks it gathers any
 // k survivors, recomputes the missing chunks with the Reed-Solomon codec,
 // and writes them back to their home regions.
+//
+// TODO: repair runs offline only — wiring it to the simulated timeline
+// (repair bandwidth competing with reads) is part of the read-write
+// workload item in ROADMAP.md.
 #pragma once
 
 #include <vector>

@@ -107,6 +107,30 @@ TEST_F(CoherenceTest, ConcurrentWritersSerializeThroughLog) {
   EXPECT_EQ(coordinator_.log().decided_prefix(), 10u);
 }
 
+TEST_F(CoherenceTest, InvalidationsApplyInLogSlotOrder) {
+  // Interleaved writes to two objects from different regions: the log
+  // serializes them, and decoding the slots back must reproduce the exact
+  // commit order with per-key versions increasing monotonically — the
+  // ordering guarantee that makes write-invalidate coherent.
+  const std::vector<std::pair<RegionId, ObjectKey>> writes = {
+      {0, "alpha"}, {5, "beta"}, {3, "alpha"}, {1, "beta"}, {4, "alpha"},
+  };
+  for (const auto& [region, key] : writes) {
+    ASSERT_TRUE(coordinator_.commit_write(region, key).has_value());
+  }
+  ASSERT_EQ(coordinator_.log().decided_prefix(), writes.size());
+  std::unordered_map<ObjectKey, std::uint64_t> seen;
+  for (std::size_t slot = 0; slot < writes.size(); ++slot) {
+    const auto record = coordinator_.log().learned(slot);
+    ASSERT_TRUE(record.has_value());
+    const WriteRecord w = WriteRecord::decode(*record);
+    EXPECT_EQ(w.key, writes[slot].second) << "slot " << slot;
+    EXPECT_EQ(w.version, ++seen[w.key]) << "slot " << slot;
+  }
+  EXPECT_EQ(coordinator_.version("alpha"), 3u);
+  EXPECT_EQ(coordinator_.version("beta"), 2u);
+}
+
 TEST_F(CoherenceTest, StaticConfigCacheAlsoInvalidates) {
   cache::StaticConfigCache agar_cache(1_MB);
   std::unordered_set<std::string> configured;

@@ -176,5 +176,42 @@ TEST_F(ProposerTest, DuelingProposersEventuallyAgree) {
   EXPECT_EQ(a.value, b.value);  // consensus: both report the same value
 }
 
+TEST_F(ProposerTest, ConcurrentAppendLoserAdvancesSlot) {
+  // The replicated log's append protocol, played out by hand for two
+  // regions appending concurrently: both contend for the same slot, Paxos
+  // binds exactly one record to it, and the loser — whose propose() chose
+  // the winner's value, not its own — re-proposes in the next slot.
+  std::vector<Acceptor> slot0(6), slot1(6);
+  auto ptrs = [](std::vector<Acceptor>& slot) {
+    std::vector<Acceptor*> out;
+    for (auto& a : slot) out.push_back(&a);
+    return out;
+  };
+  ProposerParams fra;
+  fra.region = sim::region::kFrankfurt;
+  fra.proposer_id = 1;
+  ProposerParams syd;
+  syd.region = sim::region::kSydney;
+  syd.proposer_id = 2;
+
+  Proposer winner(ptrs(slot0), &network_, fra);
+  const ProposeOutcome w = winner.propose("cfg-frankfurt");
+  ASSERT_TRUE(w.chosen);
+  ASSERT_EQ(w.value, "cfg-frankfurt");
+
+  // Single-decree safety: the concurrent appender learns slot 0 is taken.
+  Proposer loser(ptrs(slot0), &network_, syd);
+  const ProposeOutcome l = loser.propose("cfg-sydney");
+  ASSERT_TRUE(l.chosen);
+  EXPECT_EQ(l.value, "cfg-frankfurt");
+
+  // So it advances: its own record lands in slot 1, untouched by slot 0's
+  // acceptor state.
+  Proposer retry(ptrs(slot1), &network_, syd);
+  const ProposeOutcome r = retry.propose("cfg-sydney");
+  ASSERT_TRUE(r.chosen);
+  EXPECT_EQ(r.value, "cfg-sydney");
+}
+
 }  // namespace
 }  // namespace agar::paxos

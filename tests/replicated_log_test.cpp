@@ -97,6 +97,43 @@ TEST_F(ReplicatedLogTest, MinorityFailureToleratedWithLatencyCost) {
   EXPECT_TRUE(out.ok);
 }
 
+TEST_F(ReplicatedLogTest, CleanAppendsTryExactlyOneSlot) {
+  // Without contention the slot walk terminates immediately — the
+  // latency accounting (and the collab tier's append p50/p99) would be
+  // inflated by any silent extra round.
+  for (int i = 0; i < 5; ++i) {
+    const auto out =
+        log_.append(static_cast<RegionId>(i % 6), "r" + std::to_string(i));
+    ASSERT_TRUE(out.ok);
+    EXPECT_EQ(out.slots_tried, 1u) << i;
+  }
+}
+
+TEST_F(ReplicatedLogTest, AppliesInSlotOrderRegardlessOfAppendOrigin) {
+  // The consumer contract the collab config log and the coherence
+  // coordinator both rely on: applying `learned(0..decided_prefix)` yields
+  // every record exactly once, in the order consensus serialized them —
+  // which is append order, independent of which region proposed what.
+  const std::vector<std::pair<RegionId, std::string>> appends = {
+      {sim::region::kSydney, "cfg-a"},   {sim::region::kFrankfurt, "cfg-b"},
+      {sim::region::kTokyo, "cfg-c"},    {sim::region::kSaoPaulo, "cfg-d"},
+      {sim::region::kVirginia, "cfg-e"},
+  };
+  for (const auto& [region, record] : appends) {
+    ASSERT_TRUE(log_.append(region, record).ok);
+  }
+  std::vector<std::string> applied;
+  for (std::size_t slot = 0; slot < log_.decided_prefix(); ++slot) {
+    const auto record = log_.learned(slot);
+    ASSERT_TRUE(record.has_value());
+    applied.push_back(*record);
+  }
+  ASSERT_EQ(applied.size(), appends.size());
+  for (std::size_t i = 0; i < appends.size(); ++i) {
+    EXPECT_EQ(applied[i], appends[i].second) << "slot " << i;
+  }
+}
+
 TEST_F(ReplicatedLogTest, ManyAppendsStayConsistent) {
   for (int i = 0; i < 50; ++i) {
     const auto out =

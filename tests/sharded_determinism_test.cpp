@@ -123,6 +123,38 @@ TEST(ShardedDeterminismEdge, GrayFailureChaosWithHedgingIsShardInvariant) {
   EXPECT_FALSE(serial.runs[0].region_success_ewma.empty());
 }
 
+// The cooperative cache tier adds cross-lane traffic everywhere at once:
+// directory broadcasts, peer fetches, Paxos config appends, decided-epoch
+// notifications — all riding post()/SPSC rings — plus a partition/heal
+// script cutting and restoring the mesh mid-run. All of it must stay
+// byte-identical for any shard count.
+api::ExperimentSpec collab_spec(std::size_t shards) {
+  auto spec = sharded_spec("agar", shards);
+  spec.set("collab", "broadcast");
+  spec.set("collab.period_s", "2");
+  spec.set("collab.apply_ms", "500");
+  spec.set("scenario",
+           "1500 partition_regions regions=frankfurt,dublin; "
+           "4000 heal_partition; "
+           "6000 fail_region region=virginia");
+  return spec;
+}
+
+TEST(ShardedDeterminismEdge, CollabBroadcastWithPartitionIsShardInvariant) {
+  const auto serial = api::run(collab_spec(1)).result;
+  const auto base = normalize(client::results_json({serial}));
+  for (const std::size_t shards : {2u, 4u}) {
+    EXPECT_EQ(base, normalize(client::results_json(
+                        {api::run(collab_spec(shards)).result})))
+        << "shards=" << shards;
+  }
+
+  ASSERT_FALSE(serial.runs.empty());
+  EXPECT_TRUE(serial.runs[0].collab_active);
+  EXPECT_GT(serial.runs[0].paxos_appends, 0u);
+  EXPECT_GT(serial.runs[0].scenario_events_fired, 0u);
+}
+
 // The spec surface round-trips the key and rejects nonsense.
 TEST(ShardedDeterminismEdge, SpecSurface) {
   api::ExperimentSpec spec;
