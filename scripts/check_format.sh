@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Formatting gate: run clang-format in diff mode over the C++ tree and fail
+# if any file would change. Never rewrites files — CI and pre-commit safe.
+#
+# Usage:
+#   scripts/check_format.sh            # check everything
+#   scripts/check_format.sh --fix      # rewrite in place instead of checking
+#   CLANG_FORMAT=clang-format-15 scripts/check_format.sh
+#
+# Exits 0 when clean, 1 when files need formatting, 0 with a notice when no
+# clang-format binary is available (local containers without LLVM tools).
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [ -z "$CLANG_FORMAT" ]; then
+  for cand in clang-format clang-format-18 clang-format-17 clang-format-16 \
+      clang-format-15 clang-format-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      CLANG_FORMAT="$cand"
+      break
+    fi
+  done
+fi
+
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "check_format: no clang-format binary found; skipping (not a failure)."
+  echo "check_format: install clang-format or set CLANG_FORMAT to enforce."
+  exit 0
+fi
+
+MODE="check"
+if [ "${1:-}" = "--fix" ]; then
+  MODE="fix"
+fi
+
+# Same file set the lint and tidy gates see. tests/lint fixtures are included
+# on purpose: they are read by humans more than most files.
+FILES=$(find src tests bench examples tools \
+  \( -name '*.cpp' -o -name '*.hpp' -o -name '*.h' \) -type f 2>/dev/null | sort)
+
+if [ -z "$FILES" ]; then
+  echo "check_format: no C++ sources found."
+  exit 0
+fi
+
+if [ "$MODE" = "fix" ]; then
+  echo "$FILES" | xargs "$CLANG_FORMAT" -i
+  echo "check_format: reformatted $(echo "$FILES" | wc -l) file(s)."
+  exit 0
+fi
+
+STATUS=0
+BAD=""
+for f in $FILES; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    BAD="$BAD $f"
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "check_format: files need formatting:"
+  for f in $BAD; do
+    echo "  $f"
+  done
+  echo "check_format: run scripts/check_format.sh --fix"
+  exit 1
+fi
+
+echo "check_format: $(echo "$FILES" | wc -l) file(s) clean ($CLANG_FORMAT)."
+exit 0

@@ -180,6 +180,8 @@ class Registry {
   /// The process-wide registry (construct-on-first-use, so registrations
   /// from any translation unit's static initializers are safe).
   static Registry& instance() {
+    // agar-lint: global-ok(process-wide registry; mutated only by static
+    // registration objects before main, read-only afterwards)
     static Registry registry;
     return registry;
   }

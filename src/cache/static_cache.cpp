@@ -1,5 +1,7 @@
 #include "cache/static_cache.hpp"
 
+#include <algorithm>
+
 namespace agar::cache {
 
 StaticConfigCache::StaticConfigCache(std::size_t capacity_bytes)
@@ -67,7 +69,11 @@ void StaticConfigCache::clear() {
 std::vector<std::string> StaticConfigCache::keys() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
+  // agar-lint: ordered-ok(sorted below before returning)
   for (const auto& [key, value] : entries_) out.push_back(key);
+  // Callers compare and print key lists; hand them a stable order rather
+  // than the hash-map's.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -75,6 +81,8 @@ void StaticConfigCache::install_configuration(
     std::unordered_set<std::string> configured) {
   configured_ = std::move(configured);
   ++reconfigurations_;
+  // agar-lint: ordered-ok(pure eviction sweep; membership test + counter, no
+  // order-dependent output)
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (!configured_.contains(it->first)) {
       used_bytes_ -= it->second.size();

@@ -39,8 +39,8 @@ class AgarStrategy final : public ReadStrategy {
   [[nodiscard]] const cache::CacheEngine* cache_engine() const override {
     return &node_->cache();
   }
-  [[nodiscard]] std::unordered_map<std::size_t, std::size_t>
-  config_weight_histogram() const override {
+  [[nodiscard]] std::map<std::size_t, std::size_t> config_weight_histogram()
+      const override {
     return node_->cache_manager().current().weight_histogram();
   }
   [[nodiscard]] core::ControlPlaneStats control_plane_stats() const override {

@@ -120,7 +120,7 @@ void LfuConfigStrategy::apply_configuration() {
             });
 
   std::unordered_set<std::string> configured_keys;
-  std::unordered_map<ObjectKey, std::vector<ChunkIndex>> next;
+  std::map<ObjectKey, std::vector<ChunkIndex>> next;
   std::size_t used = 0;
   for (const auto& [key, popularity] : ranked) {
     if (popularity <= 0.0) break;

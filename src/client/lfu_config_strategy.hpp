@@ -17,6 +17,7 @@
 // system for the baseline-strength ablation.)
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "client/strategy.hpp"
@@ -75,7 +76,9 @@ class LfuConfigStrategy final : public ReadStrategy {
   core::RegionManager region_manager_;
   core::RequestMonitor monitor_;
   /// Chunk sets installed at the last reconfiguration, per object.
-  std::unordered_map<ObjectKey, std::vector<ChunkIndex>> configured_;
+  /// Key-ordered: the population loop iterates it, and fetch issue order
+  /// becomes event sequence order.
+  std::map<ObjectKey, std::vector<ChunkIndex>> configured_;
 };
 
 }  // namespace agar::client

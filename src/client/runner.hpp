@@ -10,7 +10,7 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "api/param_map.hpp"
@@ -193,8 +193,9 @@ struct RunResult {
   std::uint64_t degraded_reads = 0;
   cache::CacheStats cache_stats;
   std::size_t cache_used_bytes = 0;
-  /// Agar only: configured objects per option weight (Fig. 10 data).
-  std::unordered_map<std::size_t, std::size_t> weight_histogram;
+  /// Agar only: configured objects per option weight (Fig. 10 data),
+  /// sorted by weight so consumers iterate deterministically.
+  std::map<std::size_t, std::size_t> weight_histogram;
   /// Decode-plan cache of the deployment's codec: reconstructions that
   /// found their inverted decode matrix memoized vs had to invert.
   std::uint64_t decode_plan_hits = 0;

@@ -11,9 +11,9 @@
 // simple callers.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/static_cache.hpp"
@@ -162,9 +162,9 @@ class ReadStrategy {
     return nullptr;
   }
 
-  /// Configured objects per option weight (Agar's Fig. 10 data); empty for
-  /// strategies without a weighted configuration.
-  [[nodiscard]] virtual std::unordered_map<std::size_t, std::size_t>
+  /// Configured objects per option weight (Agar's Fig. 10 data), sorted by
+  /// weight; empty for strategies without a weighted configuration.
+  [[nodiscard]] virtual std::map<std::size_t, std::size_t>
   config_weight_histogram() const {
     return {};
   }

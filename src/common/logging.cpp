@@ -3,6 +3,8 @@
 namespace agar {
 
 namespace {
+// agar-lint: global-ok(log verbosity knob; gates stderr diagnostics only,
+// never touches results_json or simulation state)
 LogLevel g_level = LogLevel::kWarn;
 
 std::string_view level_name(LogLevel level) {

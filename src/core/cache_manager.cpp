@@ -19,9 +19,9 @@ bool CacheConfiguration::contains_chunk(const ObjectKey& key,
   return std::find(chunks.begin(), chunks.end(), index) != chunks.end();
 }
 
-std::unordered_map<std::size_t, std::size_t>
-CacheConfiguration::weight_histogram() const {
-  std::unordered_map<std::size_t, std::size_t> hist;
+std::map<std::size_t, std::size_t> CacheConfiguration::weight_histogram()
+    const {
+  std::map<std::size_t, std::size_t> hist;
   for (const auto& [key, opt] : entries) ++hist[opt.weight];
   return hist;
 }
@@ -119,7 +119,7 @@ const CacheConfiguration& CacheManager::reconfigure() {
           .count();
 
   CacheConfiguration next;
-  std::unordered_set<std::string> configured_keys;
+  std::set<std::string> configured_keys;
   for (auto& opt : result.chosen) {
     const std::size_t chunk_bytes =
         backend_->object_info(opt.key).chunk_size;
@@ -148,8 +148,11 @@ const CacheConfiguration& CacheManager::reconfigure() {
   stats_.chunks_evicted += evicted;
 
   config_ = std::move(next);
-  installed_chunk_keys_ = configured_keys;
-  cache_->install_configuration(std::move(configured_keys));
+  // The cache's admission set stays a hash set (contains() on the read
+  // path); the ordered master copy lives here for the churn sweep.
+  cache_->install_configuration(
+      {configured_keys.begin(), configured_keys.end()});
+  installed_chunk_keys_ = std::move(configured_keys);
 
   log_info("cache-manager") << "reconfiguration #" << reconfigs_ << " ("
                             << planner_->name() << ", " << plan_ms

@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "api/param_map.hpp"
@@ -56,9 +56,12 @@ struct CollabPlannerHooks {
 };
 
 /// The installed configuration, per object, for inspection (Fig. 10).
+/// Key-ordered: population fetches, broadcast snapshots and the Fig. 10
+/// histogram all iterate it, and each of those orders ends up in event
+/// sequence numbers or output.
 struct CacheConfiguration {
-  /// Chosen option per key.
-  std::unordered_map<ObjectKey, CachingOption> entries;
+  /// Chosen option per key, sorted by key.
+  std::map<ObjectKey, CachingOption> entries;
   double total_value = 0.0;
   std::size_t total_chunks = 0;
   std::size_t total_bytes = 0;
@@ -66,9 +69,9 @@ struct CacheConfiguration {
   [[nodiscard]] bool contains_chunk(const ObjectKey& key,
                                     ChunkIndex index) const;
 
-  /// Histogram of "objects cached with w chunks" -> count (Fig. 10 data).
-  [[nodiscard]] std::unordered_map<std::size_t, std::size_t>
-  weight_histogram() const;
+  /// Histogram of "objects cached with w chunks" -> count (Fig. 10 data),
+  /// sorted by weight.
+  [[nodiscard]] std::map<std::size_t, std::size_t> weight_histogram() const;
 };
 
 class CacheManager {
@@ -114,8 +117,9 @@ class CacheManager {
   CollabPlannerHooks collab_hooks_;
   std::unique_ptr<Planner> planner_;
   CacheConfiguration config_;
-  /// Chunk cache-keys of the installed configuration (churn accounting).
-  std::unordered_set<std::string> installed_chunk_keys_;
+  /// Chunk cache-keys of the installed configuration (churn accounting),
+  /// sorted so the accounting sweep iterates deterministically.
+  std::set<std::string> installed_chunk_keys_;
   ControlPlaneStats stats_;
   std::uint64_t reconfigs_ = 0;
 };

@@ -11,8 +11,7 @@
 // caching the same chunks (Frankfurt/Dublin in the paper's example).
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <set>
 #include <vector>
 
 #include "core/agar_node.hpp"
@@ -20,10 +19,12 @@
 
 namespace agar::core {
 
-/// What one node broadcasts.
+/// What one node broadcasts. The configured-chunk set is ordered: peer
+/// directories feed merged planning snapshots and the overlap report, so
+/// broadcast state must not carry hash-map iteration order.
 struct PeerInfo {
   RegionId region = kInvalidRegion;
-  std::unordered_set<std::string> configured_chunks;  // chunk cache keys
+  std::set<std::string> configured_chunks;  // chunk cache keys, sorted
   std::vector<std::pair<ObjectKey, double>> popularity;
 };
 

@@ -89,6 +89,8 @@ class CountMinEstimator final : public PopularityEstimator {
   }
 
   void roll_period() override {
+    // agar-lint: ordered-ok(per-key EWMA decay + threshold drop; every key
+    // is updated independently, so visit order cannot change the result)
     for (auto it = pops_.begin(); it != pops_.end();) {
       const auto count = sketch_.estimate(it->first);
       it->second = alpha_ * static_cast<double>(count) +
@@ -115,6 +117,8 @@ class CountMinEstimator final : public PopularityEstimator {
       const override {
     std::vector<std::pair<ObjectKey, double>> out;
     out.reserve(pops_.size());
+    // agar-lint: ordered-ok(sorted below; snapshot() promises key-sorted
+    // output — the estimator determinism contract from PR 5)
     for (const auto& [key, pop] : pops_) {
       out.emplace_back(key, blended(key, pop));
     }
@@ -138,6 +142,8 @@ class CountMinEstimator final : public PopularityEstimator {
   void refresh_weakest() {
     weakest_.clear();
     double weakest_pop = std::numeric_limits<double>::infinity();
+    // agar-lint: ordered-ok(min-scan with explicit lexicographic tie-break;
+    // the chosen victim is order-independent)
     for (const auto& [key, pop] : pops_) {
       const double p = blended(key, pop);
       if (p < weakest_pop || (p == weakest_pop && key > weakest_)) {

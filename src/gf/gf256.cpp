@@ -258,6 +258,8 @@ struct Dispatch {
 };
 
 Dispatch& dispatch() {
+  // agar-lint: global-ok(runtime kernel dispatch; every backend computes
+  // identical bytes, and set_backend re-pinning is test/bench-only)
   static Dispatch d{best_backend(), backend_table(best_backend())};
   return d;
 }

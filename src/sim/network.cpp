@@ -49,11 +49,13 @@ void Network::start_wire(RegionId to, PendingFetch pending) {
   loop_->schedule_in(
       sample.latency_ms,
       [this, to, id, latency = sample.latency_ms, dropped = sample.dropped] {
-        RegionState& rs = region_states_[to];
-        const auto it = rs.wire.find(id);
-        if (it == rs.wire.end()) return;  // aborted by fail_region mid-flight
+        RegionState& state = region_states_[to];
+        const auto it = state.wire.find(id);
+        if (it == state.wire.end()) {
+          return;  // aborted by fail_region mid-flight
+        }
         FetchCallback cb = std::move(it->second);
-        rs.wire.erase(it);
+        state.wire.erase(it);
         --total_outstanding_;
         // Hand the freed slot to the queue head before the completion
         // callback runs, so a callback issuing a new fetch cannot jump the

@@ -13,6 +13,8 @@ namespace {
 /// Index of the shard whose events the current thread is executing, or -1
 /// outside of engine-driven execution. Lets post() identify the producing
 /// loop without threading an explicit context through every callback.
+// agar-lint: global-ok(per-thread shard index for post() provenance; set and
+// cleared by ShardScope, never part of simulation state)
 thread_local std::ptrdiff_t tl_shard = -1;
 
 struct ShardScope {

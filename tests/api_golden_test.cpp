@@ -176,8 +176,8 @@ INSTANTIATE_TEST_SUITE_P(
     LegacyKinds, ApiGolden,
     ::testing::Values("backend", "lru", "lfu", "lfu-eviction", "tinylfu",
                       "agar"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -24,7 +24,7 @@ TEST(WriteRecord, KeysWithAtSignsSurvive) {
 }
 
 TEST(WriteRecord, MalformedThrows) {
-  EXPECT_THROW(WriteRecord::decode("no-version-marker"),
+  EXPECT_THROW((void)WriteRecord::decode("no-version-marker"),
                std::invalid_argument);
 }
 

@@ -52,9 +52,11 @@ TEST(LatencyEstimator, RegionsByEstimateSortsNearestFirst) {
 }
 
 TEST(LatencyEstimator, OutOfRangeThrows) {
-  LatencyEstimator e(2);
-  EXPECT_THROW(e.record(5, 1.0), std::out_of_range);
-  EXPECT_THROW((void)e.estimate_ms(5), std::out_of_range);
+  // Named `est`, not `e`: EXPECT_THROW's internal catch clause binds
+  // `std::exception& e` and -Wshadow objects to the collision.
+  LatencyEstimator est(2);
+  EXPECT_THROW(est.record(5, 1.0), std::out_of_range);
+  EXPECT_THROW((void)est.estimate_ms(5), std::out_of_range);
 }
 
 TEST(LatencyEstimator, IndependentRegions) {

@@ -1,0 +1,94 @@
+// agar-lint fixture: rule D1 — iteration over unordered containers in a
+// deterministic-domain file. Lines carrying a marker comment must be
+// reported as unwaived findings; the waivered variant must be detected but
+// waived; the clean variants must produce nothing.
+//
+// Not compiled into any target; parsed by tools/agar-lint --self-test.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// --- violation: member iteration --------------------------------------
+class PopularityTable {
+ public:
+  int total() const {
+    int sum = 0;
+    for (const auto& [key, count] : counts_) {  // expect(D1)
+      sum += count;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+};
+
+// --- violation: local variable, range-for -----------------------------
+inline int sum_keys() {
+  std::unordered_set<int> keys{1, 2, 3};
+  int sum = 0;
+  for (int k : keys) {  // expect(D1)
+    sum += k;
+  }
+  return sum;
+}
+
+// --- violation: iterator loop -----------------------------------------
+inline void drain(std::unordered_map<int, int>& table) {
+  for (auto it = table.begin(); it != table.end(); ++it) {  // expect(D1)
+    it->second = 0;
+  }
+}
+
+// --- violation: iterating a function's unordered return ---------------
+std::unordered_map<int, int> make_table();
+
+inline int sum_table() {
+  int sum = 0;
+  for (const auto& [k, v] : make_table()) {  // expect(D1)
+    sum += v;
+  }
+  return sum;
+}
+
+// --- waivered: detected but not a failure ------------------------------
+inline int count_all(const std::unordered_set<int>& pending) {
+  int n = 0;
+  // agar-lint: ordered-ok(count-only reduction; order cannot change the sum)
+  for (int v : pending) {
+    n += v > 0 ? 1 : 0;
+  }
+  return n;
+}
+
+// --- clean: ordered containers and vectors -----------------------------
+inline int sum_sorted(const std::map<std::string, int>& sorted) {
+  int sum = 0;
+  for (const auto& [key, count] : sorted) {
+    sum += count;
+  }
+  return sum;
+}
+
+// --- clean: member access sharing a local unordered name ---------------
+// Regression for a real false positive: `result.chosen` is a vector field;
+// the local unordered map that happens to share the name must not fire.
+struct PlanResult {
+  std::vector<int> chosen;
+};
+
+inline int stitch(const PlanResult& result) {
+  std::unordered_map<int, int> chosen;
+  int sum = 0;
+  for (int v : result.chosen) {
+    sum += v;
+  }
+  chosen.emplace(sum, sum);
+  return sum;
+}
+
+}  // namespace fixture

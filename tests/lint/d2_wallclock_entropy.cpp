@@ -1,0 +1,56 @@
+// agar-lint fixture: rule D2 — wall-clock / global-entropy sources. The
+// simulation has exactly one timeline (EventLoop virtual time) and exactly
+// one entropy source (seeded common::Rng streams); everything else makes
+// results differ run to run.
+//
+// Not compiled into any target; parsed by tools/agar-lint --self-test.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+// --- violations ---------------------------------------------------------
+inline long wall_clock_ms() {
+  auto now = std::chrono::system_clock::now();  // expect(D2)
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+inline long unix_seconds() {
+  return static_cast<long>(std::time(nullptr));  // expect(D2)
+}
+
+inline int global_rand() {
+  std::srand(42);        // expect(D2)
+  return std::rand();    // expect(D2)
+}
+
+inline unsigned hardware_entropy() {
+  std::random_device rd;  // expect(D2)
+  return rd();
+}
+
+// --- waivered -----------------------------------------------------------
+inline long waived_wall_clock() {
+  // agar-lint: wallclock-ok(fixture stand-in for bench-harness timing)
+  auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+// --- clean: steady_clock intervals and seeded PRNG ----------------------
+inline long interval_ns() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+      .count();
+}
+
+inline unsigned seeded_draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  return gen();
+}
+
+}  // namespace fixture

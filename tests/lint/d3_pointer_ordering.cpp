@@ -1,0 +1,57 @@
+// agar-lint fixture: rule D3 — pointer-keyed ordered containers and
+// pointer-order comparators. Address order is ASLR-dependent, so any
+// ordering derived from raw pointer values changes run to run.
+//
+// Not compiled into any target; parsed by tools/agar-lint --self-test.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+// --- violations ---------------------------------------------------------
+inline int count_by_node(const std::vector<Node*>& nodes) {
+  std::map<const Node*, int> counts;  // expect(D3)
+  for (Node* n : nodes) ++counts[n];
+  return static_cast<int>(counts.size());
+}
+
+inline bool track(Node* n) {
+  std::set<Node*> seen;  // expect(D3)
+  return seen.insert(n).second;
+}
+
+using NodeOrder = std::less<Node*>;  // expect(D3)
+
+inline void sort_by_address(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a < b; });  // expect(D3)
+}
+
+// --- waivered -----------------------------------------------------------
+inline int scratch_count(const std::vector<Node*>& nodes) {
+  // agar-lint: ptr-order-ok(fixture: scratch map, never iterated for output)
+  std::map<const Node*, int> counts;
+  for (const Node* n : nodes) ++counts[n];
+  return static_cast<int>(counts.size());
+}
+
+// --- clean: stable-id keys and field comparators -------------------------
+inline int count_by_id(const std::vector<Node*>& nodes) {
+  std::map<int, int> counts;
+  for (const Node* n : nodes) ++counts[n->id];
+  return static_cast<int>(counts.size());
+}
+
+inline void sort_by_id(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Node* a, const Node* b) { return a->id < b->id; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// agar-lint fixture: rule D4 — mutable namespace-scope / static state.
+// Shared mutable state leaks across lanes and shard threads: the same spec
+// can produce different results at different shard counts, the exact bug
+// class the (when, lane, seq) event keying exists to prevent.
+//
+// Not compiled into any target; parsed by tools/agar-lint --self-test.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// --- violations ---------------------------------------------------------
+int g_total_reads = 0;  // expect(D4)
+
+static double g_last_latency_ms = 0.0;  // expect(D4)
+
+thread_local std::uint64_t tl_scratch = 0;  // expect(D4)
+
+inline int next_id() {
+  static int counter = 0;  // expect(D4)
+  return ++counter;
+}
+
+class Telemetry {
+ public:
+  static std::uint64_t live_instances;  // expect(D4)
+};
+
+// --- waivered -----------------------------------------------------------
+inline std::string& process_name() {
+  // agar-lint: global-ok(fixture: construct-on-first-use singleton, mutated
+  // only during static initialization)
+  static std::string name = "agar";
+  return name;
+}
+
+// --- clean: constants ----------------------------------------------------
+constexpr int kMaxRetries = 5;
+
+const std::string kDefaultRegion = "eu-west-1";
+
+static const int kWeights[] = {1, 3, 5, 7, 9};
+
+inline int lookup_weight(int i) { return kWeights[i % 5]; }
+
+}  // namespace fixture

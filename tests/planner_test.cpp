@@ -120,8 +120,8 @@ TEST_P(PlannerInvariants, NeverBeatsTheExactDp) {
 INSTANTIATE_TEST_SUITE_P(
     Registered, PlannerInvariants,
     ::testing::ValuesIn(api::PlannerRegistry::instance().names()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -67,8 +67,8 @@ TEST_P(EstimatorContract, DecayedKeysAreDropped) {
 INSTANTIATE_TEST_SUITE_P(
     Registered, EstimatorContract,
     ::testing::ValuesIn(api::EstimatorRegistry::instance().names()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

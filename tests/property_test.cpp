@@ -109,8 +109,8 @@ TEST_P(EngineInvariants, ClearLeavesEmptyEngine) {
 
 INSTANTIATE_TEST_SUITE_P(
     Engines, EngineInvariants, ::testing::ValuesIn(all_engine_params()),
-    [](const ::testing::TestParamInfo<EngineParam>& info) {
-      return info.param.name + "_" + std::to_string(info.param.capacity);
+    [](const ::testing::TestParamInfo<EngineParam>& param_info) {
+      return param_info.param.name + "_" + std::to_string(param_info.param.capacity);
     });
 
 // ---------------------------------------------------------------------------
@@ -199,8 +199,8 @@ TEST_P(Determinism, RepeatRunsAreIdentical) {
 INSTANTIATE_TEST_SUITE_P(
     AllSystems, Determinism,
     ::testing::ValuesIn(api::runnable_systems()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

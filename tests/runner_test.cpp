@@ -168,7 +168,7 @@ TEST(Runner, VerifyModeDecodesEveryRead) {
   config.verify_data = true;
   config.ops_per_run = 60;
   config.runs = 1;
-  for (const std::vector<std::string> pairs :
+  for (const std::vector<std::string>& pairs :
        {std::vector<std::string>{"system=backend"},
         {"system=lru", "chunks=5", "cache_bytes=5MB"},
         {"system=agar", "cache_bytes=5MB"}}) {

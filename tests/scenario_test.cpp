@@ -46,13 +46,13 @@ TEST(ScenarioParse, EmptyTextIsEmptyScenario) {
 }
 
 TEST(ScenarioParse, RejectsMalformedEventTimes) {
-  EXPECT_THROW(scenario::parse_scenario_text("nan fail_region region=tokyo"),
+  EXPECT_THROW((void)scenario::parse_scenario_text("nan fail_region region=tokyo"),
                std::invalid_argument);
-  EXPECT_THROW(scenario::parse_scenario_text("inf flash_crowd count=1"),
+  EXPECT_THROW((void)scenario::parse_scenario_text("inf flash_crowd count=1"),
                std::invalid_argument);
-  EXPECT_THROW(scenario::parse_scenario_text("10abc fail_region region=0"),
+  EXPECT_THROW((void)scenario::parse_scenario_text("10abc fail_region region=0"),
                std::invalid_argument);
-  EXPECT_THROW(api::parse_spec_json(R"({"system": "backend", "scenario":
+  EXPECT_THROW((void)api::parse_spec_json(R"({"system": "backend", "scenario":
                    [{"at_ms": "nan", "event": "fail_region",
                      "region": "tokyo"}]})"),
                std::invalid_argument);

@@ -72,8 +72,8 @@ TEST_P(ShardedDeterminism, FourShardsMatchSerialByteForByte) {
 INSTANTIATE_TEST_SUITE_P(
     AllSystems, ShardedDeterminism,
     ::testing::ValuesIn(api::runnable_systems()),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      std::string name = info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '-') c = '_';
       }

@@ -66,16 +66,21 @@ std::vector<std::vector<Hop>> run_ping_pong(std::size_t shards,
   std::vector<std::uint64_t> counts(lanes, 0);
 
   auto hop = std::make_shared<std::function<void(LaneId, std::uint64_t)>>();
-  *hop = [&engine, &traces, &counts, hop, lanes](LaneId lane,
-                                                 std::uint64_t value) {
+  // The continuation captures a weak_ptr: a strong self-capture would make
+  // *hop own itself and leak (LeakSanitizer catches this). The local
+  // strong ref outlives the engine, so lock() always succeeds during a run.
+  std::weak_ptr<std::function<void(LaneId, std::uint64_t)>> weak_hop = hop;
+  *hop = [&engine, &traces, &counts, weak_hop, lanes](LaneId lane,
+                                                      std::uint64_t value) {
     EventLoop& loop = engine.loop_of_lane(lane);
     traces[lane].emplace_back(loop.now(), lane, value);
     ++counts[lane];
     const std::uint64_t next = value * 6364136223846793005ULL + lane + 1;
     const SimTimeMs delay = 5.0 + static_cast<SimTimeMs>(next % 120);
     const auto to = static_cast<LaneId>(next % lanes);
-    engine.post(to, loop.now() + delay,
-                [hop, to, next] { (*hop)(to, next); });
+    engine.post(to, loop.now() + delay, [weak_hop, to, next] {
+      if (auto h = weak_hop.lock()) (*h)(to, next);
+    });
   };
 
   for (LaneId lane = 0; lane < lanes; ++lane) {
