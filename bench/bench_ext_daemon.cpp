@@ -1,0 +1,172 @@
+// Extension: daemon front-end overhead — UDS round-trips vs the
+// in-process read path.
+//
+// agard adds a socket hop, framing, and a per-route mutex in front of the
+// same simulator the batch runner drives directly. This bench quantifies
+// that overhead: the identical closed-loop key stream is served twice —
+// once through a live Server over a Unix-domain socket, once by calling
+// the ServiceInstance in-process — and the wall-clock per-request cost of
+// each path is reported (requests/s, p50/p99). The virtual-time results
+// are byte-identical by construction (that is the daemon's equivalence
+// contract, enforced by daemon_server_test); the wall-clock delta IS the
+// daemon tax.
+//
+//   $ ./bench_ext_daemon [--quick] [--json]
+#include <unistd.h>
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/experiment_spec.hpp"
+#include "client/workload.hpp"
+#include "daemon/client.hpp"
+#include "daemon/routing.hpp"
+#include "daemon/server.hpp"
+#include "daemon/service.hpp"
+#include "stats/histogram.hpp"
+
+using namespace agar;
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PathResult {
+  std::string name;
+  double wall_s = 0.0;
+  double rps = 0.0;
+  stats::Histogram us;  ///< per-request wall latency, microseconds
+};
+
+std::vector<std::string> make_keys(const api::ExperimentSpec& spec,
+                                   std::size_t ops) {
+  const auto& experiment = spec.experiment;
+  client::Workload workload(
+      experiment.workload, experiment.deployment.num_objects,
+      client::workload_stream_seed(experiment.deployment.seed, 0, 0));
+  std::vector<std::string> keys;
+  keys.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) keys.push_back(workload.next_key());
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    if (arg == "--quick") quick = true;
+  }
+  const std::size_t ops = quick ? 2000 : 10000;
+
+  const api::ExperimentSpec spec = api::ExperimentSpec::from_pairs({
+      "system=lru",
+      "chunks=5",
+      "cache_bytes=400KB",
+      "objects=100",
+      "object_bytes=9000",
+      "ops=" + std::to_string(ops),
+      "runs=1",
+      "clients=1",
+      "seed=17",
+  });
+  const std::vector<std::string> keys = make_keys(spec, ops);
+
+  std::vector<PathResult> results;
+
+  // -------------------------------------------------------- UDS path
+  {
+    const std::string socket_path =
+        "/tmp/agard_bench" + std::to_string(::getpid()) + ".sock";
+    daemon::DaemonConfig config;
+    config.listen = socket_path;
+    daemon::RouteRule rule;
+    rule.name = "bench";
+    rule.spec = spec;
+    rule.spec_json = spec.to_json();
+    config.routes.push_back(rule);
+    daemon::Server server(std::move(config), daemon::ServerOptions{});
+    server.start();
+
+    daemon::DaemonClient connection =
+        daemon::DaemonClient::connect_uds(socket_path);
+    PathResult r;
+    r.name = "uds";
+    const double t0 = now_us();
+    for (const std::string& key : keys) {
+      const double start = now_us();
+      const daemon::GetResponse response = connection.get("", key, false);
+      if (response.status != daemon::Status::kOk) {
+        std::cerr << "bench: unexpected status "
+                  << daemon::to_string(response.status) << "\n";
+        return 1;
+      }
+      r.us.add(now_us() - start);
+    }
+    r.wall_s = (now_us() - t0) / 1e6;
+    r.rps = static_cast<double>(ops) / r.wall_s;
+    results.push_back(std::move(r));
+    server.stop();
+  }
+
+  // ------------------------------------------------- in-process path
+  {
+    daemon::RouteRule rule;
+    rule.name = "bench";
+    rule.spec = spec;
+    rule.spec_json = spec.to_json();
+    daemon::ServiceInstance instance(rule);
+    PathResult r;
+    r.name = "in-process";
+    const double t0 = now_us();
+    for (const std::string& key : keys) {
+      const double start = now_us();
+      const daemon::GetResponse response = instance.serve_get(key, false);
+      if (response.status != daemon::Status::kOk) {
+        std::cerr << "bench: unexpected status "
+                  << daemon::to_string(response.status) << "\n";
+        return 1;
+      }
+      r.us.add(now_us() - start);
+    }
+    r.wall_s = (now_us() - t0) / 1e6;
+    r.rps = static_cast<double>(ops) / r.wall_s;
+    results.push_back(std::move(r));
+  }
+
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::cout << (i > 0 ? "," : "") << "\n  {\"system\": \"" << r.name
+                << "\", \"ops\": " << ops << ", \"wall_s\": " << r.wall_s
+                << ", \"requests_per_s\": " << r.rps
+                << ", \"p50_us\": " << r.us.percentile(50)
+                << ", \"p99_us\": " << r.us.percentile(99)
+                << ", \"mean_us\": " << r.us.mean() << "}";
+    }
+    std::cout << "\n]\n";
+    return 0;
+  }
+
+  std::cout << "daemon front-end overhead (" << ops
+            << " closed-loop reads, same key stream)\n";
+  for (const auto& r : results) {
+    std::cout << "  " << r.name << ": " << r.rps << " req/s, p50 "
+              << r.us.percentile(50) << " us, p99 " << r.us.percentile(99)
+              << " us\n";
+  }
+  const double tax =
+      results[0].us.percentile(50) - results[1].us.percentile(50);
+  std::cout << "  p50 socket tax: " << tax << " us/request\n";
+  return 0;
+}

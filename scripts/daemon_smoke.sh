@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end daemon smoke: launch agard, drive it with agarctl over the
+# Unix-domain socket, verify the metrics dump matches an in-process run of
+# the same replayed stream, and exercise a SIGHUP reload under live load.
+#
+#   scripts/daemon_smoke.sh <build_dir> <label>
+#
+# Artifacts (eq_spec_<label>.json, daemon_metrics_<label>.json, ...) land
+# in the current directory so CI can upload them.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD=${1:?usage: daemon_smoke.sh <build_dir> <label>}
+LABEL=${2:-daemon}
+SOCK="/tmp/agard_${LABEL}_$$.sock"
+CFG="/tmp/agard_${LABEL}_$$.json"
+AGARD_PID=""
+
+cleanup() {
+  [ -n "$AGARD_PID" ] && kill "$AGARD_PID" 2>/dev/null
+  rm -f "$CFG" "$SOCK"
+  return 0
+}
+trap cleanup EXIT
+
+cp examples/specs/daemon_routes.json "$CFG"
+"$BUILD/agard" --config "$CFG" --listen "$SOCK" &
+AGARD_PID=$!
+
+ctl() { "$BUILD/agarctl" --socket "$SOCK" "$@"; }
+
+for _ in $(seq 1 100); do
+  ctl ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+ctl ping
+
+# --- Equivalence: replay the hot route's exact clients=1 stream over the
+# socket, drain, and diff the daemon's metrics dump against the in-process
+# run of the very spec the daemon reports for that route. planning_ms is
+# planner wall clock — the one legitimately nondeterministic field.
+ctl spec-of hot > "eq_spec_${LABEL}.json"
+ctl load --replay-spec "eq_spec_${LABEL}.json" --tag hot --json \
+  > "daemon_load_${LABEL}.json"
+ctl drain
+ctl metrics --results-only > "daemon_metrics_${LABEL}.json"
+"$BUILD/example_agar_cli" --spec "eq_spec_${LABEL}.json" --json \
+  > "daemon_inproc_${LABEL}.json"
+
+python3 - "$LABEL" <<'EOF'
+import json, re, sys
+label = sys.argv[1]
+norm = lambda t: re.sub(r'"planning_ms": [^,}]*', '"planning_ms": 0', t)
+daemon = json.loads(norm(open(f"daemon_metrics_{label}.json").read()))
+[entry] = json.loads(norm(open(f"daemon_inproc_{label}.json").read()))
+match = [e for e in daemon if e["system"] == entry["system"]]
+assert match, f"no daemon route served system {entry['system']!r}"
+if match[0] != entry:
+    for k in entry:
+        if match[0].get(k) != entry.get(k):
+            print(f"MISMATCH {k}:\n  daemon:     {match[0].get(k)}\n"
+                  f"  in-process: {entry.get(k)}")
+    sys.exit(1)
+print(f"daemon metrics match the in-process run ({label})")
+EOF
+
+# --- Live reconfiguration: swap the default route lru -> arc via SIGHUP
+# while a closed-loop load is in flight. The swap must become visible and
+# the load must complete with zero failed or misrouted requests.
+sed 's/"system": "lru"/"system": "arc"/' "$CFG" > "$CFG.tmp"
+mv "$CFG.tmp" "$CFG"
+ctl load --ops 30000 --clients 2 --json > "daemon_reload_load_${LABEL}.json" &
+LOAD_PID=$!
+sleep 0.1
+kill -HUP "$AGARD_PID"
+for _ in $(seq 1 100); do
+  ctl routes | grep -q '"system": "arc"' && break
+  sleep 0.1
+done
+ctl routes | grep -q '"system": "arc"'
+wait "$LOAD_PID"
+
+python3 - "$LABEL" <<'EOF'
+import json, sys
+label = sys.argv[1]
+load = json.load(open(f"daemon_reload_load_{label}.json"))
+assert load["ok"] == load["ops"], f"reload dropped requests: {load}"
+print(f"SIGHUP reload dropped nothing: {load['ok']}/{load['ops']} ok ({label})")
+EOF
+
+ctl shutdown
+wait "$AGARD_PID"
+AGARD_PID=""
+echo "daemon smoke (${LABEL}): OK"

@@ -494,6 +494,16 @@ void apply_members(ExperimentSpec& spec, const JsonValue& object) {
 
 }  // namespace
 
+ExperimentSpec spec_from_json_object(const JsonValue& object) {
+  if (!object.is_object()) {
+    throw std::invalid_argument("spec must be a JSON object");
+  }
+  ExperimentSpec spec;
+  apply_members(spec, object);
+  spec.validate();
+  return spec;
+}
+
 std::vector<ExperimentSpec> parse_spec_json(const std::string& text) {
   const JsonValue doc = parse_json(text);
   if (!doc.is_object()) {

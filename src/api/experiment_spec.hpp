@@ -92,6 +92,14 @@ struct ExperimentSpec {
 [[nodiscard]] std::vector<ExperimentSpec> load_spec_file(
     const std::string& path);
 
+class JsonValue;
+
+/// Build one validated spec from an already-parsed JSON object — the
+/// single-spec subset of `parse_spec_json` (no "systems"/"sweep"
+/// expansion). Callers that embed spec objects inside a larger document
+/// (the daemon routing config) use this instead of re-serializing.
+[[nodiscard]] ExperimentSpec spec_from_json_object(const JsonValue& object);
+
 /// Expand a cross-product grid over a base spec; the first grid key is the
 /// outermost (slowest-varying) dimension. Keys may be anything `set`
 /// accepts, including "system".

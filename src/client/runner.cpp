@@ -49,12 +49,11 @@ void Deployment::bind_lanes(const std::vector<RegionId>& lane_regions) {
 
 namespace {
 
-/// Mix a per-(run, region, client) workload seed. Region index 0 client c
-/// reduces to the historical single-region formula, so single-region runs
-/// replay the seed repo's exact key streams.
+/// Per-(run, region, client) workload seed — the exported mixing formula,
+/// aliased so the call sites below read as before.
 std::uint64_t workload_seed(std::uint64_t run_seed, std::size_t region_index,
                             std::size_t client) {
-  return run_seed * 1315423911ULL + region_index * 1000000007ULL + client;
+  return workload_stream_seed(run_seed, region_index, client);
 }
 
 RunResult run_once(const ExperimentConfig& config,
@@ -501,6 +500,9 @@ double ExperimentResult::full_hit_ratio() const {
 double ExperimentResult::percentile_ms(double q) const {
   stats::Histogram merged;
   for (const auto& r : runs) merged.merge(r.latencies);
+  // No completed reads (e.g. a daemon route that never saw traffic):
+  // report 0 rather than throwing, matching mean_latency_ms.
+  if (merged.count() == 0) return 0.0;
   return merged.percentile(q);
 }
 

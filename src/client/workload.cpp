@@ -119,4 +119,10 @@ void Workload::apply(const scenario::PopularityShift& shift) {
   }
 }
 
+std::uint64_t workload_stream_seed(std::uint64_t run_seed,
+                                   std::size_t region_index,
+                                   std::size_t client) {
+  return run_seed * 1315423911ULL + region_index * 1000000007ULL + client;
+}
+
 }  // namespace agar::client

@@ -79,6 +79,14 @@ struct WorkloadSpec {
 [[nodiscard]] std::unique_ptr<KeyGenerator> make_generator(
     const WorkloadSpec& spec, std::size_t universe);
 
+/// Mix the per-(run, region, client) workload RNG seed the experiment
+/// runner uses. Exported so external load generators (agarctl's replay
+/// mode) can reproduce the exact key stream of a run: region index 0,
+/// client c reduces to the historical single-region formula.
+[[nodiscard]] std::uint64_t workload_stream_seed(std::uint64_t run_seed,
+                                                 std::size_t region_index,
+                                                 std::size_t client);
+
 /// A stream of object keys: maps generator ranks onto key names through a
 /// mutable rank->object permutation. Rank 0 is the most popular object;
 /// initially rank r maps to object r. Keys follow the backend's naming

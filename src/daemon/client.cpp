@@ -1,0 +1,156 @@
+#include "daemon/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace agar::daemon {
+namespace {
+
+void read_exact(int fd, unsigned char* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, out + got, len - got);
+    if (n == 0) throw std::runtime_error("daemon closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+DaemonClient DaemonClient::connect_uds(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("UDS path empty or too long: '" + path + "'");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("connect '" + path + "': " + err);
+  }
+  return DaemonClient(fd);
+}
+
+DaemonClient DaemonClient::connect_tcp(const std::string& host,
+                                       std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                             ": " + err);
+  }
+  return DaemonClient(fd);
+}
+
+DaemonClient::DaemonClient(DaemonClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+DaemonClient& DaemonClient::operator=(DaemonClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string DaemonClient::roundtrip(const std::string& frame,
+                                    MsgType expect_type) {
+  write_all(fd_, frame);
+  unsigned char header_bytes[kHeaderBytes];
+  read_exact(fd_, header_bytes, kHeaderBytes);
+  const FrameHeader header = decode_header(header_bytes, kHeaderBytes);
+  if (!header.is_reply || header.type != expect_type) {
+    throw ProtocolError("unexpected reply frame type");
+  }
+  std::string body(header.body_len, '\0');
+  if (header.body_len > 0) {
+    read_exact(fd_, reinterpret_cast<unsigned char*>(body.data()),
+               body.size());
+  }
+  return body;
+}
+
+GetResponse DaemonClient::get(const std::string& tag, const std::string& key,
+                              bool want_payload) {
+  const std::string frame =
+      encode_frame(MsgType::kGet, /*is_reply=*/false,
+                   encode_get_request(GetRequest{tag, key, want_payload}));
+  return decode_get_response(roundtrip(frame, MsgType::kGet));
+}
+
+ControlReply DaemonClient::control(MsgType type, const std::string& body) {
+  const std::string frame = encode_frame(type, /*is_reply=*/false, body);
+  return decode_control_reply(roundtrip(frame, type));
+}
+
+ControlReply DaemonClient::ping() { return control(MsgType::kPing, ""); }
+
+ControlReply DaemonClient::metrics(bool results_only) {
+  return control(MsgType::kMetrics, results_only ? "results-only" : "");
+}
+
+ControlReply DaemonClient::reload(const std::string& path) {
+  return control(MsgType::kReload, path);
+}
+
+ControlReply DaemonClient::routes() { return control(MsgType::kRoutes, ""); }
+
+ControlReply DaemonClient::drain() { return control(MsgType::kDrain, ""); }
+
+ControlReply DaemonClient::repair(const std::string& route) {
+  return control(MsgType::kRepair, route);
+}
+
+ControlReply DaemonClient::spec_of(const std::string& route) {
+  return control(MsgType::kSpecOf, route);
+}
+
+ControlReply DaemonClient::shutdown() {
+  return control(MsgType::kShutdown, "");
+}
+
+}  // namespace agar::daemon

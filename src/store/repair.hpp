@@ -7,9 +7,12 @@
 // k survivors, recomputes the missing chunks with the Reed-Solomon codec,
 // and writes them back to their home regions.
 //
-// TODO: repair runs offline only — wiring it to the simulated timeline
-// (repair bandwidth competing with reads) is part of the read-write
-// workload item in ROADMAP.md.
+// Repair is reachable online through agard's REPAIR control command
+// (daemon/service.cpp), which runs this scan against a route's backend
+// between requests; routes must store chunk bytes (verify=true) for the
+// scan to see anything. Charging repair bandwidth to the simulated
+// timeline (competing with reads) remains with the read-write workload
+// item in ROADMAP.md.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,482 @@
+// agarctl — control CLI and load generator for a running agard.
+//
+//   $ ./agarctl --socket /tmp/agard.sock ping
+//   $ ./agarctl --socket /tmp/agard.sock get --tag hot object17
+//   $ ./agarctl --socket /tmp/agard.sock load --ops 2000 --clients 4 --json
+//   $ ./agarctl --socket /tmp/agard.sock load --rate 500 --ops 1000
+//   $ ./agarctl --socket /tmp/agard.sock load --replay-spec eq_spec.json
+//   $ ./agarctl --socket /tmp/agard.sock metrics --results-only
+//
+// Load modes: closed-loop (each client issues its next read when the
+// previous completes — the paper's YCSB shape) and open-loop (wall-clock
+// Poisson arrivals at --rate req/s, dispatched to a connection pool).
+// --replay-spec replays the exact key stream of a runs=1 clients=1
+// experiment spec, which is what lets CI diff the daemon's metrics dump
+// against an in-process run of the same spec.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/experiment_spec.hpp"
+#include "client/workload.hpp"
+#include "daemon/client.hpp"
+#include "stats/histogram.hpp"
+
+using namespace agar;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "agarctl -- control CLI and load generator for agard\n"
+      "\n"
+      "connection (before the command):\n"
+      "  --socket <path>       Unix-domain socket (default /tmp/agard.sock)\n"
+      "  --tcp <host:port>     TCP instead of UDS\n"
+      "\n"
+      "commands:\n"
+      "  ping                  liveness probe\n"
+      "  get [--tag T] [--payload] <key>   one routed read\n"
+      "  load [options]        closed/open-loop load generator (below)\n"
+      "  metrics [--results-only]          JSON metrics dump\n"
+      "  reload [path]         reload routing config (empty = start path)\n"
+      "  routes                routing-table summary\n"
+      "  spec-of <route>       the route's ExperimentSpec JSON\n"
+      "  drain                 run each route to its next window boundary\n"
+      "  repair [route]        scan-and-repair backend stripes\n"
+      "  shutdown              graceful stop\n"
+      "\n"
+      "load options:\n"
+      "  --ops <n>             total requests (default 1000)\n"
+      "  --clients <n>         concurrent connections (default 1)\n"
+      "  --rate <r>            open-loop Poisson arrivals/s (0 = closed loop)\n"
+      "  --tag <t>             routing tag on every request\n"
+      "  --objects <n>         key universe object0..N-1 (default 300)\n"
+      "  --workload <w>        'uniform' or a zipf skew like '1.1'\n"
+      "  --seed <n>            RNG seed (default 42)\n"
+      "  --replay-spec <file>  replay the exact key stream of a runs=1\n"
+      "                        clients=1 spec (forces closed loop, 1 client)\n"
+      "  --payload             fetch payload bytes, not just telemetry\n"
+      "  --json                machine-readable summary\n";
+}
+
+int fail(const std::string& message) {
+  std::cerr << "agarctl: " << message << "\n";
+  return 2;
+}
+
+struct Endpoint {
+  std::string socket_path = "/tmp/agard.sock";
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
+
+  [[nodiscard]] daemon::DaemonClient connect() const {
+    if (!tcp_host.empty()) {
+      return daemon::DaemonClient::connect_tcp(tcp_host, tcp_port);
+    }
+    return daemon::DaemonClient::connect_uds(socket_path);
+  }
+};
+
+/// Print a control reply; nonzero exit on a non-ok status.
+int finish(const daemon::ControlReply& reply) {
+  if (!reply.text.empty()) {
+    std::cout << reply.text;
+    if (reply.text.back() != '\n') std::cout << "\n";
+  }
+  if (reply.status != daemon::Status::kOk) {
+    std::cerr << "agarctl: " << daemon::to_string(reply.status) << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+struct LoadOptions {
+  std::size_t ops = 1000;
+  std::size_t clients = 1;
+  double rate = 0.0;  ///< arrivals/s; 0 = closed loop
+  std::string tag;
+  std::size_t objects = 300;
+  client::WorkloadSpec workload = client::WorkloadSpec::zipfian(1.1);
+  std::uint64_t seed = 42;
+  bool payload = false;
+  bool json = false;
+};
+
+struct LoadTotals {
+  std::mutex mutex;
+  stats::Histogram wall_ms;
+  stats::Histogram virtual_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t unknown_key = 0;
+  std::uint64_t full_hits = 0;
+  std::uint64_t partial_hits = 0;
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void account(LoadTotals& totals, const daemon::GetResponse& response,
+             double wall_elapsed_ms) {
+  const std::lock_guard<std::mutex> lock(totals.mutex);
+  totals.wall_ms.add(wall_elapsed_ms);
+  switch (response.status) {
+    case daemon::Status::kOk:
+      ++totals.ok;
+      totals.virtual_ms.add(response.virtual_ms);
+      if (response.hit == daemon::HitKind::kFull) ++totals.full_hits;
+      if (response.hit == daemon::HitKind::kPartial) ++totals.partial_hits;
+      break;
+    case daemon::Status::kFailedRead:
+      ++totals.failed_reads;
+      break;
+    case daemon::Status::kNoRoute:
+      ++totals.no_route;
+      break;
+    case daemon::Status::kUnknownKey:
+      ++totals.unknown_key;
+      break;
+    default:
+      break;
+  }
+}
+
+void print_summary(const LoadOptions& options, LoadTotals& totals,
+                   double wall_s) {
+  const std::uint64_t total = totals.ok + totals.failed_reads +
+                              totals.no_route + totals.unknown_key;
+  const double rps = wall_s > 0.0 ? static_cast<double>(total) / wall_s : 0.0;
+  if (options.json) {
+    std::cout << "{\"ops\": " << total << ", \"ok\": " << totals.ok
+              << ", \"failed_reads\": " << totals.failed_reads
+              << ", \"no_route\": " << totals.no_route
+              << ", \"unknown_key\": " << totals.unknown_key
+              << ", \"full_hits\": " << totals.full_hits
+              << ", \"partial_hits\": " << totals.partial_hits
+              << ", \"wall_s\": " << wall_s << ", \"requests_per_s\": " << rps
+              << ", \"wall_ms\": {\"mean\": " << totals.wall_ms.mean()
+              << ", \"p50\": " << totals.wall_ms.percentile(50)
+              << ", \"p99\": " << totals.wall_ms.percentile(99)
+              << "}, \"virtual_ms\": {\"mean\": " << totals.virtual_ms.mean()
+              << ", \"p50\": " << totals.virtual_ms.percentile(50)
+              << ", \"p99\": " << totals.virtual_ms.percentile(99) << "}}\n";
+    return;
+  }
+  std::cout << total << " requests in " << wall_s << " s (" << rps
+            << " req/s)\n"
+            << "  ok " << totals.ok << ", failed " << totals.failed_reads
+            << ", no-route " << totals.no_route << ", unknown-key "
+            << totals.unknown_key << "\n"
+            << "  wall    p50 " << totals.wall_ms.percentile(50) << " ms, p99 "
+            << totals.wall_ms.percentile(99) << " ms\n"
+            << "  virtual p50 " << totals.virtual_ms.percentile(50)
+            << " ms, p99 " << totals.virtual_ms.percentile(99) << " ms\n"
+            << "  hits full " << totals.full_hits << ", partial "
+            << totals.partial_hits << "\n";
+}
+
+int run_closed_loop(const Endpoint& endpoint, const LoadOptions& options) {
+  LoadTotals totals;
+  std::atomic<bool> aborted{false};
+  std::string first_error;
+  std::mutex error_mutex;
+
+  const double t0 = now_s();
+  std::vector<std::thread> workers;
+  workers.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    // Lane split mirrors the runner: client 0 absorbs the remainder.
+    const std::size_t budget = options.ops / options.clients +
+                               (c == 0 ? options.ops % options.clients : 0);
+    workers.emplace_back([&, c, budget] {
+      try {
+        daemon::DaemonClient connection = endpoint.connect();
+        // Per-client key stream, seeded exactly as the runner seeds its
+        // closed-loop clients — one client replays a clients=1 run.
+        client::Workload workload(
+            options.workload, options.objects,
+            client::workload_stream_seed(options.seed, 0, c));
+        for (std::size_t i = 0; i < budget && !aborted.load(); ++i) {
+          const std::string key = workload.next_key();
+          const double start = now_s();
+          const daemon::GetResponse response =
+              connection.get(options.tag, key, options.payload);
+          account(totals, response, (now_s() - start) * 1000.0);
+        }
+      } catch (const std::exception& e) {
+        aborted.store(true);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.empty()) first_error = e.what();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s = now_s() - t0;
+  if (aborted.load()) return fail("load aborted: " + first_error);
+  print_summary(options, totals, wall_s);
+  return 0;
+}
+
+int run_open_loop(const Endpoint& endpoint, const LoadOptions& options) {
+  LoadTotals totals;
+  std::atomic<bool> aborted{false};
+  std::string first_error;
+  std::mutex error_mutex;
+
+  // Arrivals are timestamped by the Poisson process; workers pull them
+  // from a queue, so latency includes any wait for a free connection —
+  // the open-loop property (load keeps arriving while reads are slow).
+  struct Arrival {
+    std::string key;
+    double due_s = 0.0;
+  };
+  std::deque<Arrival> queue;
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  bool done_producing = false;
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    workers.emplace_back([&] {
+      try {
+        daemon::DaemonClient connection = endpoint.connect();
+        while (true) {
+          Arrival arrival;
+          {
+            std::unique_lock<std::mutex> lock(queue_mutex);
+            queue_cv.wait(lock, [&] {
+              return !queue.empty() || done_producing || aborted.load();
+            });
+            if (queue.empty()) return;
+            arrival = std::move(queue.front());
+            queue.pop_front();
+          }
+          const daemon::GetResponse response =
+              connection.get(options.tag, arrival.key, options.payload);
+          account(totals, response, (now_s() - arrival.due_s) * 1000.0);
+        }
+      } catch (const std::exception& e) {
+        aborted.store(true);
+        queue_cv.notify_all();
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.empty()) first_error = e.what();
+      }
+    });
+  }
+
+  client::Workload workload(options.workload, options.objects,
+                            client::workload_stream_seed(options.seed, 0, 0));
+  std::mt19937_64 gaps(options.seed ^ 0x9E3779B97F4A7C15ULL);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double mean_gap_s = 1.0 / options.rate;
+  const double t0 = now_s();
+  double next_due = t0;
+  for (std::size_t i = 0; i < options.ops && !aborted.load(); ++i) {
+    const double wait_s = next_due - now_s();
+    if (wait_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      queue.push_back(Arrival{workload.next_key(), next_due});
+    }
+    queue_cv.notify_one();
+    next_due += -mean_gap_s * std::log(1.0 - uniform(gaps));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex);
+    done_producing = true;
+  }
+  queue_cv.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s = now_s() - t0;
+  if (aborted.load()) return fail("load aborted: " + first_error);
+  print_summary(options, totals, wall_s);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint endpoint;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  std::size_t at = 0;
+  auto next_value = [&](const std::string& flag) -> std::string {
+    if (at >= args.size()) {
+      std::cerr << "agarctl: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return args[at++];
+  };
+
+  try {
+    // Connection flags precede the command.
+    while (at < args.size() && args[at].rfind("--", 0) == 0) {
+      const std::string arg = args[at++];
+      if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (arg == "--socket") {
+        endpoint.socket_path = next_value(arg);
+      } else if (arg == "--tcp") {
+        const std::string spec = next_value(arg);
+        const std::size_t colon = spec.rfind(':');
+        if (colon == std::string::npos) {
+          return fail("--tcp needs host:port");
+        }
+        endpoint.tcp_host = spec.substr(0, colon);
+        endpoint.tcp_port =
+            static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)));
+      } else {
+        usage();
+        return fail("unknown flag " + arg + " before the command");
+      }
+    }
+    if (at >= args.size()) {
+      usage();
+      return fail("missing command");
+    }
+    const std::string command = args[at++];
+
+    if (command == "ping") {
+      return finish(endpoint.connect().ping());
+    } else if (command == "metrics") {
+      bool results_only = false;
+      while (at < args.size()) {
+        if (args[at] == "--results-only") {
+          results_only = true;
+          ++at;
+        } else {
+          return fail("unknown metrics flag " + args[at]);
+        }
+      }
+      return finish(endpoint.connect().metrics(results_only));
+    } else if (command == "reload") {
+      const std::string path = at < args.size() ? args[at++] : "";
+      return finish(endpoint.connect().reload(path));
+    } else if (command == "routes") {
+      return finish(endpoint.connect().routes());
+    } else if (command == "spec-of") {
+      if (at >= args.size()) return fail("spec-of needs a route name");
+      return finish(endpoint.connect().spec_of(args[at]));
+    } else if (command == "drain") {
+      return finish(endpoint.connect().drain());
+    } else if (command == "repair") {
+      const std::string route = at < args.size() ? args[at++] : "";
+      return finish(endpoint.connect().repair(route));
+    } else if (command == "shutdown") {
+      return finish(endpoint.connect().shutdown());
+    } else if (command == "get") {
+      std::string tag;
+      bool payload = false;
+      std::string key;
+      while (at < args.size()) {
+        const std::string arg = args[at++];
+        if (arg == "--tag") {
+          tag = next_value(arg);
+        } else if (arg == "--payload") {
+          payload = true;
+        } else if (key.empty()) {
+          key = arg;
+        } else {
+          return fail("get takes one key");
+        }
+      }
+      if (key.empty()) return fail("get needs a key");
+      daemon::DaemonClient connection = endpoint.connect();
+      const daemon::GetResponse response = connection.get(tag, key, payload);
+      std::cout << "status=" << daemon::to_string(response.status)
+                << " hit="
+                << (response.hit == daemon::HitKind::kFull
+                        ? "full"
+                        : (response.hit == daemon::HitKind::kPartial
+                               ? "partial"
+                               : "miss"))
+                << " degraded=" << (response.degraded ? "true" : "false")
+                << " route=" << response.route
+                << " virtual_ms=" << response.virtual_ms
+                << " wall_us=" << response.wall_us
+                << " payload_bytes=" << response.payload.size() << "\n";
+      return response.status == daemon::Status::kOk ? 0 : 1;
+    } else if (command == "load") {
+      LoadOptions options;
+      std::string replay_spec;
+      while (at < args.size()) {
+        const std::string arg = args[at++];
+        if (arg == "--ops") {
+          options.ops = std::stoul(next_value(arg));
+        } else if (arg == "--clients") {
+          options.clients = std::max<std::size_t>(
+              1, std::stoul(next_value(arg)));
+        } else if (arg == "--rate") {
+          options.rate = std::stod(next_value(arg));
+        } else if (arg == "--tag") {
+          options.tag = next_value(arg);
+        } else if (arg == "--objects") {
+          options.objects = std::stoul(next_value(arg));
+        } else if (arg == "--workload") {
+          const std::string w = next_value(arg);
+          options.workload = w == "uniform"
+                                 ? client::WorkloadSpec::uniform()
+                                 : client::WorkloadSpec::zipfian(std::stod(
+                                       w.rfind("zipf:", 0) == 0 ? w.substr(5)
+                                                                : w));
+        } else if (arg == "--seed") {
+          options.seed = std::stoull(next_value(arg));
+        } else if (arg == "--replay-spec") {
+          replay_spec = next_value(arg);
+        } else if (arg == "--payload") {
+          options.payload = true;
+        } else if (arg == "--json") {
+          options.json = true;
+        } else {
+          return fail("unknown load flag " + arg);
+        }
+      }
+      if (!replay_spec.empty()) {
+        // Exact replay of a batch run's key stream: the spec must be a
+        // single runs=1 clients=1 closed-loop experiment, and the workload
+        // shape comes from the spec, not the CLI flags.
+        const auto specs = api::load_spec_file(replay_spec);
+        if (specs.size() != 1) {
+          return fail("--replay-spec needs exactly one spec (got " +
+                      std::to_string(specs.size()) + ")");
+        }
+        const api::ExperimentSpec& spec = specs.front();
+        const auto& experiment = spec.experiment;
+        if (experiment.runs != 1 || experiment.num_clients != 1 ||
+            experiment.arrival_rate_per_s > 0.0) {
+          return fail("--replay-spec needs runs=1 clients=1 closed loop");
+        }
+        options.ops = experiment.ops_per_run;
+        options.clients = 1;
+        options.rate = 0.0;
+        options.objects = experiment.deployment.num_objects;
+        options.workload = experiment.workload;
+        options.seed = experiment.deployment.seed;
+      }
+      return options.rate > 0.0 ? run_open_loop(endpoint, options)
+                                : run_closed_loop(endpoint, options);
+    }
+    usage();
+    return fail("unknown command " + command);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
